@@ -1,0 +1,63 @@
+// Microbenchmarks for the synthetic data substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "datagen/bipartite_world.h"
+#include "datagen/classic_generators.h"
+#include "datagen/dataset_registry.h"
+
+namespace d2pr {
+namespace {
+
+void BM_BipartiteWorld(benchmark::State& state) {
+  BipartiteWorldConfig config;
+  config.num_members = static_cast<NodeId>(state.range(0));
+  config.num_venues = static_cast<NodeId>(state.range(0) / 2);
+  config.venue_size_min = 2;
+  config.venue_size_max = 15;
+  config.cost_quality_slope = 2.0;
+  config.budget_mean = 10.0;
+  for (auto _ : state) {
+    auto world = GenerateBipartiteWorld(config);
+    benchmark::DoNotOptimize(world->TotalMemberships());
+  }
+}
+BENCHMARK(BM_BipartiteWorld)->Arg(2000)->Arg(10000);
+
+void BM_ErdosRenyi(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    auto graph =
+        ErdosRenyi(static_cast<NodeId>(state.range(0)),
+                   4 * state.range(0), &rng);
+    benchmark::DoNotOptimize(graph->num_arcs());
+  }
+}
+BENCHMARK(BM_ErdosRenyi)->Arg(10000)->Arg(50000);
+
+void BM_BarabasiAlbert(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    auto graph =
+        BarabasiAlbert(static_cast<NodeId>(state.range(0)), 4, &rng);
+    benchmark::DoNotOptimize(graph->num_arcs());
+  }
+}
+BENCHMARK(BM_BarabasiAlbert)->Arg(10000)->Arg(50000);
+
+void BM_RegistryGraph(benchmark::State& state) {
+  RegistryOptions options;
+  options.scale = 0.5;
+  for (auto _ : state) {
+    auto data =
+        MakePaperGraph(PaperGraphId::kImdbActorActor, options);
+    benchmark::DoNotOptimize(data->unweighted.num_arcs());
+  }
+}
+BENCHMARK(BM_RegistryGraph);
+
+}  // namespace
+}  // namespace d2pr
+
+BENCHMARK_MAIN();

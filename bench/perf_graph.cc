@@ -1,0 +1,82 @@
+// Microbenchmarks for graph construction and structural kernels.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "datagen/bipartite_world.h"
+#include "datagen/classic_generators.h"
+#include "datagen/projection.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_stats.h"
+
+namespace d2pr {
+namespace {
+
+void BM_GraphBuild(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(1);
+  // Pre-generate the edge list so only builder work is measured.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (int64_t i = 0; i < 8 * state.range(0); ++i) {
+    edges.emplace_back(static_cast<NodeId>(rng.Below(n)),
+                       static_cast<NodeId>(rng.Below(n)));
+  }
+  for (auto _ : state) {
+    GraphBuilder builder(n, GraphKind::kUndirected);
+    for (auto [u, v] : edges) {
+      benchmark::DoNotOptimize(builder.AddEdge(u, v).ok());
+    }
+    auto graph = builder.Build();
+    benchmark::DoNotOptimize(graph->num_arcs());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(edges.size()));
+}
+BENCHMARK(BM_GraphBuild)->Arg(10000)->Arg(100000);
+
+void BM_Transpose(benchmark::State& state) {
+  Rng rng(2);
+  auto graph = BarabasiAlbert(static_cast<NodeId>(state.range(0)), 4, &rng);
+  D2PR_CHECK(graph.ok());
+  for (auto _ : state) {
+    CsrGraph transpose = graph->Transpose();
+    benchmark::DoNotOptimize(transpose.num_arcs());
+  }
+  state.SetItemsProcessed(state.iterations() * graph->num_arcs());
+}
+BENCHMARK(BM_Transpose)->Arg(10000)->Arg(100000);
+
+void BM_GraphStats(benchmark::State& state) {
+  Rng rng(3);
+  auto graph = BarabasiAlbert(static_cast<NodeId>(state.range(0)), 4, &rng);
+  D2PR_CHECK(graph.ok());
+  for (auto _ : state) {
+    GraphStats stats = ComputeGraphStats(*graph);
+    benchmark::DoNotOptimize(stats.median_neighbor_degree_stddev);
+  }
+}
+BENCHMARK(BM_GraphStats)->Arg(10000)->Arg(50000);
+
+void BM_Projection(benchmark::State& state) {
+  BipartiteWorldConfig config;
+  config.num_members = static_cast<NodeId>(state.range(0));
+  config.num_venues = static_cast<NodeId>(state.range(0) / 2);
+  config.venue_size_min = 2;
+  config.venue_size_max = 20;
+  config.budget_mean = 10.0;
+  config.seed = 4;
+  auto world = GenerateBipartiteWorld(config);
+  D2PR_CHECK(world.ok());
+  ProjectionConfig projection;
+  projection.weighted = true;
+  for (auto _ : state) {
+    auto graph = ProjectMembers(*world, projection);
+    benchmark::DoNotOptimize(graph->num_arcs());
+  }
+}
+BENCHMARK(BM_Projection)->Arg(2000)->Arg(8000);
+
+}  // namespace
+}  // namespace d2pr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Microbenchmarks for the power-iteration solver: scaling with graph size,
+// de-coupling weight, and residual probability.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/d2pr.h"
+#include "datagen/classic_generators.h"
+
+namespace d2pr {
+namespace {
+
+CsrGraph MakeGraph(int64_t nodes) {
+  Rng rng(42);
+  auto graph = BarabasiAlbert(static_cast<NodeId>(nodes), 4, &rng);
+  D2PR_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+void BM_PagerankBySize(benchmark::State& state) {
+  const CsrGraph graph = MakeGraph(state.range(0));
+  D2prOptions options;
+  options.tolerance = 1e-9;
+  for (auto _ : state) {
+    auto result = ComputeD2pr(graph, options);
+    benchmark::DoNotOptimize(result->scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_arcs());
+}
+BENCHMARK(BM_PagerankBySize)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_PagerankByP(benchmark::State& state) {
+  const CsrGraph graph = MakeGraph(10000);
+  D2prOptions options;
+  options.p = static_cast<double>(state.range(0)) / 2.0;
+  options.tolerance = 1e-9;
+  for (auto _ : state) {
+    auto result = ComputeD2pr(graph, options);
+    benchmark::DoNotOptimize(result->scores.data());
+  }
+}
+BENCHMARK(BM_PagerankByP)->Arg(-4)->Arg(0)->Arg(1)->Arg(4);
+
+void BM_PagerankByAlpha(benchmark::State& state) {
+  const CsrGraph graph = MakeGraph(10000);
+  D2prOptions options;
+  options.alpha = static_cast<double>(state.range(0)) / 100.0;
+  options.tolerance = 1e-9;
+  for (auto _ : state) {
+    auto result = ComputeD2pr(graph, options);
+    benchmark::DoNotOptimize(result->scores.data());
+  }
+}
+BENCHMARK(BM_PagerankByAlpha)->Arg(50)->Arg(85)->Arg(95);
+
+void BM_SingleIterationMultiply(benchmark::State& state) {
+  const CsrGraph graph = MakeGraph(state.range(0));
+  auto transition = TransitionMatrix::Build(graph, {.p = 0.5});
+  D2PR_CHECK(transition.ok());
+  std::vector<double> x(static_cast<size_t>(graph.num_nodes()),
+                        1.0 / graph.num_nodes());
+  std::vector<double> out(x.size());
+  for (auto _ : state) {
+    transition->Multiply(graph, x, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_arcs());
+}
+BENCHMARK(BM_SingleIterationMultiply)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace d2pr
+
+BENCHMARK_MAIN();

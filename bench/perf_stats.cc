@@ -1,0 +1,65 @@
+// Microbenchmarks for the rank/correlation kernels used by every sweep.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/correlation.h"
+#include "stats/ranking.h"
+
+namespace d2pr {
+namespace {
+
+std::vector<double> RandomVector(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values(n);
+  for (double& v : values) v = rng.Normal();
+  return values;
+}
+
+void BM_AverageRanks(benchmark::State& state) {
+  const auto values = RandomVector(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    auto ranks = AverageRanks(values);
+    benchmark::DoNotOptimize(ranks.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AverageRanks)->Arg(10000)->Arg(100000);
+
+void BM_Spearman(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = RandomVector(n, 2);
+  const auto y = RandomVector(n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpearmanCorrelation(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Spearman)->Arg(10000)->Arg(100000);
+
+void BM_KendallTauB(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = RandomVector(n, 4);
+  const auto y = RandomVector(n, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KendallTauB(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KendallTauB)->Arg(10000)->Arg(100000);
+
+void BM_TopK(benchmark::State& state) {
+  const auto values = RandomVector(100000, 6);
+  for (auto _ : state) {
+    auto top = TopK(values, static_cast<size_t>(state.range(0)));
+    benchmark::DoNotOptimize(top.data());
+  }
+}
+BENCHMARK(BM_TopK)->Arg(10)->Arg(1000);
+
+}  // namespace
+}  // namespace d2pr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,211 @@
+#include "repro_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/sweeps.h"
+#include "eval/table_writer.h"
+
+namespace d2pr {
+namespace bench {
+
+RegistryOptions BenchRegistryOptions() {
+  RegistryOptions options;
+  options.scale = ScaleFromEnv();
+  return options;
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("Scale: %.2f (set D2PR_SCALE to change)\n", ScaleFromEnv());
+  std::printf("================================================================\n\n");
+}
+
+DataGraph LoadGraph(PaperGraphId id, const RegistryOptions& options) {
+  auto graph = MakePaperGraph(id, options);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "failed to build %s: %s\n",
+                 std::string(PaperGraphName(id)).c_str(),
+                 graph.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(graph).value();
+}
+
+std::string FormatCorr(double value) {
+  return StrCat(value >= 0 ? "+" : "", FormatDouble(value, 4));
+}
+
+void ArchiveCsv(const TextTable& table, const std::string& name) {
+  if (!EnsureDirectory(ResultsDir()).ok()) return;
+  const std::string path = StrCat(ResultsDir(), "/", name, ".csv");
+  Status status = table.WriteCsv(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
+  } else {
+    std::printf("[archived %s]\n", path.c_str());
+  }
+}
+
+namespace {
+
+// Verdict policy: group B curves are flat left of 0 (paper Fig. 3), so a
+// best point within this tolerance of p = 0 counts as "conventional".
+constexpr double kFlatTolerance = 0.02;
+
+bool VerdictMatches(ApplicationGroup group, const CorrelationPoint& best,
+                    const CorrelationPoint& conventional) {
+  switch (group) {
+    case ApplicationGroup::kPenalizationHelps:
+      return best.p > 0.0 &&
+             best.correlation > conventional.correlation + kFlatTolerance;
+    case ApplicationGroup::kConventionalIdeal:
+      return best.correlation <= conventional.correlation + kFlatTolerance;
+    case ApplicationGroup::kBoostingHelps:
+      return best.p <= 0.0;
+  }
+  return false;
+}
+
+}  // namespace
+
+int RunGroupPSweepFigure(ApplicationGroup group, const std::string& title,
+                         const std::string& paper_ref,
+                         const std::string& csv_name) {
+  PrintHeader(title, paper_ref);
+  const RegistryOptions options = BenchRegistryOptions();
+  const std::vector<double> grid = PaperPGrid();
+
+  std::vector<std::string> headers{"p"};
+  std::vector<std::vector<CorrelationPoint>> all_series;
+  std::vector<DataGraph> graphs;
+  for (PaperGraphId id : GraphsInGroup(group)) {
+    graphs.push_back(LoadGraph(id, options));
+    headers.push_back(graphs.back().name);
+  }
+
+  int exit_code = 0;
+  for (DataGraph& data : graphs) {
+    Timer timer;
+    auto series = CorrelationPSweep(data.unweighted, data.significance,
+                                    grid, BenchOptions());
+    if (!series.ok()) {
+      std::fprintf(stderr, "%s: %s\n", data.name.c_str(),
+                   series.status().ToString().c_str());
+      return 1;
+    }
+    all_series.push_back(std::move(series).value());
+    const auto& s = all_series.back();
+    const CorrelationPoint best = BestPoint(s);
+    const CorrelationPoint conventional = ConventionalPoint(s);
+    const bool matches = VerdictMatches(group, best, conventional);
+    std::printf(
+        "%-30s best p = %+.1f (corr %s); conventional p=0 corr %s -> %s "
+        "[%.1fs]\n",
+        data.name.c_str(), best.p, FormatCorr(best.correlation).c_str(),
+        FormatCorr(conventional.correlation).c_str(),
+        matches ? "matches expected group" : "MISMATCH",
+        timer.ElapsedSeconds());
+    if (!matches) exit_code = 1;
+  }
+  std::printf("\nExpected regime: %s\n\n",
+              std::string(GroupLabel(group)).c_str());
+
+  TextTable table(headers);
+  for (size_t i = 0; i < grid.size(); ++i) {
+    std::vector<std::string> row{FormatDouble(grid[i], 1)};
+    for (const auto& series : all_series) {
+      row.push_back(FormatCorr(series[i].correlation));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  ArchiveCsv(table, csv_name);
+  return exit_code;
+}
+
+namespace {
+
+int RunGroupSurfaceFigure(ApplicationGroup group, const std::string& title,
+                          const std::string& paper_ref,
+                          const std::string& csv_name, bool sweep_beta) {
+  PrintHeader(title, paper_ref);
+  const RegistryOptions options = BenchRegistryOptions();
+  const std::vector<double> grid = PaperPGrid();
+  const std::vector<double> outer =
+      sweep_beta ? PaperBetaGrid() : PaperAlphaGrid();
+  const char* outer_name = sweep_beta ? "beta" : "alpha";
+
+  TextTable archive({"graph", outer_name, "p", "correlation"});
+  for (PaperGraphId id : GraphsInGroup(group)) {
+    DataGraph data = LoadGraph(id, options);
+    const CsrGraph& graph = sweep_beta ? data.weighted : data.unweighted;
+    auto surface =
+        sweep_beta
+            ? CorrelationBetaPSweep(graph, data.significance, outer, grid,
+                                    BenchOptions())
+            : CorrelationAlphaPSweep(graph, data.significance, outer, grid,
+                                     BenchOptions());
+    if (!surface.ok()) {
+      std::fprintf(stderr, "%s: %s\n", data.name.c_str(),
+                   surface.status().ToString().c_str());
+      return 1;
+    }
+
+    std::printf("--- %s (%s)%s\n", data.name.c_str(),
+                std::string(GroupLabel(data.expected_group)).c_str(),
+                sweep_beta
+                    ? StrCat("  [edge weight: ", data.weight_semantics, "]")
+                          .c_str()
+                    : "");
+    std::vector<std::string> headers{"p"};
+    for (double value : outer) {
+      headers.push_back(StrCat(outer_name, "=", FormatGeneral(value, 3)));
+    }
+    TextTable table(headers);
+    for (size_t i = 0; i < grid.size(); ++i) {
+      std::vector<std::string> row{FormatDouble(grid[i], 1)};
+      for (size_t k = 0; k < outer.size(); ++k) {
+        const double corr = surface->series[k][i].correlation;
+        row.push_back(FormatCorr(corr));
+        archive.AddRow({data.name, FormatGeneral(outer[k], 3),
+                        FormatDouble(grid[i], 1), FormatCorr(corr)});
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s\n", table.ToString().c_str());
+    // Per-outer-value verdicts.
+    for (size_t k = 0; k < outer.size(); ++k) {
+      const CorrelationPoint best = BestPoint(surface->series[k]);
+      std::printf("  %s = %-5s best p = %+.1f (corr %s)\n", outer_name,
+                  FormatGeneral(outer[k], 3).c_str(), best.p,
+                  FormatCorr(best.correlation).c_str());
+    }
+    std::printf("\n");
+  }
+  ArchiveCsv(archive, csv_name);
+  return 0;
+}
+
+}  // namespace
+
+int RunGroupAlphaFigure(ApplicationGroup group, const std::string& title,
+                        const std::string& paper_ref,
+                        const std::string& csv_name) {
+  return RunGroupSurfaceFigure(group, title, paper_ref, csv_name,
+                               /*sweep_beta=*/false);
+}
+
+int RunGroupBetaFigure(ApplicationGroup group, const std::string& title,
+                       const std::string& paper_ref,
+                       const std::string& csv_name) {
+  return RunGroupSurfaceFigure(group, title, paper_ref, csv_name,
+                               /*sweep_beta=*/true);
+}
+
+}  // namespace bench
+}  // namespace d2pr

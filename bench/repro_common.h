@@ -1,0 +1,59 @@
+// Shared plumbing for the table/figure reproduction binaries.
+//
+// Every repro_* binary prints the paper-style rows to stdout and archives
+// the same data as CSV under results/. Graph scale is controlled by the
+// D2PR_SCALE environment variable (default 1.0).
+
+#ifndef D2PR_BENCH_REPRO_COMMON_H_
+#define D2PR_BENCH_REPRO_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/dataset_registry.h"
+#include "eval/experiment.h"
+#include "eval/table_writer.h"
+
+namespace d2pr {
+namespace bench {
+
+/// \brief Registry options honoring D2PR_SCALE.
+RegistryOptions BenchRegistryOptions();
+
+/// \brief Prints a banner with the experiment name and scale.
+void PrintHeader(const std::string& title, const std::string& paper_ref);
+
+/// \brief Loads one graph or dies with a diagnostic.
+DataGraph LoadGraph(PaperGraphId id, const RegistryOptions& options);
+
+/// \brief Runs the p-sweep figure for one application group (the layout of
+/// the paper's Figures 2-4): per graph, the correlation-vs-p series plus a
+/// verdict line comparing best p against the conventional p = 0.
+///
+/// Archives results/<csv_name>.csv. Returns process exit code (0 = every
+/// graph matched its expected regime).
+int RunGroupPSweepFigure(ApplicationGroup group, const std::string& title,
+                         const std::string& paper_ref,
+                         const std::string& csv_name);
+
+/// \brief Runs the alpha × p surface for one group (Figures 6-8 layout).
+int RunGroupAlphaFigure(ApplicationGroup group, const std::string& title,
+                        const std::string& paper_ref,
+                        const std::string& csv_name);
+
+/// \brief Runs the beta × p surface on weighted graphs (Figures 9-11).
+int RunGroupBetaFigure(ApplicationGroup group, const std::string& title,
+                       const std::string& paper_ref,
+                       const std::string& csv_name);
+
+/// \brief Formats a correlation for table cells ("+0.1234").
+std::string FormatCorr(double value);
+
+/// \brief Writes a table to results/<name>.csv (best effort; prints a
+/// warning on failure).
+void ArchiveCsv(const TextTable& table, const std::string& name);
+
+}  // namespace bench
+}  // namespace d2pr
+
+#endif  // D2PR_BENCH_REPRO_COMMON_H_

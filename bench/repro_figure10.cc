@@ -1,0 +1,16 @@
+// Figure 10: beta x p on weighted graphs for application Group B. Paper
+// shape: emphasis on degree de-coupling (beta ≈ 0) with p ≈ 0 performs
+// well; the movie-movie graph peaks slightly right of 0 (mild penalization
+// helps when edge weights count shared actors).
+
+#include "datagen/dataset_registry.h"
+#include "repro_common.h"
+
+int main() {
+  return d2pr::bench::RunGroupBetaFigure(
+      d2pr::ApplicationGroup::kConventionalIdeal,
+      "Figure 10: beta x p interplay on weighted graphs (Group B)",
+      "Figure 10(a)-(b): weighted graphs, beta in {0, .25, .5, .75, 1}, "
+      "alpha = 0.85",
+      "figure10");
+}

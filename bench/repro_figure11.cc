@@ -1,0 +1,17 @@
+// Figure 11: beta x p on weighted graphs for application Group C. Paper
+// shape: connection strength alone (beta = 1) is good but not best — the
+// highest overall correlations come from beta in {0, 0.25} with boosting
+// (p <= 0), i.e. degree de-coupling is useful even where degree is
+// informative.
+
+#include "datagen/dataset_registry.h"
+#include "repro_common.h"
+
+int main() {
+  return d2pr::bench::RunGroupBetaFigure(
+      d2pr::ApplicationGroup::kBoostingHelps,
+      "Figure 11: beta x p interplay on weighted graphs (Group C)",
+      "Figure 11(a)-(c): weighted graphs, beta in {0, .25, .5, .75, 1}, "
+      "alpha = 0.85",
+      "figure11");
+}

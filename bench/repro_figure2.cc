@@ -1,0 +1,16 @@
+// Figure 2, application Group A: actor-actor, commenter-commenter and
+// product-product graphs, where degree *penalization* (p > 0) maximizes the
+// correlation between D2PR ranks and node significance. Paper shape: peak
+// at moderate positive p; product-product is negative at p = 0 and stays
+// high when over-penalized.
+
+#include "datagen/dataset_registry.h"
+#include "repro_common.h"
+
+int main() {
+  return d2pr::bench::RunGroupPSweepFigure(
+      d2pr::ApplicationGroup::kPenalizationHelps,
+      "Figure 2: correlation of D2PR ranks and node significance (Group A)",
+      "Figure 2(a)-(c): unweighted graphs, alpha = 0.85, p in [-4, 4]",
+      "figure2");
+}

@@ -1,0 +1,15 @@
+// Figure 3, application Group B: author-author and movie-movie graphs,
+// where conventional PageRank (p = 0) is already the right measure. Paper
+// shape: peak at p = 0, quick deterioration once p > 0.5, and a drop for
+// p < 0 explained by the low neighbor-degree spread (Table 3).
+
+#include "datagen/dataset_registry.h"
+#include "repro_common.h"
+
+int main() {
+  return d2pr::bench::RunGroupPSweepFigure(
+      d2pr::ApplicationGroup::kConventionalIdeal,
+      "Figure 3: correlation of D2PR ranks and node significance (Group B)",
+      "Figure 3(a)-(b): unweighted graphs, alpha = 0.85, p in [-4, 4]",
+      "figure3");
+}

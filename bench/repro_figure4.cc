@@ -1,0 +1,16 @@
+// Figure 4, application Group C: article-article, listener-listener and
+// artist-artist graphs, where degree *boosting* (p < 0) helps. Paper
+// shape: peak around p ≈ -1 with a stable plateau for p < 0 (each node has
+// a dominant high-degree neighbor; see Table 3's last column), and a steep
+// collapse once degrees are penalized.
+
+#include "datagen/dataset_registry.h"
+#include "repro_common.h"
+
+int main() {
+  return d2pr::bench::RunGroupPSweepFigure(
+      d2pr::ApplicationGroup::kBoostingHelps,
+      "Figure 4: correlation of D2PR ranks and node significance (Group C)",
+      "Figure 4(a)-(c): unweighted graphs, alpha = 0.85, p in [-4, 4]",
+      "figure4");
+}

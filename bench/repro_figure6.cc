@@ -1,0 +1,17 @@
+// Figure 6: relationship between alpha and p for application Group A
+// (degree penalization helps). Paper shape: for actor-actor and
+// commenter-commenter, *lower* alpha gives the highest correlations at the
+// optimal p ≈ 0.5, but when degrees are over-penalized (p >> 0.5) higher
+// alpha wins; product-product instead benefits from long walks (high
+// alpha) throughout.
+
+#include "datagen/dataset_registry.h"
+#include "repro_common.h"
+
+int main() {
+  return d2pr::bench::RunGroupAlphaFigure(
+      d2pr::ApplicationGroup::kPenalizationHelps,
+      "Figure 6: alpha x p interplay (Group A)",
+      "Figure 6(a)-(c): unweighted graphs, alpha in {0.5, 0.7, 0.85, 0.9}",
+      "figure6");
+}

@@ -1,0 +1,16 @@
+// Figure 7: relationship between alpha and p for application Group B
+// (conventional PageRank ideal). Paper shape: larger alpha gives the best
+// correlation near p = 0; at extreme |p| the ordering flips and smaller
+// alpha becomes preferable (the distorted walk is worse than random
+// jumps).
+
+#include "datagen/dataset_registry.h"
+#include "repro_common.h"
+
+int main() {
+  return d2pr::bench::RunGroupAlphaFigure(
+      d2pr::ApplicationGroup::kConventionalIdeal,
+      "Figure 7: alpha x p interplay (Group B)",
+      "Figure 7(a)-(b): unweighted graphs, alpha in {0.5, 0.7, 0.85, 0.9}",
+      "figure7");
+}

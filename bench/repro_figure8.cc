@@ -1,0 +1,15 @@
+// Figure 8: relationship between alpha and p for application Group C
+// (degree boosting helps). Paper shape: larger alpha (longer walks) gives
+// the highest correlations for p < 0; around p ≈ 0.5 the alpha curves
+// cross and smaller alpha wins in the over-penalized regime.
+
+#include "datagen/dataset_registry.h"
+#include "repro_common.h"
+
+int main() {
+  return d2pr::bench::RunGroupAlphaFigure(
+      d2pr::ApplicationGroup::kBoostingHelps,
+      "Figure 8: alpha x p interplay (Group C)",
+      "Figure 8(a)-(c): unweighted graphs, alpha in {0.5, 0.7, 0.85, 0.9}",
+      "figure8");
+}

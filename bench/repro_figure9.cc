@@ -1,0 +1,16 @@
+// Figure 9: relationship between beta and p on *weighted* graphs for
+// application Group A. Paper shape: degree penalization (beta < 1) beats
+// pure connection strength (beta = 1), and the more weight is given to
+// connection strength, the larger the optimal p.
+
+#include "datagen/dataset_registry.h"
+#include "repro_common.h"
+
+int main() {
+  return d2pr::bench::RunGroupBetaFigure(
+      d2pr::ApplicationGroup::kPenalizationHelps,
+      "Figure 9: beta x p interplay on weighted graphs (Group A)",
+      "Figure 9(a)-(c): weighted graphs, beta in {0, .25, .5, .75, 1}, "
+      "alpha = 0.85",
+      "figure9");
+}

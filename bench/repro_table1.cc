@@ -1,0 +1,59 @@
+// Table 1: Spearman's rank correlation between node degree ranks and
+// PageRank ranks. The paper reports 0.988 (listener graph), 0.997 (article
+// graph), 0.848 (movie graph) — the "tight coupling" motivating D2PR.
+// We print all eight graphs; the paper's three come first.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "core/d2pr.h"
+#include "eval/table_writer.h"
+#include "graph/graph_stats.h"
+#include "repro_common.h"
+#include "stats/correlation.h"
+
+namespace d2pr {
+namespace bench {
+namespace {
+
+int Run() {
+  PrintHeader("Table 1: PageRank-degree rank correlation",
+              "Table 1 (paper values: listener 0.988, article 0.997, "
+              "movie 0.848)");
+  const RegistryOptions options = BenchRegistryOptions();
+
+  TextTable table({"data graph", "Spearman(PageRank, degree)"});
+  const std::vector<PaperGraphId> paper_order{
+      PaperGraphId::kLastfmListenerListener,
+      PaperGraphId::kDblpArticleArticle,
+      PaperGraphId::kImdbMovieMovie,
+      PaperGraphId::kImdbActorActor,
+      PaperGraphId::kDblpAuthorAuthor,
+      PaperGraphId::kLastfmArtistArtist,
+      PaperGraphId::kEpinionsCommenterCommenter,
+      PaperGraphId::kEpinionsProductProduct,
+  };
+  for (PaperGraphId id : paper_order) {
+    DataGraph data = LoadGraph(id, options);
+    auto pagerank = ComputeConventionalPagerank(data.unweighted, 0.85);
+    if (!pagerank.ok()) {
+      std::fprintf(stderr, "%s\n", pagerank.status().ToString().c_str());
+      return 1;
+    }
+    const double corr = SpearmanCorrelation(
+        pagerank->scores, DegreesAsDoubles(data.unweighted));
+    table.AddRow({data.name, FormatDouble(corr, 3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Shape check: every correlation should be high (paper: 0.85-0.997),\n"
+      "demonstrating the degree-PageRank coupling D2PR de-couples.\n\n");
+  ArchiveCsv(table, "table1");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace d2pr
+
+int main() { return d2pr::bench::Run(); }

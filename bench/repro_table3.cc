@@ -1,0 +1,47 @@
+// Table 3: data sets and data graphs — nodes, edges, average degree,
+// standard deviation of node degrees, and the median standard deviation of
+// neighbors' node degrees (the column the paper uses to explain the
+// stability of the p < 0 regime).
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "eval/table_writer.h"
+#include "graph/graph_stats.h"
+#include "repro_common.h"
+
+namespace d2pr {
+namespace bench {
+namespace {
+
+int Run() {
+  PrintHeader("Table 3: data sets and data graphs",
+              "Table 3 (synthetic analogs at reduced scale; same columns)");
+  const RegistryOptions options = BenchRegistryOptions();
+
+  TextTable table({"data graph", "nodes", "edges", "avg degree",
+                   "stddev degree", "median stddev of nbr degrees"});
+  for (PaperGraphId id : AllPaperGraphIds()) {
+    DataGraph data = LoadGraph(id, options);
+    const GraphStats stats = ComputeGraphStats(data.unweighted);
+    table.AddRow({data.name, FormatWithCommas(stats.num_nodes),
+                  FormatWithCommas(stats.num_edges),
+                  FormatDouble(stats.avg_degree, 2),
+                  FormatDouble(stats.stddev_degree, 2),
+                  FormatDouble(stats.median_neighbor_degree_stddev, 2)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Shape check (paper Table 3): graphs in the p < 0 group\n"
+      "(article-article, artist-artist) carry high neighbor-degree spread\n"
+      "(a dominant high-degree neighbor), while the p = 0 group\n"
+      "(author-author, movie-movie) is comparatively homogeneous.\n\n");
+  ArchiveCsv(table, "table3");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace d2pr
+
+int main() { return d2pr::bench::Run(); }

@@ -1,0 +1,78 @@
+// Citation ranking with automatic de-coupling tuning.
+//
+// Builds the DBLP-like article graph (Group C: citations grow with author
+// count, so degree is genuinely informative), then:
+//   1. auto-tunes the de-coupling weight p against held-out citations,
+//   2. compares D2PR at the tuned p with the baselines the paper cites:
+//      degree centrality, equal-opportunity PageRank [2], and the
+//      degree-biased walk [11].
+//
+//   $ ./build/examples/citation_ranking
+
+#include <cstdio>
+
+#include "core/baselines.h"
+#include "core/tuner.h"
+#include "datagen/dataset_registry.h"
+#include "stats/correlation.h"
+
+int main() {
+  using namespace d2pr;
+
+  RegistryOptions options;
+  options.scale = 0.5;
+  auto data = MakePaperGraph(PaperGraphId::kDblpArticleArticle, options);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const CsrGraph& graph = data->unweighted;
+  std::printf("Article graph: %d articles, %lld co-author edges\n\n",
+              graph.num_nodes(),
+              static_cast<long long>(graph.num_edges()));
+
+  // 1. Auto-tune p.
+  TuneOptions tune_options;
+  tune_options.p_min = -4.0;
+  tune_options.p_max = 4.0;
+  auto tuned = TuneDecouplingWeight(graph, data->significance, tune_options);
+  if (!tuned.ok()) {
+    std::fprintf(stderr, "%s\n", tuned.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Auto-tuned de-coupling: p* = %+.2f  (Spearman %.4f, %zu "
+              "evaluations)\n\n",
+              tuned->best_p, tuned->best_correlation,
+              tuned->evaluated.size());
+
+  // 2. Baselines.
+  auto report = [&](const char* name, const std::vector<double>& scores) {
+    std::printf("  %-32s Spearman vs citations: %+.4f\n", name,
+                SpearmanCorrelation(scores, data->significance));
+  };
+  report("degree centrality", DegreeCentralityScores(graph));
+
+  auto conventional = ComputeConventionalPagerank(graph);
+  if (!conventional.ok()) return 1;
+  report("conventional PageRank (p=0)", conventional->scores);
+
+  auto equal_opportunity = EqualOpportunityPagerank(graph);
+  if (!equal_opportunity.ok()) return 1;
+  report("equal-opportunity PageRank [2]", equal_opportunity->scores);
+
+  auto degree_biased = DegreeBiasedWalkScores(graph);
+  if (!degree_biased.ok()) return 1;
+  report("degree-biased walk [11] (p=-1)", degree_biased->scores);
+
+  D2prOptions best;
+  best.p = tuned->best_p;
+  auto d2pr_best = ComputeD2pr(graph, best);
+  if (!d2pr_best.ok()) return 1;
+  report("D2PR at tuned p*", d2pr_best->scores);
+
+  std::printf(
+      "\nThis is a Group C application: citations reward visibility, so\n"
+      "the tuned p* is <= 0 (degree boosting) and low-degree-boosting\n"
+      "baselines underperform.\n");
+  return tuned->best_p <= 0.0 ? 0 : 1;
+}

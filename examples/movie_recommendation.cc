@@ -1,0 +1,91 @@
+// Movie-world recommendation: the paper's motivating Example 1.
+//
+// Generates a synthetic movie industry with the cost-budget mechanism
+// (good movies cost actors more effort, so discriminating "A-movie" actors
+// appear in few films), builds the actor-actor co-star graph, and contrasts
+// the actors surfaced by conventional PageRank against degree de-coupled
+// PageRank. Ground truth (average quality of an actor's movies) decides
+// which ranking is better.
+//
+//   $ ./build/examples/movie_recommendation
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/d2pr.h"
+#include "datagen/bipartite_world.h"
+#include "datagen/projection.h"
+#include "datagen/significance.h"
+#include "stats/correlation.h"
+#include "stats/ranking.h"
+
+int main() {
+  using namespace d2pr;
+
+  // A small movie industry: 1200 actors, 600 movies. Prestigious movies
+  // cost up to 4.5x the effort of B-movies.
+  BipartiteWorldConfig config;
+  config.num_members = 1200;   // actors
+  config.num_venues = 600;     // movies
+  config.venue_size_min = 2;
+  config.venue_size_max = 10;
+  config.affinity = 5.0;       // casting is quality-assortative
+  config.cost_base = 1.0;
+  config.cost_quality_slope = 3.5;
+  config.budget_mean = 10.0;
+  config.budget_sigma = 0.4;
+  config.seed = 20160315;      // the workshop date
+  auto world = GenerateBipartiteWorld(config);
+  if (!world.ok()) {
+    std::fprintf(stderr, "%s\n", world.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Generated %lld movie castings across %d movies, %d actors\n",
+              static_cast<long long>(world->TotalMemberships()),
+              config.num_venues, config.num_members);
+
+  // Actor-actor co-star graph, weighted by number of shared movies.
+  ProjectionConfig projection;
+  projection.weighted = true;
+  auto graph = ProjectMembers(*world, projection);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Co-star graph: %d actors, %lld edges\n\n",
+              graph->num_nodes(),
+              static_cast<long long>(graph->num_edges()));
+
+  // Ground truth significance: average rating of the movies acted in.
+  Rng noise(7);
+  const std::vector<double> significance =
+      AvgVenueQualitySignificance(*world, /*noise_sigma=*/0.05, &noise);
+
+  // Rank actors at several de-coupling weights.
+  std::printf("%-8s  %-22s  %s\n", "p", "Spearman(D2PR, rating)",
+              "mean #movies of top-10 actors");
+  double best_corr = -2.0, best_p = 0.0;
+  for (double p : {-1.0, 0.0, 0.5, 1.0, 2.0}) {
+    auto ranked = ComputeD2pr(*graph, {.p = p, .beta = 0.0});
+    if (!ranked.ok()) return 1;
+    const double corr = SpearmanCorrelation(ranked->scores, significance);
+    const std::vector<NodeId> top = TopK(ranked->scores, 10);
+    double movies = 0.0;
+    for (NodeId actor : top) {
+      movies += static_cast<double>(
+          world->member_venues[static_cast<size_t>(actor)].size());
+    }
+    std::printf("%+.1f      %+.4f                %22.1f\n", p, corr,
+                movies / 10.0);
+    if (corr > best_corr) {
+      best_corr = corr;
+      best_p = p;
+    }
+  }
+  std::printf(
+      "\nBest correlation at p = %+.1f: penalizing prolific co-star "
+      "counts\nsurfaces discriminating actors, exactly the paper's "
+      "Example 1.\n",
+      best_p);
+  return best_p > 0.0 ? 0 : 1;
+}

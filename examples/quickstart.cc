@@ -1,0 +1,65 @@
+// Quickstart: build a small graph, compute conventional PageRank and
+// degree de-coupled PageRank (D2PR), and compare the rankings.
+//
+//   $ ./build/examples/quickstart
+//
+// The graph is the paper's Figure 1 example extended with a hub: node H
+// connects to everything. Conventional PageRank puts the hub first; with
+// degree penalization (p = 1) the hub drops and quieter nodes surface.
+
+#include <cstdio>
+
+#include "core/d2pr.h"
+#include "graph/graph_builder.h"
+#include "stats/ranking.h"
+
+int main() {
+  using namespace d2pr;
+
+  // Nodes: A=0 B=1 C=2 D=3 E=4 F=5 H=6 (hub).
+  const char* names[] = {"A", "B", "C", "D", "E", "F", "H"};
+  GraphBuilder builder(7, GraphKind::kUndirected);
+  const std::pair<NodeId, NodeId> edges[] = {
+      {0, 1}, {0, 2}, {0, 3}, {1, 4}, {2, 4}, {2, 5},
+      {6, 0}, {6, 1}, {6, 2}, {6, 3}, {6, 4}, {6, 5},  // hub H
+  };
+  for (auto [u, v] : edges) {
+    Status status = builder.AddEdge(u, v);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  auto graph = builder.Build();
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  // Conventional PageRank is D2PR with p = 0.
+  auto conventional = ComputeConventionalPagerank(*graph, /*alpha=*/0.85);
+  // Degree de-coupled: penalize high-degree destinations.
+  auto decoupled = ComputeD2pr(*graph, {.p = 1.0, .alpha = 0.85});
+  if (!conventional.ok() || !decoupled.ok()) {
+    std::fprintf(stderr, "ranking failed\n");
+    return 1;
+  }
+
+  std::printf("node  degree  PageRank(p=0)  rank   D2PR(p=1)  rank\n");
+  const auto rank0 = OrdinalRanks(conventional->scores);
+  const auto rank1 = OrdinalRanks(decoupled->scores);
+  for (NodeId v = 0; v < graph->num_nodes(); ++v) {
+    std::printf("  %s   %6lld   %12.4f  %4lld  %10.4f  %4lld\n", names[v],
+                static_cast<long long>(graph->OutDegree(v)),
+                conventional->scores[v], static_cast<long long>(rank0[v]),
+                decoupled->scores[v], static_cast<long long>(rank1[v]));
+  }
+  std::printf(
+      "\nThe hub H tops conventional PageRank; with p = 1 the walk avoids\n"
+      "high-degree destinations and H falls in the ranking.\n");
+  std::printf("(solver: %d and %d iterations, converged: %s/%s)\n",
+              conventional->iterations, decoupled->iterations,
+              conventional->converged ? "yes" : "no",
+              decoupled->converged ? "yes" : "no");
+  return 0;
+}

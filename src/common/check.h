@@ -1,0 +1,66 @@
+// D2PR_CHECK: fatal assertions for programming errors (contract violations).
+//
+// Unlike Status (expected, recoverable failures), a failed check indicates a
+// bug in the calling code; it prints a diagnostic and aborts. Checks are
+// active in all build types: graph analytics bugs silently corrupt rankings,
+// so we keep the guard rails in release builds too (the hot loops avoid
+// per-element checks).
+
+#ifndef D2PR_COMMON_CHECK_H_
+#define D2PR_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace d2pr {
+namespace internal {
+
+/// \brief Accumulates a failure message and aborts on destruction.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace d2pr
+
+#define D2PR_CHECK(condition)                                         \
+  if (condition) {                                                    \
+  } else /* NOLINT */                                                 \
+    ::d2pr::internal::CheckFailureStream(#condition, __FILE__, __LINE__)
+
+#define D2PR_CHECK_EQ(a, b) D2PR_CHECK((a) == (b))
+#define D2PR_CHECK_NE(a, b) D2PR_CHECK((a) != (b))
+#define D2PR_CHECK_LT(a, b) D2PR_CHECK((a) < (b))
+#define D2PR_CHECK_LE(a, b) D2PR_CHECK((a) <= (b))
+#define D2PR_CHECK_GT(a, b) D2PR_CHECK((a) > (b))
+#define D2PR_CHECK_GE(a, b) D2PR_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define D2PR_DCHECK(condition) D2PR_CHECK(condition)
+#else
+#define D2PR_DCHECK(condition) \
+  if (true) {                  \
+  } else /* NOLINT */          \
+    ::d2pr::internal::CheckFailureStream(#condition, __FILE__, __LINE__)
+#endif
+
+#endif  // D2PR_COMMON_CHECK_H_

@@ -1,0 +1,83 @@
+#include "common/flags.h"
+
+#include "common/string_util.h"
+
+namespace d2pr {
+
+Result<Flags> Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      value = argv[++i];
+    }
+    if (name.empty()) {
+      return Status::InvalidArgument(StrCat("malformed flag: ", arg));
+    }
+    flags.values_[name] = value;
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+Result<double> Flags::GetDouble(const std::string& name,
+                                double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  double value = 0.0;
+  if (!ParseDouble(it->second, &value)) {
+    return Status::InvalidArgument(
+        StrCat("--", name, " expects a number, got '", it->second, "'"));
+  }
+  return value;
+}
+
+Result<int64_t> Flags::GetInt(const std::string& name,
+                              int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  int64_t value = 0;
+  if (!ParseInt64(it->second, &value)) {
+    return Status::InvalidArgument(
+        StrCat("--", name, " expects an integer, got '", it->second, "'"));
+  }
+  return value;
+}
+
+Result<bool> Flags::GetBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& value = it->second;
+  if (value.empty() || value == "true" || value == "1") return true;
+  if (value == "false" || value == "0") return false;
+  return Status::InvalidArgument(
+      StrCat("--", name, " expects a boolean, got '", value, "'"));
+}
+
+std::vector<std::string> Flags::FlagNames() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [name, value] : values_) names.push_back(name);
+  return names;
+}
+
+}  // namespace d2pr

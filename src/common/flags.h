@@ -1,0 +1,54 @@
+// Minimal command-line flag parsing for the CLI tools.
+//
+// Supports "--name=value", "--name value", and bare boolean "--name".
+// Unrecognized positional arguments are collected in order.
+
+#ifndef D2PR_COMMON_FLAGS_H_
+#define D2PR_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace d2pr {
+
+/// \brief Parsed command line.
+class Flags {
+ public:
+  /// Parses argv (excluding argv[0]). Returns InvalidArgument on malformed
+  /// input such as "--=x".
+  static Result<Flags> Parse(int argc, const char* const* argv);
+
+  /// True if --name was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// String value of --name, or `fallback` when absent.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const;
+
+  /// Numeric accessors; return InvalidArgument when present but
+  /// unparseable.
+  Result<double> GetDouble(const std::string& name, double fallback) const;
+  Result<int64_t> GetInt(const std::string& name, int64_t fallback) const;
+
+  /// Boolean: absent -> fallback; bare flag or "true"/"1" -> true;
+  /// "false"/"0" -> false.
+  Result<bool> GetBool(const std::string& name, bool fallback) const;
+
+  /// Arguments that were not flags, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names of all flags seen (for unknown-flag diagnostics).
+  std::vector<std::string> FlagNames() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace d2pr
+
+#endif  // D2PR_COMMON_FLAGS_H_

@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <cstring>
+
+namespace d2pr {
+
+LogLevel& GlobalLogLevel() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+namespace internal {
+
+namespace {
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+}  // namespace
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= GlobalLogLevel()) {
+  if (enabled_) {
+    stream_ << "[" << LogLevelName(level) << " " << Basename(file) << ":"
+            << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+  }
+}
+
+}  // namespace internal
+}  // namespace d2pr

@@ -1,0 +1,51 @@
+// Minimal leveled logging to stderr.
+//
+// Usage: D2PR_LOG(INFO) << "built graph with " << n << " nodes";
+// The global level defaults to kInfo and can be lowered to silence output
+// in tests or raised for debugging.
+
+#ifndef D2PR_COMMON_LOGGING_H_
+#define D2PR_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace d2pr {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Returns the mutable global minimum level; messages below it are
+/// discarded.
+LogLevel& GlobalLogLevel();
+
+/// \brief Short tag ("DEBUG", "INFO", ...) for a level.
+const char* LogLevelName(LogLevel level);
+
+namespace internal {
+
+/// \brief Buffers one log record and flushes it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace d2pr
+
+#define D2PR_LOG(severity)                                        \
+  ::d2pr::internal::LogMessage(::d2pr::LogLevel::k##severity,     \
+                               __FILE__, __LINE__)
+
+#endif  // D2PR_COMMON_LOGGING_H_

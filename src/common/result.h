@@ -1,0 +1,80 @@
+// Result<T>: value-or-Status, the library's exception-free return channel
+// for fallible operations that produce a value.
+
+#ifndef D2PR_COMMON_RESULT_H_
+#define D2PR_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace d2pr {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Accessing the value of an errored Result is a checked programming error
+/// (process aborts with a diagnostic). Use ok() / status() to branch.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit for ergonomic returns).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error. `status.ok()` must be false.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    D2PR_CHECK(!std::get<Status>(repr_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the status: OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Returns the held value; aborts if this Result holds an error.
+  const T& value() const& {
+    D2PR_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    D2PR_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    D2PR_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value or `fallback` when errored.
+  T value_or(T fallback) const& { return ok() ? value() : fallback; }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace d2pr
+
+#define D2PR_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define D2PR_INTERNAL_CONCAT(a, b) D2PR_INTERNAL_CONCAT_IMPL(a, b)
+
+#define D2PR_INTERNAL_ASSIGN_OR_RETURN(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+/// \brief Assigns the value of a Result expression to `lhs`, or returns its
+/// error status from the enclosing function.
+#define D2PR_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  D2PR_INTERNAL_ASSIGN_OR_RETURN(                                         \
+      D2PR_INTERNAL_CONCAT(_d2pr_res_, __LINE__), lhs, expr)
+
+#endif  // D2PR_COMMON_RESULT_H_

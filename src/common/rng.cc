@@ -1,0 +1,58 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace d2pr {
+
+double Rng::Gamma(double shape, double scale) {
+  D2PR_CHECK_GT(shape, 0.0);
+  D2PR_CHECK_GT(scale, 0.0);
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+    double u;
+    do {
+      u = Uniform();
+    } while (u == 0.0);
+    return Gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia & Tsang squeeze method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = Normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = Uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return scale * d * v;
+    if (u > 0.0 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return scale * d * v;
+    }
+  }
+}
+
+int64_t Rng::Poisson(double mean) {
+  D2PR_CHECK_GE(mean, 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's product-of-uniforms method.
+    const double limit = std::exp(-mean);
+    int64_t count = -1;
+    double product = 1.0;
+    do {
+      ++count;
+      product *= Uniform();
+    } while (product > limit);
+    return count;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // synthetic-workload sizes used here (mean >= 30).
+  double draw = Normal(mean, std::sqrt(mean));
+  if (draw < 0.0) return 0;
+  return static_cast<int64_t>(draw + 0.5);
+}
+
+}  // namespace d2pr

@@ -1,0 +1,107 @@
+// Status: lightweight error-reporting value type (RocksDB-style).
+//
+// The library does not use C++ exceptions. Fallible operations return a
+// Status (or a Result<T>, see result.h) that callers must inspect. A Status
+// is cheap to construct in the OK case (no allocation) and carries a code
+// plus a human-readable message otherwise.
+
+#ifndef D2PR_COMMON_STATUS_H_
+#define D2PR_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace d2pr {
+
+/// \brief Canonical error codes used across the library.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kIoError = 6,
+  kNotImplemented = 7,
+  kInternal = 8,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Value type describing the outcome of a fallible operation.
+///
+/// An OK status stores no state beyond the code; error statuses carry a
+/// heap-allocated message. Statuses are cheaply movable and copyable.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code),
+        message_(code == StatusCode::kOk
+                     ? nullptr
+                     : std::make_shared<std::string>(std::move(message))) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+
+  /// Returns the error message, or an empty string for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return message_ ? *message_ : kEmpty;
+  }
+
+  /// Returns "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message() == other.message();
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  StatusCode code_;
+  std::shared_ptr<const std::string> message_;
+};
+
+}  // namespace d2pr
+
+/// \brief Returns early with the given status if it is not OK.
+#define D2PR_RETURN_NOT_OK(expr)              \
+  do {                                        \
+    ::d2pr::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+#endif  // D2PR_COMMON_STATUS_H_

@@ -1,0 +1,94 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace d2pr {
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return std::string(buf);
+}
+
+std::string FormatGeneral(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+  return std::string(buf);
+}
+
+std::string FormatWithCommas(int64_t value) {
+  std::string digits = std::to_string(value < 0 ? -value : value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  if (value < 0) out.push_back('-');
+  size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  out.append(digits, 0, lead);
+  for (size_t i = lead; i < digits.size(); i += 3) {
+    out.push_back(',');
+    out.append(digits, i, 3);
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view text, char delim) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delim) {
+      fields.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string Pad(std::string_view text, int width) {
+  size_t target = static_cast<size_t>(width < 0 ? -width : width);
+  if (text.size() >= target) return std::string(text);
+  std::string pad(target - text.size(), ' ');
+  return width < 0 ? pad + std::string(text) : std::string(text) + pad;
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  text = StripWhitespace(text);
+  if (text.empty()) return false;
+  // std::from_chars for double is available in gcc 11+.
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool ParseInt64(std::string_view text, int64_t* out) {
+  text = StripWhitespace(text);
+  if (text.empty()) return false;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace d2pr

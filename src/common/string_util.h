@@ -1,0 +1,52 @@
+// Small string formatting helpers (gcc 12 lacks std::format).
+
+#ifndef D2PR_COMMON_STRING_UTIL_H_
+#define D2PR_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace d2pr {
+
+/// \brief Concatenates the streamable arguments into a string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  ((out << args), ...);
+  return out.str();
+}
+
+/// \brief Formats a double with fixed `digits` decimal places.
+std::string FormatDouble(double value, int digits);
+
+/// \brief Formats a double in general notation with `precision` significant
+/// digits (paper-style "0.988", "-0.05").
+std::string FormatGeneral(double value, int precision);
+
+/// \brief Formats an integer with thousands separators ("4,465,272").
+std::string FormatWithCommas(int64_t value);
+
+/// \brief Splits `text` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// \brief Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// \brief True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// \brief Left-pads (negative width) or right-pads `text` to |width| chars.
+std::string Pad(std::string_view text, int width);
+
+/// \brief Parses a double; returns false on any trailing garbage.
+bool ParseDouble(std::string_view text, double* out);
+
+/// \brief Parses a signed 64-bit integer; returns false on garbage.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+}  // namespace d2pr
+
+#endif  // D2PR_COMMON_STRING_UTIL_H_

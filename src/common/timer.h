@@ -1,0 +1,41 @@
+// Wall-clock timing utilities for benchmarks and progress reporting.
+
+#ifndef D2PR_COMMON_TIMER_H_
+#define D2PR_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace d2pr {
+
+/// \brief Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in whole microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace d2pr
+
+#endif  // D2PR_COMMON_TIMER_H_

@@ -1,0 +1,39 @@
+#include "core/baselines.h"
+
+#include "core/d2pr.h"
+#include "core/teleport.h"
+#include "linalg/vec_ops.h"
+
+namespace d2pr {
+
+std::vector<double> DegreeCentralityScores(const CsrGraph& graph) {
+  std::vector<double> scores(static_cast<size_t>(graph.num_nodes()));
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    scores[static_cast<size_t>(v)] =
+        static_cast<double>(graph.OutDegree(v));
+  }
+  NormalizeL1(scores);
+  return scores;
+}
+
+Result<PagerankResult> EqualOpportunityPagerank(const CsrGraph& graph,
+                                                double alpha, double gamma) {
+  TransitionConfig config;  // p = 0: conventional transitions.
+  D2PR_ASSIGN_OR_RETURN(TransitionMatrix transition,
+                        TransitionMatrix::Build(graph, config));
+  const std::vector<double> teleport =
+      DegreeProportionalTeleport(graph, gamma);
+  PagerankOptions options;
+  options.alpha = alpha;
+  return SolvePagerank(graph, transition, teleport, options);
+}
+
+Result<PagerankResult> DegreeBiasedWalkScores(const CsrGraph& graph,
+                                              double alpha) {
+  D2prOptions options;
+  options.p = -1.0;
+  options.alpha = alpha;
+  return ComputeD2pr(graph, options);
+}
+
+}  // namespace d2pr

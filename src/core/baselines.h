@@ -1,0 +1,37 @@
+// Baseline node-significance measures the paper compares against or cites.
+//
+//  * Degree centrality — the trivial baseline D2PR is de-coupling from.
+//  * Equal-opportunity PageRank (related work [2], Banky et al. 2013):
+//    conventional transitions, teleportation proportional to deg^-1 to
+//    boost low-degree nodes.
+//  * Degree-biased walk (related work [11], Cooper et al. 2012): transition
+//    probability proportional to destination degree, i.e. exactly D2PR with
+//    p = -1; provided under its own name for clarity in benches.
+
+#ifndef D2PR_CORE_BASELINES_H_
+#define D2PR_CORE_BASELINES_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/pagerank.h"
+#include "graph/csr_graph.h"
+
+namespace d2pr {
+
+/// \brief Degree centrality: deg(v) / Σ deg, as a score vector.
+std::vector<double> DegreeCentralityScores(const CsrGraph& graph);
+
+/// \brief Equal-opportunity PageRank: conventional transition matrix,
+/// teleport ∝ deg(v)^gamma (gamma = -1 boosts low-degree nodes as in [2]).
+Result<PagerankResult> EqualOpportunityPagerank(const CsrGraph& graph,
+                                                double alpha = 0.85,
+                                                double gamma = -1.0);
+
+/// \brief Degree-biased random walk scores ([11]): D2PR with p = -1.
+Result<PagerankResult> DegreeBiasedWalkScores(const CsrGraph& graph,
+                                              double alpha = 0.85);
+
+}  // namespace d2pr
+
+#endif  // D2PR_CORE_BASELINES_H_

@@ -1,0 +1,53 @@
+#include "core/d2pr.h"
+
+#include "core/teleport.h"
+
+namespace d2pr {
+
+TransitionConfig ToTransitionConfig(const D2prOptions& options) {
+  TransitionConfig config;
+  config.p = options.p;
+  config.beta = options.beta;
+  config.metric = options.metric;
+  return config;
+}
+
+PagerankOptions ToPagerankOptions(const D2prOptions& options) {
+  PagerankOptions pr;
+  pr.alpha = options.alpha;
+  pr.tolerance = options.tolerance;
+  pr.max_iterations = options.max_iterations;
+  pr.dangling = options.dangling;
+  return pr;
+}
+
+Result<PagerankResult> ComputeD2pr(const CsrGraph& graph,
+                                   const D2prOptions& options) {
+  D2PR_ASSIGN_OR_RETURN(
+      TransitionMatrix transition,
+      TransitionMatrix::Build(graph, ToTransitionConfig(options)));
+  return SolvePagerank(graph, transition, ToPagerankOptions(options));
+}
+
+Result<PagerankResult> ComputeConventionalPagerank(const CsrGraph& graph,
+                                                   double alpha) {
+  D2prOptions options;
+  options.p = 0.0;
+  options.beta = graph.weighted() ? 1.0 : 0.0;
+  options.alpha = alpha;
+  return ComputeD2pr(graph, options);
+}
+
+Result<PagerankResult> ComputePersonalizedD2pr(const CsrGraph& graph,
+                                               std::span<const NodeId> seeds,
+                                               const D2prOptions& options) {
+  D2PR_ASSIGN_OR_RETURN(
+      TransitionMatrix transition,
+      TransitionMatrix::Build(graph, ToTransitionConfig(options)));
+  D2PR_ASSIGN_OR_RETURN(std::vector<double> teleport,
+                        SeededTeleport(graph.num_nodes(), seeds));
+  return SolvePagerank(graph, transition, teleport,
+                       ToPagerankOptions(options));
+}
+
+}  // namespace d2pr

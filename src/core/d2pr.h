@@ -1,0 +1,60 @@
+// High-level D2PR API: one call from graph to scores.
+//
+// This is the facade most applications use. It wires TransitionMatrix,
+// teleport construction, and the power-iteration solver together.
+//
+//   CsrGraph graph = ...;
+//   auto ranked = ComputeD2pr(graph, {.p = 0.5});
+//   if (ranked.ok()) use(ranked->scores);
+
+#ifndef D2PR_CORE_D2PR_H_
+#define D2PR_CORE_D2PR_H_
+
+#include <span>
+
+#include "common/result.h"
+#include "core/pagerank.h"
+#include "core/transition.h"
+#include "graph/csr_graph.h"
+
+namespace d2pr {
+
+/// \brief All knobs of a degree de-coupled PageRank computation.
+struct D2prOptions {
+  /// Degree de-coupling weight (paper's p): 0 = conventional PageRank,
+  /// > 0 penalizes high-degree destinations, < 0 boosts them.
+  double p = 0.0;
+  /// Connection-strength blend on weighted graphs (paper's β); 0 = full
+  /// de-coupling (paper default), 1 = conventional weighted PageRank.
+  double beta = 0.0;
+  /// Residual probability (paper's α).
+  double alpha = 0.85;
+  double tolerance = 1e-10;
+  int max_iterations = 200;
+  DegreeMetric metric = DegreeMetric::kAuto;
+  DanglingPolicy dangling = DanglingPolicy::kTeleport;
+};
+
+/// \brief Computes D2PR scores with a uniform teleport vector.
+Result<PagerankResult> ComputeD2pr(const CsrGraph& graph,
+                                   const D2prOptions& options = {});
+
+/// \brief Conventional PageRank (p = 0, and β = 1 on weighted graphs so
+/// edge weights act as connection strengths, exactly the classical
+/// weighted-PageRank transition).
+Result<PagerankResult> ComputeConventionalPagerank(const CsrGraph& graph,
+                                                   double alpha = 0.85);
+
+/// \brief Personalized D2PR: teleportation restricted to `seeds` (uniform
+/// across them). Combines the paper's de-coupling with PPR-style context.
+Result<PagerankResult> ComputePersonalizedD2pr(
+    const CsrGraph& graph, std::span<const NodeId> seeds,
+    const D2prOptions& options = {});
+
+/// \brief Translates D2prOptions into the two lower-level configs.
+TransitionConfig ToTransitionConfig(const D2prOptions& options);
+PagerankOptions ToPagerankOptions(const D2prOptions& options);
+
+}  // namespace d2pr
+
+#endif  // D2PR_CORE_D2PR_H_

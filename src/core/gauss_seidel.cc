@@ -1,0 +1,122 @@
+#include "core/gauss_seidel.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "core/teleport.h"
+#include "linalg/vec_ops.h"
+
+namespace d2pr {
+
+Result<PagerankResult> SolvePagerankGaussSeidel(
+    const CsrGraph& graph, const TransitionMatrix& transition,
+    std::span<const double> teleport, const PagerankOptions& options) {
+  if (!(options.alpha >= 0.0) || options.alpha >= 1.0) {
+    return Status::InvalidArgument(
+        StrCat("alpha must lie in [0, 1), got ", options.alpha));
+  }
+  if (!(options.tolerance > 0.0)) {
+    return Status::InvalidArgument("tolerance must be positive");
+  }
+  if (options.max_iterations < 1) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+  const NodeId n = graph.num_nodes();
+  if (n != transition.num_nodes()) {
+    return Status::InvalidArgument("graph/transition size mismatch");
+  }
+  if (teleport.size() != static_cast<size_t>(n)) {
+    return Status::InvalidArgument("teleport size mismatch");
+  }
+
+  PagerankResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  // Gauss-Seidel needs incoming arcs per node: precompute the transpose
+  // once, with probabilities carried over to the transposed arc order.
+  const CsrGraph reverse = graph.Transpose();
+  std::vector<double> reverse_probs(
+      static_cast<size_t>(reverse.num_arcs()));
+  {
+    // Walk forward arcs and scatter into transpose slots in the same
+    // order Transpose() emitted them (ascending source per target row).
+    std::vector<EdgeIndex> cursor(static_cast<size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      cursor[static_cast<size_t>(v)] = reverse.ArcBegin(v);
+    }
+    const auto targets = graph.targets();
+    const auto probs = transition.probs();
+    for (NodeId src = 0; src < n; ++src) {
+      const EdgeIndex begin = graph.ArcBegin(src);
+      const EdgeIndex end = begin + graph.OutDegree(src);
+      for (EdgeIndex e = begin; e < end; ++e) {
+        const NodeId dst = targets[static_cast<size_t>(e)];
+        reverse_probs[static_cast<size_t>(
+            cursor[static_cast<size_t>(dst)]++)] =
+            probs[static_cast<size_t>(e)];
+      }
+    }
+  }
+  const std::vector<NodeId> dangling = transition.DanglingNodes();
+
+  std::vector<double> x(teleport.begin(), teleport.end());
+  std::vector<double> previous(x);
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    // Dangling mass from the current iterate (lagged within the sweep).
+    double dangling_mass = 0.0;
+    for (NodeId v : dangling) dangling_mass += x[static_cast<size_t>(v)];
+
+    for (NodeId v = 0; v < n; ++v) {
+      double incoming = 0.0;
+      const EdgeIndex begin = reverse.ArcBegin(v);
+      const EdgeIndex end = begin + reverse.OutDegree(v);
+      const auto sources = reverse.targets();
+      for (EdgeIndex e = begin; e < end; ++e) {
+        incoming += reverse_probs[static_cast<size_t>(e)] *
+                    x[static_cast<size_t>(sources[static_cast<size_t>(e)])];
+      }
+      double value = options.alpha * incoming +
+                     (1.0 - options.alpha) * teleport[static_cast<size_t>(v)];
+      switch (options.dangling) {
+        case DanglingPolicy::kTeleport:
+          value += options.alpha * dangling_mass *
+                   teleport[static_cast<size_t>(v)];
+          break;
+        case DanglingPolicy::kSelfLoop:
+          if (transition.IsDangling(v)) {
+            // x_v = alpha*x_v + rest  =>  x_v = rest / (1 - alpha).
+            value /= (1.0 - options.alpha);
+          }
+          break;
+        case DanglingPolicy::kRenormalize:
+          break;
+      }
+      x[static_cast<size_t>(v)] = value;
+    }
+    NormalizeL1(x);
+
+    result.iterations = iter;
+    result.residual = DiffL1(x, previous);
+    previous = x;
+    if (result.residual < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.scores = std::move(x);
+  return result;
+}
+
+Result<PagerankResult> SolvePagerankGaussSeidel(
+    const CsrGraph& graph, const TransitionMatrix& transition,
+    const PagerankOptions& options) {
+  const std::vector<double> teleport = UniformTeleport(graph.num_nodes());
+  return SolvePagerankGaussSeidel(graph, transition, teleport, options);
+}
+
+}  // namespace d2pr

@@ -1,0 +1,146 @@
+#include "core/pagerank.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "core/teleport.h"
+#include "linalg/vec_ops.h"
+
+namespace d2pr {
+
+namespace {
+
+Status ValidateOptions(const PagerankOptions& options) {
+  if (!(options.alpha >= 0.0) || options.alpha >= 1.0) {
+    return Status::InvalidArgument(
+        StrCat("alpha must lie in [0, 1), got ", options.alpha));
+  }
+  if (!(options.tolerance > 0.0)) {
+    return Status::InvalidArgument(
+        StrCat("tolerance must be positive, got ", options.tolerance));
+  }
+  if (options.max_iterations < 1) {
+    return Status::InvalidArgument(
+        StrCat("max_iterations must be >= 1, got ", options.max_iterations));
+  }
+  return Status::OK();
+}
+
+Status ValidateTeleport(std::span<const double> teleport, NodeId num_nodes) {
+  if (teleport.size() != static_cast<size_t>(num_nodes)) {
+    return Status::InvalidArgument(
+        StrCat("teleport size ", teleport.size(), " != num nodes ",
+               num_nodes));
+  }
+  double sum = 0.0;
+  for (double t : teleport) {
+    if (t < 0.0) {
+      return Status::InvalidArgument("teleport entries must be >= 0");
+    }
+    sum += t;
+  }
+  if (num_nodes > 0 && std::abs(sum - 1.0) > 1e-9) {
+    return Status::InvalidArgument(
+        StrCat("teleport must sum to 1, got ", sum));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PagerankResult> SolvePagerank(const CsrGraph& graph,
+                                     const TransitionMatrix& transition,
+                                     std::span<const double> teleport,
+                                     const PagerankOptions& options) {
+  return SolvePagerankFrom(graph, transition, teleport, teleport, options);
+}
+
+Result<PagerankResult> SolvePagerankFrom(const CsrGraph& graph,
+                                         const TransitionMatrix& transition,
+                                         std::span<const double> teleport,
+                                         std::span<const double> initial,
+                                         const PagerankOptions& options) {
+  D2PR_RETURN_NOT_OK(ValidateOptions(options));
+  const NodeId n = graph.num_nodes();
+  if (n != transition.num_nodes()) {
+    return Status::InvalidArgument(
+        StrCat("graph has ", n, " nodes but transition matrix has ",
+               transition.num_nodes()));
+  }
+  D2PR_RETURN_NOT_OK(ValidateTeleport(teleport, n));
+  if (initial.size() != static_cast<size_t>(n)) {
+    return Status::InvalidArgument("initial vector size mismatch");
+  }
+  for (double v : initial) {
+    if (v < 0.0) {
+      return Status::InvalidArgument("initial entries must be >= 0");
+    }
+  }
+
+  PagerankResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  const std::vector<NodeId> dangling = transition.DanglingNodes();
+  std::vector<double> current(initial.begin(), initial.end());
+  NormalizeL1(current);  // defensive: keep the iterate a distribution
+  std::vector<double> next(static_cast<size_t>(n), 0.0);
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    transition.Multiply(graph, current, next);
+
+    double dangling_mass = 0.0;
+    for (NodeId v : dangling) dangling_mass += current[static_cast<size_t>(v)];
+
+    switch (options.dangling) {
+      case DanglingPolicy::kTeleport:
+        if (dangling_mass > 0.0) {
+          for (NodeId v = 0; v < n; ++v) {
+            next[static_cast<size_t>(v)] +=
+                dangling_mass * teleport[static_cast<size_t>(v)];
+          }
+        }
+        break;
+      case DanglingPolicy::kSelfLoop:
+        for (NodeId v : dangling) {
+          next[static_cast<size_t>(v)] += current[static_cast<size_t>(v)];
+        }
+        break;
+      case DanglingPolicy::kRenormalize:
+        // Mass is dropped here; the blend below plus the final renormalize
+        // keeps the iterate a distribution.
+        break;
+    }
+
+    for (NodeId v = 0; v < n; ++v) {
+      next[static_cast<size_t>(v)] =
+          options.alpha * next[static_cast<size_t>(v)] +
+          (1.0 - options.alpha) * teleport[static_cast<size_t>(v)];
+    }
+    if (options.dangling == DanglingPolicy::kRenormalize) {
+      NormalizeL1(next);
+    }
+
+    result.iterations = iter;
+    result.residual = DiffL1(next, current);
+    current.swap(next);
+    if (result.residual < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.scores = std::move(current);
+  return result;
+}
+
+Result<PagerankResult> SolvePagerank(const CsrGraph& graph,
+                                     const TransitionMatrix& transition,
+                                     const PagerankOptions& options) {
+  const std::vector<double> teleport = UniformTeleport(graph.num_nodes());
+  return SolvePagerank(graph, transition, teleport, options);
+}
+
+}  // namespace d2pr

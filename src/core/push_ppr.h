@@ -1,0 +1,63 @@
+// Forward-push personalized PageRank (extension).
+//
+// The paper's authors point to locality-sensitive PPR computation as the
+// scalable way to apply these rankings per-query (their ref [17]). This
+// module implements the classic forward local-push scheme generalized to an
+// arbitrary column-stochastic TransitionMatrix — so pushes work for any
+// de-coupling weight p, not just conventional PageRank.
+//
+// Semantics: approximates ppr = (1-α) Σ_k (α T)^k s for a seed distribution
+// s. Maintains an estimate vector and a residual vector; while some node u
+// holds residual r[u] > epsilon, it is "pushed": (1-α)·r[u] moves into the
+// estimate at u and α·r[u]·T(v,u) moves to each out-neighbor's residual.
+// On termination every residual is <= epsilon, giving the L1 guarantee
+// ||estimate - ppr||_1 <= epsilon · |V|.
+
+#ifndef D2PR_CORE_PUSH_PPR_H_
+#define D2PR_CORE_PUSH_PPR_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "core/transition.h"
+#include "graph/csr_graph.h"
+
+namespace d2pr {
+
+/// \brief Forward-push parameters.
+struct PushOptions {
+  double alpha = 0.85;       ///< Residual (walk-following) probability.
+  double epsilon = 1e-7;     ///< Per-node residual threshold.
+  int64_t max_pushes = -1;   ///< Safety cap; -1 = 64·|V|/ε-free default.
+  /// Dangling-node residual handling: when true (default), residual at a
+  /// dangling node is re-injected through the seed distribution (matching
+  /// DanglingPolicy::kTeleport); when false it is dropped.
+  bool reinject_dangling = true;
+};
+
+/// \brief Forward-push output.
+struct PushResult {
+  std::vector<double> scores;    ///< Approximate PPR estimate.
+  std::vector<double> residual;  ///< Final residuals (all <= epsilon).
+  int64_t pushes = 0;            ///< Number of push operations performed.
+  bool completed = false;        ///< False if max_pushes was hit.
+};
+
+/// \brief Runs forward push from a seed distribution.
+///
+/// `seed` must be a probability distribution over the graph's nodes.
+Result<PushResult> ForwardPushPpr(const CsrGraph& graph,
+                                  const TransitionMatrix& transition,
+                                  std::span<const double> seed,
+                                  const PushOptions& options = {});
+
+/// \brief Convenience: single-seed forward push.
+Result<PushResult> ForwardPushPpr(const CsrGraph& graph,
+                                  const TransitionMatrix& transition,
+                                  NodeId seed,
+                                  const PushOptions& options = {});
+
+}  // namespace d2pr
+
+#endif  // D2PR_CORE_PUSH_PPR_H_

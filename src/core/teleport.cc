@@ -1,0 +1,76 @@
+#include "core/teleport.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+#include "linalg/vec_ops.h"
+
+namespace d2pr {
+
+std::vector<double> UniformTeleport(NodeId num_nodes) {
+  return UniformVector(static_cast<size_t>(num_nodes));
+}
+
+Result<std::vector<double>> SeededTeleport(NodeId num_nodes,
+                                           std::span<const NodeId> seeds) {
+  std::vector<double> weights(seeds.size(), 1.0);
+  return WeightedTeleport(num_nodes, seeds, weights);
+}
+
+Result<std::vector<double>> WeightedTeleport(
+    NodeId num_nodes, std::span<const NodeId> seeds,
+    std::span<const double> weights) {
+  if (seeds.empty()) {
+    return Status::InvalidArgument("teleport seed set must be non-empty");
+  }
+  if (seeds.size() != weights.size()) {
+    return Status::InvalidArgument(
+        StrCat("seed/weight size mismatch: ", seeds.size(), " vs ",
+               weights.size()));
+  }
+  std::vector<double> teleport(static_cast<size_t>(num_nodes), 0.0);
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    const NodeId s = seeds[i];
+    if (s < 0 || s >= num_nodes) {
+      return Status::InvalidArgument(StrCat("seed ", s, " out of range"));
+    }
+    if (!(weights[i] > 0.0)) {
+      return Status::InvalidArgument(
+          StrCat("seed weight must be positive, got ", weights[i]));
+    }
+    if (teleport[static_cast<size_t>(s)] != 0.0) {
+      return Status::InvalidArgument(StrCat("duplicate seed ", s));
+    }
+    teleport[static_cast<size_t>(s)] = weights[i];
+  }
+  NormalizeL1(teleport);
+  return teleport;
+}
+
+std::vector<double> DegreeProportionalTeleport(const CsrGraph& graph,
+                                               double gamma) {
+  const NodeId n = graph.num_nodes();
+  std::vector<double> teleport(static_cast<size_t>(n), 0.0);
+  double min_positive = std::numeric_limits<double>::max();
+  for (NodeId v = 0; v < n; ++v) {
+    const double degree = static_cast<double>(graph.OutDegree(v));
+    if (degree > 0.0) {
+      const double share = std::pow(degree, gamma);
+      teleport[static_cast<size_t>(v)] = share;
+      min_positive = std::min(min_positive, share);
+    }
+  }
+  if (min_positive == std::numeric_limits<double>::max()) {
+    // No node has positive degree: fall back to uniform.
+    return UniformTeleport(n);
+  }
+  for (double& share : teleport) {
+    if (share == 0.0) share = min_positive;
+  }
+  NormalizeL1(teleport);
+  return teleport;
+}
+
+}  // namespace d2pr

@@ -1,0 +1,47 @@
+// Teleportation vector construction.
+//
+// The paper uses the uniform vector t[i] = 1/|V| throughout; personalized
+// and degree-proportional variants are provided for the PPR machinery and
+// for the "equal-opportunity PageRank" baseline (related work [2], Banky et
+// al.), which modifies the teleportation vector proportionally to node
+// degrees instead of touching the transition matrix.
+
+#ifndef D2PR_CORE_TELEPORT_H_
+#define D2PR_CORE_TELEPORT_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+
+namespace d2pr {
+
+/// \brief Uniform teleport: t[i] = 1/|V| (the paper's ~t).
+std::vector<double> UniformTeleport(NodeId num_nodes);
+
+/// \brief Personalized teleport concentrated on `seeds`, uniform across
+/// them. Duplicated and out-of-range seeds are rejected; the seed set must
+/// be non-empty.
+Result<std::vector<double>> SeededTeleport(NodeId num_nodes,
+                                           std::span<const NodeId> seeds);
+
+/// \brief Personalized teleport with per-seed weights (must be positive);
+/// normalized to sum 1.
+Result<std::vector<double>> WeightedTeleport(
+    NodeId num_nodes, std::span<const NodeId> seeds,
+    std::span<const double> weights);
+
+/// \brief Teleport proportional to deg(v)^gamma.
+///
+/// gamma = -1 reproduces the low-degree-boosting teleport of related work
+/// [2] (equal opportunity for low-degree nodes); gamma = +1 teleports
+/// preferentially to hubs. Degree-0 nodes receive the minimum positive
+/// share so the vector stays strictly positive (required for irreducibility
+/// of the walk).
+std::vector<double> DegreeProportionalTeleport(const CsrGraph& graph,
+                                               double gamma);
+
+}  // namespace d2pr
+
+#endif  // D2PR_CORE_TELEPORT_H_

@@ -1,0 +1,176 @@
+#include "core/transition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace d2pr {
+
+DegreeMetric ResolveMetric(const CsrGraph& graph, DegreeMetric metric) {
+  if (metric != DegreeMetric::kAuto) return metric;
+  return graph.weighted() ? DegreeMetric::kOutStrength
+                          : DegreeMetric::kOutDegree;
+}
+
+std::vector<double> MetricValues(const CsrGraph& graph, DegreeMetric metric) {
+  const DegreeMetric resolved = ResolveMetric(graph, metric);
+  const NodeId n = graph.num_nodes();
+  std::vector<double> values(n);
+  switch (resolved) {
+    case DegreeMetric::kOutDegree:
+      for (NodeId v = 0; v < n; ++v) {
+        values[v] = static_cast<double>(graph.OutDegree(v));
+      }
+      break;
+    case DegreeMetric::kOutStrength:
+      for (NodeId v = 0; v < n; ++v) values[v] = graph.OutStrength(v);
+      break;
+    case DegreeMetric::kInDegree: {
+      const std::vector<EdgeIndex> in = graph.InDegrees();
+      for (NodeId v = 0; v < n; ++v) values[v] = static_cast<double>(in[v]);
+      break;
+    }
+    case DegreeMetric::kAuto:
+      D2PR_CHECK(false) << "kAuto must be resolved";
+  }
+  return values;
+}
+
+Result<TransitionMatrix> TransitionMatrix::Build(
+    const CsrGraph& graph, const TransitionConfig& config) {
+  if (!std::isfinite(config.p)) {
+    return Status::InvalidArgument(
+        StrCat("de-coupling weight p must be finite, got ", config.p));
+  }
+  if (config.beta < 0.0 || config.beta > 1.0) {
+    return Status::InvalidArgument(
+        StrCat("beta must lie in [0, 1], got ", config.beta));
+  }
+  const DegreeMetric metric = ResolveMetric(graph, config.metric);
+  if (metric == DegreeMetric::kOutStrength && !graph.weighted()) {
+    return Status::InvalidArgument(
+        "kOutStrength metric requires a weighted graph");
+  }
+  // On unweighted graphs connection strength is uniform, which equals the
+  // p = 0 de-coupled matrix; folding beta into 0 keeps one code path.
+  const double beta = graph.weighted() ? config.beta : 0.0;
+  const double p = config.p;
+
+  const NodeId n = graph.num_nodes();
+  const std::vector<double> metric_values = MetricValues(graph, metric);
+
+  std::vector<double> probs(static_cast<size_t>(graph.num_arcs()), 0.0);
+  std::vector<uint8_t> dangling(static_cast<size_t>(n), 0);
+
+  // Log-metric per node; metric 0 marked with -inf sentinel.
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> log_metric(static_cast<size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    log_metric[v] =
+        metric_values[v] > 0.0 ? std::log(metric_values[v]) : kNegInf;
+  }
+
+  std::vector<double> row;  // scratch: de-coupled weights of one source row
+  for (NodeId i = 0; i < n; ++i) {
+    const EdgeIndex begin = graph.ArcBegin(i);
+    const EdgeIndex end = begin + graph.OutDegree(i);
+    if (begin == end) {
+      dangling[static_cast<size_t>(i)] = 1;
+      continue;
+    }
+
+    // --- Degree de-coupled component T_D: softmax of -p * log(metric). ---
+    row.clear();
+    double max_exponent = kNegInf;
+    for (EdgeIndex e = begin; e < end; ++e) {
+      const NodeId j = graph.targets()[static_cast<size_t>(e)];
+      double exponent;
+      if (log_metric[j] == kNegInf) {
+        // metric(j) = 0: limit semantics. p > 0 => j dominates the row
+        // (+inf); p < 0 => weight 0 (-inf); p = 0 => neutral (0^0 := 1).
+        exponent = p > 0.0   ? std::numeric_limits<double>::infinity()
+                   : p < 0.0 ? kNegInf
+                             : 0.0;
+      } else {
+        exponent = -p * log_metric[j];
+      }
+      row.push_back(exponent);
+      max_exponent = std::max(max_exponent, exponent);
+    }
+    double row_sum = 0.0;
+    for (double& exponent : row) {
+      if (std::isinf(max_exponent) && max_exponent > 0.0) {
+        // At least one +inf exponent: those destinations split the row.
+        exponent = (std::isinf(exponent) && exponent > 0.0) ? 1.0 : 0.0;
+      } else if (exponent == kNegInf) {
+        exponent = 0.0;
+      } else {
+        exponent = std::exp(exponent - max_exponent);
+      }
+      row_sum += exponent;
+    }
+    if (row_sum == 0.0) {
+      // Every destination had metric 0 and p < 0 (all weights vanish in the
+      // limit). Fall back to a uniform row: no degree information exists to
+      // differentiate the neighbors.
+      std::fill(row.begin(), row.end(), 1.0);
+      row_sum = static_cast<double>(row.size());
+    }
+
+    // --- Connection-strength component T_conn (only if beta > 0). ---
+    const double strength_total = beta > 0.0 ? graph.OutStrength(i) : 0.0;
+
+    for (EdgeIndex e = begin; e < end; ++e) {
+      const size_t arc = static_cast<size_t>(e);
+      const double t_decoupled = row[static_cast<size_t>(e - begin)] / row_sum;
+      double prob = t_decoupled;
+      if (beta > 0.0) {
+        const double t_conn =
+            graph.weights()[arc] / strength_total;
+        prob = beta * t_conn + (1.0 - beta) * t_decoupled;
+      }
+      probs[arc] = prob;
+    }
+  }
+
+  return TransitionMatrix(n, std::move(probs), std::move(dangling));
+}
+
+std::vector<NodeId> TransitionMatrix::DanglingNodes() const {
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    if (dangling_[static_cast<size_t>(v)]) nodes.push_back(v);
+  }
+  return nodes;
+}
+
+void TransitionMatrix::Multiply(const CsrGraph& graph,
+                                std::span<const double> x,
+                                std::span<double> out) const {
+  D2PR_CHECK_EQ(x.size(), static_cast<size_t>(num_nodes_));
+  D2PR_CHECK_EQ(out.size(), static_cast<size_t>(num_nodes_));
+  std::fill(out.begin(), out.end(), 0.0);
+  const auto targets = graph.targets();
+  for (NodeId i = 0; i < num_nodes_; ++i) {
+    const double mass = x[static_cast<size_t>(i)];
+    if (mass == 0.0) continue;
+    const EdgeIndex begin = graph.ArcBegin(i);
+    const EdgeIndex end = begin + graph.OutDegree(i);
+    for (EdgeIndex e = begin; e < end; ++e) {
+      out[static_cast<size_t>(targets[static_cast<size_t>(e)])] +=
+          mass * probs_[static_cast<size_t>(e)];
+    }
+  }
+}
+
+double TransitionMatrix::Prob(const CsrGraph& graph, NodeId u,
+                              NodeId v) const {
+  auto row = graph.OutNeighbors(u);
+  auto it = std::lower_bound(row.begin(), row.end(), v);
+  if (it == row.end() || *it != v) return 0.0;
+  return probs_[static_cast<size_t>(graph.ArcBegin(u) + (it - row.begin()))];
+}
+
+}  // namespace d2pr

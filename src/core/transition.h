@@ -1,0 +1,119 @@
+// Degree de-coupled transition models (the paper's Section 3).
+//
+// A TransitionMatrix holds, for every arc (i -> j) of a CsrGraph, the
+// random-walk probability T(j, i) of stepping from i to j. The library
+// builds it from a TransitionConfig implementing the paper's three model
+// families:
+//
+//   * Conventional PageRank        p = 0 (or beta = 1 on weighted graphs)
+//   * D2PR, undirected/unweighted  T_D(j,i) ∝ deg(v_j)^-p            (Eq. 1)
+//   * D2PR, directed/unweighted    T_D(j,i) ∝ outdeg(v_j)^-p         (§3.2.2)
+//   * D2PR, weighted               T = β·T_conn + (1-β)·T_D,
+//                                  T_D(j,i) ∝ Θ(v_j)^-p,
+//                                  Θ(v) = Σ out-weights of v          (§3.2.3)
+//
+// Numerical robustness: metric^-p is evaluated in log space with per-row
+// max subtraction, so any real p (including |p| ≫ 1, the desideratum's
+// limit cases) produces finite, normalized probabilities. A destination
+// with metric 0 (a directed sink) is treated as the limit: it captures the
+// whole row for p > 0 and gets probability 0 for p < 0.
+
+#ifndef D2PR_CORE_TRANSITION_H_
+#define D2PR_CORE_TRANSITION_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+
+namespace d2pr {
+
+/// \brief Which destination quantity is raised to the power -p.
+enum class DegreeMetric {
+  /// Resolve from the graph: out-strength Θ for weighted graphs,
+  /// out-degree otherwise (== degree for undirected graphs).
+  kAuto,
+  /// Destination out-degree (paper's directed and undirected models).
+  kOutDegree,
+  /// Destination out-strength Θ (paper's weighted model).
+  kOutStrength,
+  /// Destination in-degree: an extension useful on directed graphs where
+  /// popularity (in-links) rather than activity (out-links) should be
+  /// de-coupled.
+  kInDegree,
+};
+
+/// \brief Parameters of the transition model.
+struct TransitionConfig {
+  /// Degree de-coupling weight. 0 = conventional PageRank; > 0 penalizes
+  /// high-degree destinations; < 0 boosts them.
+  double p = 0.0;
+  /// Blend between connection strength (β = 1, conventional weighted
+  /// PageRank) and degree de-coupling (β = 0, full de-coupling; the paper's
+  /// default). Only meaningful on weighted graphs; ignored (treated as 0)
+  /// on unweighted graphs, whose T_conn equals T_D at p = 0 anyway.
+  double beta = 0.0;
+  DegreeMetric metric = DegreeMetric::kAuto;
+};
+
+/// \brief Column-stochastic sparse transition matrix aligned with a graph's
+/// CSR arcs.
+///
+/// probs()[e] is the probability of the arc stored at index e in the graph:
+/// for every non-dangling source i, the probabilities of i's arcs sum to 1.
+class TransitionMatrix {
+ public:
+  /// Builds the transition matrix for `graph` under `config`.
+  ///
+  /// Returns InvalidArgument when beta is outside [0, 1], when the metric is
+  /// incompatible with the graph (kOutStrength on an unweighted graph), or
+  /// when p is not finite.
+  static Result<TransitionMatrix> Build(const CsrGraph& graph,
+                                        const TransitionConfig& config);
+
+  /// Number of nodes of the underlying graph.
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Per-arc probabilities, aligned with CsrGraph::targets().
+  std::span<const double> probs() const { return probs_; }
+
+  /// True if node `v` has no outgoing arcs (its column is all zero).
+  bool IsDangling(NodeId v) const { return dangling_[v] != 0; }
+
+  /// Indices of dangling nodes.
+  std::vector<NodeId> DanglingNodes() const;
+
+  /// Sparse matrix-vector product: out[j] = Σ_i T(j, i) · x[i].
+  /// Dangling columns contribute nothing (the solver redistributes their
+  /// mass according to its dangling policy). Sizes must equal num_nodes().
+  void Multiply(const CsrGraph& graph, std::span<const double> x,
+                std::span<double> out) const;
+
+  /// Probability of the arc (u -> v); 0 when absent. O(log deg) lookup for
+  /// tests and examples, not for inner loops.
+  double Prob(const CsrGraph& graph, NodeId u, NodeId v) const;
+
+ private:
+  TransitionMatrix(NodeId num_nodes, std::vector<double> probs,
+                   std::vector<uint8_t> dangling)
+      : num_nodes_(num_nodes),
+        probs_(std::move(probs)),
+        dangling_(std::move(dangling)) {}
+
+  NodeId num_nodes_;
+  std::vector<double> probs_;
+  std::vector<uint8_t> dangling_;
+};
+
+/// \brief Resolves DegreeMetric::kAuto for a graph; other values pass
+/// through unchanged.
+DegreeMetric ResolveMetric(const CsrGraph& graph, DegreeMetric metric);
+
+/// \brief The metric values deg/outdeg/Θ/indeg per node, as configured.
+/// These are the quantities raised to -p in the D2PR formulas.
+std::vector<double> MetricValues(const CsrGraph& graph, DegreeMetric metric);
+
+}  // namespace d2pr
+
+#endif  // D2PR_CORE_TRANSITION_H_

@@ -1,0 +1,92 @@
+#include "core/tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "stats/correlation.h"
+
+namespace d2pr {
+
+namespace {
+
+constexpr double kInvPhi = 0.6180339887498949;  // 1/golden ratio
+
+}  // namespace
+
+Result<TuneResult> TuneDecouplingWeight(const CsrGraph& graph,
+                                        std::span<const double> significance,
+                                        const TuneOptions& options) {
+  if (significance.size() != static_cast<size_t>(graph.num_nodes())) {
+    return Status::InvalidArgument(
+        StrCat("significance size ", significance.size(), " != num nodes ",
+               graph.num_nodes()));
+  }
+  if (!(options.p_min < options.p_max)) {
+    return Status::InvalidArgument("p_min must be < p_max");
+  }
+  if (!(options.coarse_step > 0.0)) {
+    return Status::InvalidArgument("coarse_step must be positive");
+  }
+
+  TuneResult tune;
+  auto evaluate = [&](double p) -> Result<double> {
+    D2prOptions opts = options.base;
+    opts.p = p;
+    D2PR_ASSIGN_OR_RETURN(PagerankResult pr, ComputeD2pr(graph, opts));
+    const double corr = SpearmanCorrelation(pr.scores, significance);
+    tune.evaluated.emplace_back(p, corr);
+    return corr;
+  };
+
+  // Coarse grid pass.
+  double best_p = options.p_min;
+  double best_corr = -2.0;
+  for (double p = options.p_min; p <= options.p_max + 1e-12;
+       p += options.coarse_step) {
+    D2PR_ASSIGN_OR_RETURN(double corr, evaluate(p));
+    if (corr > best_corr) {
+      best_corr = corr;
+      best_p = p;
+    }
+  }
+
+  // Golden-section refinement inside the bracket around the best grid
+  // point (one grid cell each side, clamped to the search range).
+  double lo = std::max(options.p_min, best_p - options.coarse_step);
+  double hi = std::min(options.p_max, best_p + options.coarse_step);
+  double x1 = hi - kInvPhi * (hi - lo);
+  double x2 = lo + kInvPhi * (hi - lo);
+  D2PR_ASSIGN_OR_RETURN(double f1, evaluate(x1));
+  D2PR_ASSIGN_OR_RETURN(double f2, evaluate(x2));
+  for (int iter = 0; iter < options.max_refine_iterations &&
+                     (hi - lo) > options.refine_tolerance;
+       ++iter) {
+    if (f1 < f2) {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + kInvPhi * (hi - lo);
+      D2PR_ASSIGN_OR_RETURN(f2, evaluate(x2));
+    } else {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - kInvPhi * (hi - lo);
+      D2PR_ASSIGN_OR_RETURN(f1, evaluate(x1));
+    }
+  }
+
+  // Report the best point seen anywhere (grid or refinement).
+  for (const auto& [p, corr] : tune.evaluated) {
+    if (corr > best_corr || (corr == best_corr && p == best_p)) {
+      best_corr = corr;
+      best_p = p;
+    }
+  }
+  tune.best_p = best_p;
+  tune.best_correlation = best_corr;
+  return tune;
+}
+
+}  // namespace d2pr

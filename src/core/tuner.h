@@ -1,0 +1,51 @@
+// Automatic selection of the de-coupling weight p (extension).
+//
+// The paper shows the optimal p is application-specific and must currently
+// be found by sweeping. This module automates that: a coarse grid pass over
+// [p_min, p_max] followed by golden-section refinement around the best grid
+// point, maximizing Spearman correlation between D2PR scores and a provided
+// significance vector (e.g. held-out ratings).
+
+#ifndef D2PR_CORE_TUNER_H_
+#define D2PR_CORE_TUNER_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/d2pr.h"
+#include "graph/csr_graph.h"
+
+namespace d2pr {
+
+/// \brief Tuning parameters.
+struct TuneOptions {
+  double p_min = -4.0;
+  double p_max = 4.0;
+  double coarse_step = 0.5;     ///< Grid spacing of the first pass.
+  double refine_tolerance = 0.02;  ///< Stop when the bracket is this narrow.
+  int max_refine_iterations = 20;
+  D2prOptions base;             ///< alpha, beta, solver knobs.
+};
+
+/// \brief Tuning output.
+struct TuneResult {
+  double best_p = 0.0;
+  double best_correlation = 0.0;
+  /// Every (p, correlation) pair evaluated, in evaluation order.
+  std::vector<std::pair<double, double>> evaluated;
+};
+
+/// \brief Finds the p maximizing Spearman(D2PR scores, significance).
+///
+/// The correlation curve need not be exactly unimodal; the coarse pass
+/// protects against local optima at grid resolution and the refinement
+/// only sharpens within one grid cell.
+Result<TuneResult> TuneDecouplingWeight(const CsrGraph& graph,
+                                        std::span<const double> significance,
+                                        const TuneOptions& options = {});
+
+}  // namespace d2pr
+
+#endif  // D2PR_CORE_TUNER_H_

@@ -1,0 +1,142 @@
+#include "datagen/bipartite_world.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "datagen/distributions.h"
+
+namespace d2pr {
+
+namespace {
+
+Status ValidateConfig(const BipartiteWorldConfig& config) {
+  if (config.num_members <= 0 || config.num_venues <= 0) {
+    return Status::InvalidArgument("world sides must be non-empty");
+  }
+  if (config.venue_size_min < 1 ||
+      config.venue_size_max < config.venue_size_min) {
+    return Status::InvalidArgument("invalid venue size range");
+  }
+  if (config.venue_size_zipf_s < 0.0) {
+    return Status::InvalidArgument("zipf exponent must be >= 0");
+  }
+  if (config.quality_alpha <= 0.0 || config.quality_beta <= 0.0) {
+    return Status::InvalidArgument("beta-distribution parameters must be > 0");
+  }
+  if (config.affinity < 0.0) {
+    return Status::InvalidArgument("affinity must be >= 0");
+  }
+  if (config.cost_base <= 0.0) {
+    return Status::InvalidArgument("cost_base must be positive");
+  }
+  if (config.cost_base + std::min(0.0, config.cost_quality_slope) <= 0.0) {
+    return Status::InvalidArgument("cost can become non-positive");
+  }
+  if (config.budget_mean < config.cost_base) {
+    return Status::InvalidArgument(
+        StrCat("budget_mean ", config.budget_mean,
+               " below cost_base ", config.cost_base,
+               ": every member would be priced out"));
+  }
+  if (config.budget_sigma < 0.0) {
+    return Status::InvalidArgument("budget_sigma must be >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BipartiteWorld> GenerateBipartiteWorld(
+    const BipartiteWorldConfig& config) {
+  D2PR_RETURN_NOT_OK(ValidateConfig(config));
+
+  BipartiteWorld world;
+  world.config = config;
+  Rng rng(config.seed);
+
+  // Latent qualities.
+  world.member_quality.resize(static_cast<size_t>(config.num_members));
+  for (double& q : world.member_quality) {
+    q = rng.Beta(config.quality_alpha, config.quality_beta);
+  }
+  world.venue_quality.resize(static_cast<size_t>(config.num_venues));
+  for (double& q : world.venue_quality) {
+    q = rng.Beta(config.quality_alpha, config.quality_beta);
+  }
+
+  // Budgets: lognormal with the requested arithmetic mean.
+  const double mu = std::log(config.budget_mean) -
+                    0.5 * config.budget_sigma * config.budget_sigma;
+  world.member_budget.resize(static_cast<size_t>(config.num_members));
+  for (double& b : world.member_budget) {
+    b = config.budget_sigma == 0.0 ? config.budget_mean
+                                   : rng.Lognormal(mu, config.budget_sigma);
+  }
+  world.member_spent.assign(static_cast<size_t>(config.num_members), 0.0);
+
+  // Venue target sizes.
+  const int64_t size_range =
+      config.venue_size_max - config.venue_size_min + 1;
+  const std::vector<int64_t> venue_size =
+      SampleZipfMany(config.num_venues, size_range, config.venue_size_zipf_s,
+                     config.venue_size_min, &rng);
+
+  // Process venues in random order so early venues get no systematic
+  // access to fuller budgets.
+  std::vector<NodeId> venue_order(static_cast<size_t>(config.num_venues));
+  std::iota(venue_order.begin(), venue_order.end(), NodeId{0});
+  rng.Shuffle(&venue_order);
+
+  world.venue_members.resize(static_cast<size_t>(config.num_venues));
+  std::vector<double> remaining = world.member_budget;
+
+  for (NodeId r : venue_order) {
+    const double venue_q = world.venue_quality[static_cast<size_t>(r)];
+    const double cost =
+        config.cost_base + config.cost_quality_slope * venue_q;
+    const int64_t target = venue_size[static_cast<size_t>(r)];
+
+    // Rejection-sample distinct members: uniform proposal, acceptance
+    // proportional to exp(-affinity · |Δquality|), budget-gated.
+    std::unordered_set<NodeId> chosen;
+    const int64_t max_attempts = 60 * target + 600;
+    int64_t attempts = 0;
+    while (static_cast<int64_t>(chosen.size()) < target &&
+           attempts < max_attempts) {
+      ++attempts;
+      const NodeId i = static_cast<NodeId>(
+          rng.Below(static_cast<uint64_t>(config.num_members)));
+      if (remaining[static_cast<size_t>(i)] < cost) continue;
+      if (chosen.count(i)) continue;
+      const double gap =
+          std::abs(world.member_quality[static_cast<size_t>(i)] - venue_q);
+      if (config.affinity > 0.0 &&
+          rng.Uniform() >= std::exp(-config.affinity * gap)) {
+        continue;
+      }
+      chosen.insert(i);
+      remaining[static_cast<size_t>(i)] -= cost;
+      world.member_spent[static_cast<size_t>(i)] += cost;
+    }
+    auto& members = world.venue_members[static_cast<size_t>(r)];
+    members.assign(chosen.begin(), chosen.end());
+    std::sort(members.begin(), members.end());
+  }
+
+  // Derive the member -> venues view.
+  world.member_venues.resize(static_cast<size_t>(config.num_members));
+  for (NodeId r = 0; r < config.num_venues; ++r) {
+    for (NodeId i : world.venue_members[static_cast<size_t>(r)]) {
+      world.member_venues[static_cast<size_t>(i)].push_back(r);
+    }
+  }
+  for (auto& venues : world.member_venues) {
+    std::sort(venues.begin(), venues.end());
+  }
+  return world;
+}
+
+}  // namespace d2pr

@@ -1,0 +1,99 @@
+// Synthetic bipartite affiliation worlds (the paper's data substitute).
+//
+// The paper's eight data graphs are projections of bipartite affiliations
+// (actor ∈ movie, author ∈ article, listener → artist, commenter → product)
+// plus external per-node significance (ratings, citations, play counts,
+// trust counts). Those datasets are not redistributable here, so this
+// module builds worlds with the same generative skeleton the paper's §1.2.1
+// analysis assumes:
+//
+//   * every member and venue has a latent quality in (0, 1);
+//   * members join venues assortatively (quality matching);
+//   * joining venue r costs  cost_base + cost_quality_slope · quality(r)
+//     out of a member's bounded budget.
+//
+// With cost_quality_slope > 0, high-quality members afford only a few
+// (high-quality) venues while low-quality members accumulate many cheap
+// ones — exactly the paper's "B-movie actor" mechanism that makes node
+// degree *negatively* related to significance (application Group A). With
+// slope 0 the coupling disappears and the significance models (see
+// significance.h) decide the regime.
+
+#ifndef D2PR_DATAGEN_BIPARTITE_WORLD_H_
+#define D2PR_DATAGEN_BIPARTITE_WORLD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/types.h"
+
+namespace d2pr {
+
+/// \brief Generator parameters for one affiliation world.
+struct BipartiteWorldConfig {
+  NodeId num_members = 1000;
+  NodeId num_venues = 500;
+
+  /// Venue sizes (cast size / author count / audience) are Zipf-distributed
+  /// over [venue_size_min, venue_size_max] with exponent venue_size_zipf_s;
+  /// larger s concentrates mass near the minimum.
+  int32_t venue_size_min = 2;
+  int32_t venue_size_max = 30;
+  double venue_size_zipf_s = 1.2;
+
+  /// Latent qualities ~ Beta(quality_alpha, quality_beta), both sides.
+  double quality_alpha = 2.0;
+  double quality_beta = 2.0;
+
+  /// Assortativity: a member i is accepted into venue r with probability
+  /// proportional to exp(-affinity · |quality(i) - quality(r)|). 0 = none.
+  double affinity = 4.0;
+
+  /// Participation cost: cost_base + cost_quality_slope · quality(r).
+  /// Must keep cost positive for all venues.
+  double cost_base = 1.0;
+  double cost_quality_slope = 0.0;
+
+  /// Member budgets ~ Lognormal with the given mean and log-space sigma.
+  /// Small sigma = homogeneous budgets (degrees driven by cost alone);
+  /// large sigma = heavy-tailed member degrees.
+  double budget_mean = 12.0;
+  double budget_sigma = 0.3;
+
+  uint64_t seed = 42;
+};
+
+/// \brief A generated affiliation world.
+struct BipartiteWorld {
+  BipartiteWorldConfig config;
+  std::vector<double> member_quality;  ///< size num_members, in (0, 1).
+  std::vector<double> venue_quality;   ///< size num_venues, in (0, 1).
+  /// venue_members[r] = sorted distinct member ids affiliated with venue r.
+  std::vector<std::vector<NodeId>> venue_members;
+  /// member_venues[i] = sorted venue ids member i joined (derived).
+  std::vector<std::vector<NodeId>> member_venues;
+  std::vector<double> member_budget;  ///< Initial budgets (diagnostics).
+  std::vector<double> member_spent;   ///< Budget actually consumed.
+
+  int64_t TotalMemberships() const {
+    int64_t total = 0;
+    for (const auto& venue : venue_members) {
+      total += static_cast<int64_t>(venue.size());
+    }
+    return total;
+  }
+};
+
+/// \brief Generates a world. Deterministic in config.seed.
+///
+/// Returns InvalidArgument for non-positive sizes, invalid quality/Zipf
+/// parameters, or a cost model that can exceed every member's budget from
+/// the start (which would produce an empty world).
+Result<BipartiteWorld> GenerateBipartiteWorld(
+    const BipartiteWorldConfig& config);
+
+}  // namespace d2pr
+
+#endif  // D2PR_DATAGEN_BIPARTITE_WORLD_H_

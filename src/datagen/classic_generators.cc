@@ -1,0 +1,151 @@
+#include "datagen/classic_generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "graph/graph_builder.h"
+
+namespace d2pr {
+
+Result<CsrGraph> ErdosRenyi(NodeId num_nodes, int64_t num_edges, Rng* rng) {
+  if (num_nodes < 0) return Status::InvalidArgument("negative node count");
+  const int64_t max_edges =
+      static_cast<int64_t>(num_nodes) * (num_nodes - 1) / 2;
+  if (num_edges < 0 || num_edges > max_edges) {
+    return Status::InvalidArgument(
+        StrCat("edge count ", num_edges, " outside [0, ", max_edges, "]"));
+  }
+  // Rejection sampling of distinct pairs; fine while m << n^2 (the dense
+  // regime falls back to acceptably few retries because m <= n(n-1)/2).
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(num_edges) * 2);
+  GraphBuilder builder(num_nodes, GraphKind::kUndirected);
+  int64_t added = 0;
+  while (added < num_edges) {
+    const NodeId u =
+        static_cast<NodeId>(rng->Below(static_cast<uint64_t>(num_nodes)));
+    const NodeId v =
+        static_cast<NodeId>(rng->Below(static_cast<uint64_t>(num_nodes)));
+    if (u == v) continue;
+    const uint64_t key =
+        (static_cast<uint64_t>(std::min(u, v)) << 32) |
+        static_cast<uint32_t>(std::max(u, v));
+    if (!seen.insert(key).second) continue;
+    D2PR_RETURN_NOT_OK(builder.AddEdge(u, v));
+    ++added;
+  }
+  return builder.Build(DuplicatePolicy::kError);
+}
+
+Result<CsrGraph> BarabasiAlbert(NodeId num_nodes, int32_t edges_per_node,
+                                Rng* rng) {
+  if (edges_per_node < 1) {
+    return Status::InvalidArgument("edges_per_node must be >= 1");
+  }
+  if (num_nodes <= edges_per_node) {
+    return Status::InvalidArgument(
+        StrCat("need more than ", edges_per_node, " nodes"));
+  }
+  GraphBuilder builder(num_nodes, GraphKind::kUndirected);
+  // Repeated-endpoint list: picking a uniform element samples ∝ degree.
+  std::vector<NodeId> endpoints;
+  const NodeId seed_size = edges_per_node + 1;
+  for (NodeId u = 0; u < seed_size; ++u) {
+    for (NodeId v = u + 1; v < seed_size; ++v) {
+      D2PR_RETURN_NOT_OK(builder.AddEdge(u, v));
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::unordered_set<NodeId> picked;
+  for (NodeId u = seed_size; u < num_nodes; ++u) {
+    picked.clear();
+    while (static_cast<int32_t>(picked.size()) < edges_per_node) {
+      const NodeId v = endpoints[static_cast<size_t>(
+          rng->Below(endpoints.size()))];
+      picked.insert(v);
+    }
+    for (NodeId v : picked) {
+      D2PR_RETURN_NOT_OK(builder.AddEdge(u, v));
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  return builder.Build(DuplicatePolicy::kError);
+}
+
+Result<CsrGraph> WattsStrogatz(NodeId num_nodes, int32_t k,
+                               double rewire_prob, Rng* rng) {
+  if (k < 1 || 2 * k >= num_nodes) {
+    return Status::InvalidArgument(
+        StrCat("k must satisfy 1 <= k and 2k < n; got k=", k, ", n=",
+               num_nodes));
+  }
+  if (rewire_prob < 0.0 || rewire_prob > 1.0) {
+    return Status::InvalidArgument("rewire_prob must lie in [0, 1]");
+  }
+  // Edge set as packed keys so rewiring can test membership.
+  std::unordered_set<uint64_t> edges;
+  auto key = [](NodeId a, NodeId b) {
+    return (static_cast<uint64_t>(std::min(a, b)) << 32) |
+           static_cast<uint32_t>(std::max(a, b));
+  };
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (int32_t j = 1; j <= k; ++j) {
+      edges.insert(key(u, static_cast<NodeId>((u + j) % num_nodes)));
+    }
+  }
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (int32_t j = 1; j <= k; ++j) {
+      if (!rng->Bernoulli(rewire_prob)) continue;
+      const NodeId old_v = static_cast<NodeId>((u + j) % num_nodes);
+      const uint64_t old_key = key(u, old_v);
+      if (!edges.count(old_key)) continue;  // already rewired away
+      // Find a fresh target (bounded retries to guarantee termination).
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const NodeId v = static_cast<NodeId>(
+            rng->Below(static_cast<uint64_t>(num_nodes)));
+        if (v == u || edges.count(key(u, v))) continue;
+        edges.erase(old_key);
+        edges.insert(key(u, v));
+        break;
+      }
+    }
+  }
+  GraphBuilder builder(num_nodes, GraphKind::kUndirected);
+  for (uint64_t packed : edges) {
+    D2PR_RETURN_NOT_OK(builder.AddEdge(static_cast<NodeId>(packed >> 32),
+                                       static_cast<NodeId>(packed &
+                                                           0xffffffffULL)));
+  }
+  return builder.Build(DuplicatePolicy::kError);
+}
+
+Result<CsrGraph> ChungLu(const std::vector<double>& expected_degrees,
+                         Rng* rng) {
+  const NodeId n = static_cast<NodeId>(expected_degrees.size());
+  double total = 0.0;
+  for (double w : expected_degrees) {
+    if (w < 0.0) return Status::InvalidArgument("negative expected degree");
+    total += w;
+  }
+  if (n > 0 && total <= 0.0) {
+    return Status::InvalidArgument("expected degrees sum to zero");
+  }
+  GraphBuilder builder(n, GraphKind::kUndirected);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double prob =
+          std::min(1.0, expected_degrees[static_cast<size_t>(u)] *
+                            expected_degrees[static_cast<size_t>(v)] / total);
+      if (rng->Bernoulli(prob)) {
+        D2PR_RETURN_NOT_OK(builder.AddEdge(u, v));
+      }
+    }
+  }
+  return builder.Build(DuplicatePolicy::kError);
+}
+
+}  // namespace d2pr

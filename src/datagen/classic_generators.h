@@ -1,0 +1,43 @@
+// Textbook random-graph generators.
+//
+// Used as independent test substrates (known structure, known degree laws)
+// and by the Last.fm listener-listener substitute, which is a social graph
+// rather than a projection (Chung-Lu with activity-driven expected degrees).
+
+#ifndef D2PR_DATAGEN_CLASSIC_GENERATORS_H_
+#define D2PR_DATAGEN_CLASSIC_GENERATORS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+
+namespace d2pr {
+
+/// \brief G(n, m): exactly m distinct undirected non-loop edges, uniform.
+/// m must not exceed n(n-1)/2.
+Result<CsrGraph> ErdosRenyi(NodeId num_nodes, int64_t num_edges, Rng* rng);
+
+/// \brief Barabási–Albert preferential attachment: starts from a clique of
+/// `edges_per_node` + 1 nodes, then each new node attaches to
+/// `edges_per_node` distinct existing nodes with probability ∝ degree.
+Result<CsrGraph> BarabasiAlbert(NodeId num_nodes, int32_t edges_per_node,
+                                Rng* rng);
+
+/// \brief Watts–Strogatz small world: ring lattice with `k` nearest
+/// neighbors per side... each right-going lattice edge rewired with
+/// probability `rewire_prob` to a uniform non-duplicate target.
+Result<CsrGraph> WattsStrogatz(NodeId num_nodes, int32_t k,
+                               double rewire_prob, Rng* rng);
+
+/// \brief Chung–Lu: undirected edges sampled independently with
+/// P(u ~ v) = min(1, w_u·w_v / Σw). Expected degree of u ≈ w_u when the
+/// weights are graphical. O(n²) sampling; intended for n up to a few
+/// thousand.
+Result<CsrGraph> ChungLu(const std::vector<double>& expected_degrees,
+                         Rng* rng);
+
+}  // namespace d2pr
+
+#endif  // D2PR_DATAGEN_CLASSIC_GENERATORS_H_

@@ -1,0 +1,39 @@
+#include "datagen/copula.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/string_util.h"
+#include "datagen/distributions.h"
+#include "stats/ranking.h"
+
+namespace d2pr {
+
+Result<std::vector<double>> SpearmanCoupledVector(
+    std::span<const double> reference, double target_spearman, Rng* rng) {
+  if (std::abs(target_spearman) > 1.0) {
+    return Status::InvalidArgument(
+        StrCat("target Spearman must lie in [-1, 1], got ", target_spearman));
+  }
+  const size_t n = reference.size();
+  if (n < 2) {
+    return Status::InvalidArgument("need at least 2 elements");
+  }
+  // Normal scores of the reference ranks: Φ⁻¹(rank / (n+1)).
+  const std::vector<double> ranks =
+      AverageRanks(reference, RankOrder::kAscending);
+  std::vector<double> z(n);
+  for (size_t i = 0; i < n; ++i) {
+    z[i] = NormalQuantile(ranks[i] / (static_cast<double>(n) + 1.0));
+  }
+  const double rho =
+      2.0 * std::sin(std::numbers::pi * target_spearman / 6.0);
+  const double noise_scale = std::sqrt(std::max(0.0, 1.0 - rho * rho));
+  std::vector<double> coupled(n);
+  for (size_t i = 0; i < n; ++i) {
+    coupled[i] = rho * z[i] + noise_scale * rng->Normal();
+  }
+  return coupled;
+}
+
+}  // namespace d2pr

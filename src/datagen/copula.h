@@ -1,0 +1,32 @@
+// Gaussian-copula coupling: draw a vector with a target Spearman
+// correlation to a reference vector.
+//
+// Used by property tests to manufacture significance vectors whose
+// degree-correlation is controlled exactly, independent of any generative
+// story — the cleanest way to probe how the optimal de-coupling weight p
+// tracks the degree-significance relationship (the paper's Figure 5 claim).
+
+#ifndef D2PR_DATAGEN_COPULA_H_
+#define D2PR_DATAGEN_COPULA_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace d2pr {
+
+/// \brief Returns y (same length as `reference`) such that
+/// Spearman(reference, y) ≈ target_spearman (|target| <= 1).
+///
+/// Construction: z = normal scores of reference's ranks;
+/// y = ρ·z + sqrt(1-ρ²)·ε with ρ = 2·sin(π·target/6), the exact Pearson
+/// parameter that yields the requested Spearman under bivariate normality.
+/// Sampling noise of order 1/sqrt(n) remains.
+Result<std::vector<double>> SpearmanCoupledVector(
+    std::span<const double> reference, double target_spearman, Rng* rng);
+
+}  // namespace d2pr
+
+#endif  // D2PR_DATAGEN_COPULA_H_

@@ -1,0 +1,114 @@
+#include "datagen/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/check.h"
+
+namespace d2pr {
+
+ZipfSampler::ZipfSampler(int64_t n, double s) {
+  D2PR_CHECK_GE(n, 1);
+  D2PR_CHECK_GE(s, 0.0);
+  cdf_.resize(static_cast<size_t>(n));
+  double total = 0.0;
+  double weighted = 0.0;
+  for (int64_t k = 1; k <= n; ++k) {
+    const double mass = std::pow(static_cast<double>(k), -s);
+    total += mass;
+    weighted += mass * static_cast<double>(k);
+    cdf_[static_cast<size_t>(k - 1)] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+  mean_ = weighted / total;
+}
+
+int64_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->Uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int64_t>(it - cdf_.begin()) + 1;
+}
+
+std::vector<int64_t> SampleZipfMany(int64_t count, int64_t n, double s,
+                                    int64_t min_value, Rng* rng) {
+  ZipfSampler sampler(n, s);
+  std::vector<int64_t> out(static_cast<size_t>(count));
+  for (int64_t& v : out) v = sampler.Sample(rng) + (min_value - 1);
+  return out;
+}
+
+std::vector<int32_t> WeightedSampleWithoutReplacement(
+    const std::vector<double>& weights, int32_t k, Rng* rng) {
+  D2PR_CHECK_GE(k, 0);
+  // Efraimidis–Spirakis: key_i = U_i^(1/w_i); take the k largest keys.
+  // Equivalent formulation via -log(U)/w (exponential race, smaller wins).
+  using Entry = std::pair<double, int32_t>;  // (race time, index)
+  std::priority_queue<Entry> worst_first;    // max-heap on race time
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i];
+    D2PR_CHECK_GE(w, 0.0);
+    if (w <= 0.0) continue;
+    double u;
+    do {
+      u = rng->Uniform();
+    } while (u == 0.0);
+    const double race = -std::log(u) / w;
+    if (worst_first.size() < static_cast<size_t>(k)) {
+      worst_first.emplace(race, static_cast<int32_t>(i));
+    } else if (!worst_first.empty() && race < worst_first.top().first) {
+      worst_first.pop();
+      worst_first.emplace(race, static_cast<int32_t>(i));
+    }
+  }
+  D2PR_CHECK_GE(worst_first.size(), static_cast<size_t>(k))
+      << "fewer positive weights than requested sample size";
+  std::vector<int32_t> sample;
+  sample.reserve(static_cast<size_t>(k));
+  while (!worst_first.empty()) {
+    sample.push_back(worst_first.top().second);
+    worst_first.pop();
+  }
+  std::sort(sample.begin(), sample.end());
+  return sample;
+}
+
+double NormalQuantile(double prob) {
+  D2PR_CHECK(prob > 0.0 && prob < 1.0);
+  // Acklam's inverse-normal approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double kLow = 0.02425;
+  double q, r;
+  if (prob < kLow) {
+    q = std::sqrt(-2.0 * std::log(prob));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (prob <= 1.0 - kLow) {
+    q = prob - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - prob));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace d2pr

@@ -1,0 +1,50 @@
+// Samplers for the skewed distributions the synthetic worlds need.
+
+#ifndef D2PR_DATAGEN_DISTRIBUTIONS_H_
+#define D2PR_DATAGEN_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace d2pr {
+
+/// \brief Bounded Zipf sampler: P(k) ∝ k^-s for k in [1, n].
+///
+/// Uses inverse-CDF over a precomputed table; O(log n) per draw after O(n)
+/// setup. Deterministic given the Rng stream.
+class ZipfSampler {
+ public:
+  /// \param n Largest value (inclusive). \param s Exponent (s >= 0).
+  ZipfSampler(int64_t n, double s);
+
+  /// Draws a value in [1, n].
+  int64_t Sample(Rng* rng) const;
+
+  /// Expected value of the distribution.
+  double Mean() const { return mean_; }
+
+ private:
+  std::vector<double> cdf_;
+  double mean_;
+};
+
+/// \brief Draws `count` values from Zipf(n, s) shifted by `min_value - 1`
+/// (values lie in [min_value, min_value + n - 1]).
+std::vector<int64_t> SampleZipfMany(int64_t count, int64_t n, double s,
+                                    int64_t min_value, Rng* rng);
+
+/// \brief Weighted sampling of `k` distinct indices from weights[0..n)
+/// (probability ∝ weight). Weights must be non-negative with at least k
+/// positive entries; O(n + k log n) via exponential races.
+std::vector<int32_t> WeightedSampleWithoutReplacement(
+    const std::vector<double>& weights, int32_t k, Rng* rng);
+
+/// \brief Standard normal quantile (Acklam's rational approximation,
+/// |error| < 1.15e-9). Input must lie in (0, 1).
+double NormalQuantile(double prob);
+
+}  // namespace d2pr
+
+#endif  // D2PR_DATAGEN_DISTRIBUTIONS_H_

@@ -1,0 +1,101 @@
+#include "datagen/projection.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "graph/graph_builder.h"
+
+namespace d2pr {
+
+Result<CsrGraph> ProjectGroups(const std::vector<std::vector<NodeId>>& groups,
+                               NodeId num_nodes,
+                               const ProjectionConfig& config) {
+  // Emit packed (u << 32 | v) keys for every co-occurring pair, then sort
+  // and run-length count. Memory is proportional to the number of pairs,
+  // which the caller bounds via group sizes / max_anchor_size.
+  std::vector<uint64_t> pairs;
+  for (const auto& group : groups) {
+    const size_t size = group.size();
+    if (config.max_anchor_size > 0 &&
+        size > static_cast<size_t>(config.max_anchor_size)) {
+      continue;
+    }
+    for (size_t a = 0; a < size; ++a) {
+      const NodeId u = group[a];
+      if (u < 0 || u >= num_nodes) {
+        return Status::InvalidArgument(
+            StrCat("group member ", u, " outside [0, ", num_nodes, ")"));
+      }
+      for (size_t b = a + 1; b < size; ++b) {
+        const NodeId v = group[b];
+        if (u == v) {
+          return Status::InvalidArgument(
+              StrCat("duplicate node ", u, " within one group"));
+        }
+        const NodeId lo = std::min(u, v);
+        const NodeId hi = std::max(u, v);
+        pairs.push_back((static_cast<uint64_t>(lo) << 32) |
+                        static_cast<uint32_t>(hi));
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+
+  GraphBuilder builder(num_nodes, GraphKind::kUndirected, config.weighted);
+  for (size_t i = 0; i < pairs.size();) {
+    size_t j = i;
+    while (j < pairs.size() && pairs[j] == pairs[i]) ++j;
+    const NodeId u = static_cast<NodeId>(pairs[i] >> 32);
+    const NodeId v = static_cast<NodeId>(pairs[i] & 0xffffffffULL);
+    const double weight =
+        config.weighted ? static_cast<double>(j - i) : 1.0;
+    D2PR_RETURN_NOT_OK(builder.AddEdge(u, v, weight));
+    i = j;
+  }
+  return builder.Build(DuplicatePolicy::kError);
+}
+
+Result<CsrGraph> ProjectMembers(const BipartiteWorld& world,
+                                const ProjectionConfig& config) {
+  return ProjectGroups(world.venue_members, world.config.num_members,
+                       config);
+}
+
+Result<CsrGraph> ProjectVenues(const BipartiteWorld& world,
+                               const ProjectionConfig& config) {
+  return ProjectGroups(world.member_venues, world.config.num_venues, config);
+}
+
+Result<CsrGraph> CommonNeighborWeightedGraph(const CsrGraph& graph) {
+  if (graph.directed()) {
+    return Status::InvalidArgument(
+        "common-neighbor weighting expects an undirected graph");
+  }
+  GraphBuilder builder(graph.num_nodes(), GraphKind::kUndirected,
+                       /*weighted=*/true);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    auto nu = graph.OutNeighbors(u);
+    for (NodeId v : nu) {
+      if (v <= u) continue;  // handle each undirected edge once
+      auto nv = graph.OutNeighbors(v);
+      // Sorted-list intersection size.
+      size_t a = 0, b = 0, shared = 0;
+      while (a < nu.size() && b < nv.size()) {
+        if (nu[a] == nv[b]) {
+          ++shared;
+          ++a;
+          ++b;
+        } else if (nu[a] < nv[b]) {
+          ++a;
+        } else {
+          ++b;
+        }
+      }
+      D2PR_RETURN_NOT_OK(
+          builder.AddEdge(u, v, 1.0 + static_cast<double>(shared)));
+    }
+  }
+  return builder.Build(DuplicatePolicy::kError);
+}
+
+}  // namespace d2pr

@@ -1,0 +1,59 @@
+// Co-occurrence projections of bipartite worlds.
+//
+// The paper's data graphs are one-mode projections: two actors are linked
+// if they share a movie, two movies if they share a contributor, and so on.
+// In the weighted variants the edge weight is the co-occurrence count
+// ("# of common movies", "# of shared commenters", ...), matching the
+// weight semantics of the paper's Figures 9-11.
+
+#ifndef D2PR_DATAGEN_PROJECTION_H_
+#define D2PR_DATAGEN_PROJECTION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "datagen/bipartite_world.h"
+#include "graph/csr_graph.h"
+
+namespace d2pr {
+
+/// \brief Projection knobs.
+struct ProjectionConfig {
+  /// Store co-occurrence counts as weights; otherwise the graph is
+  /// unweighted (the count is still used to decide edge existence).
+  bool weighted = false;
+  /// Anchors (groups) larger than this are skipped to bound the quadratic
+  /// clique blow-up; 0 disables the cap.
+  int32_t max_anchor_size = 0;
+};
+
+/// \brief Generic one-mode projection: for every anchor group, all pairs of
+/// its `groups[a]` entries become edges; parallel pairs accumulate weight.
+///
+/// \param groups Each inner vector lists node ids (sorted or not) of one
+///        anchor; ids must lie in [0, num_nodes).
+Result<CsrGraph> ProjectGroups(const std::vector<std::vector<NodeId>>& groups,
+                               NodeId num_nodes,
+                               const ProjectionConfig& config = {});
+
+/// \brief Member-member graph: members linked by shared venues
+/// (actor-actor, author-author, commenter-commenter).
+Result<CsrGraph> ProjectMembers(const BipartiteWorld& world,
+                                const ProjectionConfig& config = {});
+
+/// \brief Venue-venue graph: venues linked by shared members (movie-movie,
+/// article-article, artist-artist, product-product).
+Result<CsrGraph> ProjectVenues(const BipartiteWorld& world,
+                               const ProjectionConfig& config = {});
+
+/// \brief Re-weights an unweighted undirected graph with edge weight
+/// 1 + |N(u) ∩ N(v)| (shared-neighbor count).
+///
+/// This is the paper's weighted listener-listener construction ("edge
+/// weights denote the number of shared friends"); the +1 keeps weights
+/// positive where two friends share no other friend.
+Result<CsrGraph> CommonNeighborWeightedGraph(const CsrGraph& graph);
+
+}  // namespace d2pr
+
+#endif  // D2PR_DATAGEN_PROJECTION_H_

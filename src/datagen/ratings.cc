@@ -1,0 +1,83 @@
+#include "datagen/ratings.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "datagen/distributions.h"
+
+namespace d2pr {
+
+Result<RatingsTable> GenerateRatings(const BipartiteWorld& world,
+                                     const RatingsConfig& config) {
+  const NodeId num_venues = world.config.num_venues;
+  if (config.num_users <= 0) {
+    return Status::InvalidArgument("num_users must be positive");
+  }
+  if (config.ratings_per_user <= 0) {
+    return Status::InvalidArgument("ratings_per_user must be positive");
+  }
+  if (config.user_bias_sigma < 0.0 || config.taste_sigma < 0.0) {
+    return Status::InvalidArgument("noise sigmas must be >= 0");
+  }
+  if (config.popularity_exponent < 0.0) {
+    return Status::InvalidArgument("popularity_exponent must be >= 0");
+  }
+
+  Rng rng(config.seed);
+  const int32_t per_user = std::min<int32_t>(
+      config.ratings_per_user, static_cast<int32_t>(num_venues));
+
+  // Popularity-biased venue selection weights.
+  std::vector<double> weights(static_cast<size_t>(num_venues));
+  for (NodeId r = 0; r < num_venues; ++r) {
+    const double size =
+        1.0 + static_cast<double>(world.venue_members[static_cast<size_t>(r)]
+                                      .size());
+    weights[static_cast<size_t>(r)] =
+        std::pow(size, config.popularity_exponent);
+  }
+
+  RatingsTable table;
+  table.ratings.reserve(static_cast<size_t>(config.num_users) * per_user);
+  table.venue_mean.assign(static_cast<size_t>(num_venues), 0.0);
+  table.venue_count.assign(static_cast<size_t>(num_venues), 0);
+
+  double total_stars = 0.0;
+  for (int32_t user = 0; user < config.num_users; ++user) {
+    const double bias = rng.Normal(0.0, config.user_bias_sigma);
+    const std::vector<int32_t> venues =
+        WeightedSampleWithoutReplacement(weights, per_user, &rng);
+    for (int32_t venue : venues) {
+      const double quality =
+          world.venue_quality[static_cast<size_t>(venue)];
+      const double raw = 1.0 + 4.0 * quality + bias +
+                         rng.Normal(0.0, config.taste_sigma);
+      Rating rating;
+      rating.user = user;
+      rating.item = venue;
+      rating.stars = std::clamp(raw, 1.0, 5.0);
+      table.venue_mean[static_cast<size_t>(venue)] += rating.stars;
+      ++table.venue_count[static_cast<size_t>(venue)];
+      total_stars += rating.stars;
+      table.ratings.push_back(rating);
+    }
+  }
+
+  table.global_mean =
+      table.ratings.empty()
+          ? 3.0
+          : total_stars / static_cast<double>(table.ratings.size());
+  for (NodeId r = 0; r < num_venues; ++r) {
+    const size_t idx = static_cast<size_t>(r);
+    table.venue_mean[idx] = table.venue_count[idx] > 0
+                                ? table.venue_mean[idx] /
+                                      static_cast<double>(
+                                          table.venue_count[idx])
+                                : table.global_mean;
+  }
+  return table;
+}
+
+}  // namespace d2pr

@@ -1,0 +1,117 @@
+#include "datagen/significance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace d2pr {
+
+namespace {
+
+// z-scores of log(1 + size) across venues; all-equal sizes give zeros.
+std::vector<double> LogSizeZScores(const BipartiteWorld& world) {
+  const size_t n = world.venue_members.size();
+  std::vector<double> logs(n);
+  for (size_t r = 0; r < n; ++r) {
+    logs[r] = std::log1p(static_cast<double>(world.venue_members[r].size()));
+  }
+  double mean = 0.0;
+  for (double v : logs) mean += v;
+  mean /= static_cast<double>(n);
+  double ss = 0.0;
+  for (double v : logs) ss += (v - mean) * (v - mean);
+  const double sd = std::sqrt(ss / static_cast<double>(n));
+  if (sd == 0.0) return std::vector<double>(n, 0.0);
+  for (double& v : logs) v = (v - mean) / sd;
+  return logs;
+}
+
+}  // namespace
+
+std::vector<double> AvgVenueQualitySignificance(const BipartiteWorld& world,
+                                                double noise_sigma,
+                                                Rng* rng) {
+  const size_t n = world.member_venues.size();
+  std::vector<double> significance(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& venues = world.member_venues[i];
+    double value;
+    if (venues.empty()) {
+      value = world.member_quality[i];
+    } else {
+      double total = 0.0;
+      for (NodeId r : venues) {
+        total += world.venue_quality[static_cast<size_t>(r)];
+      }
+      value = total / static_cast<double>(venues.size());
+    }
+    significance[i] = value + rng->Normal(0.0, noise_sigma);
+  }
+  return significance;
+}
+
+std::vector<double> AvgVenueSignificance(
+    const BipartiteWorld& world, const std::vector<double>& venue_scores) {
+  D2PR_CHECK_EQ(venue_scores.size(), world.venue_members.size());
+  const size_t n = world.member_venues.size();
+  std::vector<double> significance(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& venues = world.member_venues[i];
+    if (venues.empty()) continue;
+    double total = 0.0;
+    for (NodeId r : venues) total += venue_scores[static_cast<size_t>(r)];
+    significance[i] = total / static_cast<double>(venues.size());
+  }
+  return significance;
+}
+
+std::vector<double> VenueRatingSignificance(const BipartiteWorld& world,
+                                            double size_slope,
+                                            double noise_sigma, Rng* rng) {
+  const std::vector<double> size_z = LogSizeZScores(world);
+  const size_t n = world.venue_members.size();
+  std::vector<double> significance(n);
+  for (size_t r = 0; r < n; ++r) {
+    const double raw = 1.0 + 4.0 * world.venue_quality[r] +
+                       size_slope * size_z[r] +
+                       rng->Normal(0.0, noise_sigma);
+    significance[r] = std::clamp(raw, 1.0, 5.0);
+  }
+  return significance;
+}
+
+std::vector<double> SizeScaledCountSignificance(const BipartiteWorld& world,
+                                                double quality_scale,
+                                                double size_exponent,
+                                                double noise_sigma,
+                                                Rng* rng) {
+  const size_t n = world.venue_members.size();
+  std::vector<double> significance(n);
+  for (size_t r = 0; r < n; ++r) {
+    const double size = 1.0 + static_cast<double>(world.venue_members[r].size());
+    significance[r] = std::exp(quality_scale * world.venue_quality[r]) *
+                      std::pow(size, size_exponent) *
+                      std::exp(rng->Normal(0.0, noise_sigma));
+  }
+  return significance;
+}
+
+std::vector<double> EffortDilutedTrustSignificance(const BipartiteWorld& world,
+                                                   double dilution,
+                                                   double budget_exponent,
+                                                   double noise_sigma,
+                                                   Rng* rng) {
+  const size_t n = world.member_venues.size();
+  std::vector<double> significance(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double degree =
+        1.0 + static_cast<double>(world.member_venues[i].size());
+    const double effort =
+        std::pow(world.member_budget[i], budget_exponent) / degree;
+    significance[i] = world.member_quality[i] *
+                      std::pow(effort, dilution) *
+                      std::exp(rng->Normal(0.0, noise_sigma));
+  }
+  return significance;
+}
+
+}  // namespace d2pr

@@ -1,0 +1,91 @@
+// Application-specific node significance models (paper §4.1.1).
+//
+// Each of the paper's eight applications defines "significance" from
+// external evidence. These models generate the analogous evidence from a
+// world's latent state:
+//
+//   application            paper's significance          model here
+//   -------------------    --------------------------    ------------------
+//   actor-actor            avg rating of movies acted    AvgVenueQuality
+//   author-author          avg citations of papers       AvgVenueSignificance
+//                                                        over citations
+//   movie-movie            avg user rating (MovieLens)   VenueRating (+size
+//                                                        bonus, crowd noise)
+//   product-product        avg commenter rating          VenueRating with
+//                                                        negative size slope
+//   article-article        citation count                SizeScaledCounts
+//   artist-artist          play count                    SizeScaledCounts
+//   commenter-commenter    trusts received               EffortDilutedTrust
+//   listener-listener      total listening activity      (see social_graph)
+
+#ifndef D2PR_DATAGEN_SIGNIFICANCE_H_
+#define D2PR_DATAGEN_SIGNIFICANCE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/bipartite_world.h"
+
+namespace d2pr {
+
+/// \brief Member-side: mean quality of the venues a member joined, plus
+/// Gaussian observation noise. Members with no venues get their own latent
+/// quality (they exist but have no public record).
+///
+/// Models "average user rating of the movies an actor played in".
+std::vector<double> AvgVenueQualitySignificance(const BipartiteWorld& world,
+                                                double noise_sigma, Rng* rng);
+
+/// \brief Member-side: mean of a per-venue significance vector over the
+/// member's venues (e.g. average citations of an author's articles).
+/// Members with no venues get 0.
+std::vector<double> AvgVenueSignificance(
+    const BipartiteWorld& world, const std::vector<double>& venue_scores);
+
+/// \brief Venue-side rating model on a 1..5 scale:
+///
+///   rating(r) = clamp(1 + 4·quality(r) + size_slope·ẑ(log(1+|r|))
+///               + noise, 1, 5)
+///
+/// where ẑ is the z-score of log venue size across venues. A positive
+/// size_slope models "big casts are big-budget productions" (movie-movie,
+/// Group B); a negative slope models "heavily-commented products attract
+/// negative comments" (product-product, Group A; paper Fig. 5).
+std::vector<double> VenueRatingSignificance(const BipartiteWorld& world,
+                                            double size_slope,
+                                            double noise_sigma, Rng* rng);
+
+/// \brief Venue-side open-ended counts (citations, play counts):
+///
+///   count(r) = exp(quality_scale·quality(r)) · (1+|r|)^size_exponent
+///              · lognormal-noise
+///
+/// size_exponent > 0 ties the count to venue size and hence to projected
+/// degree (Group C: degree is genuinely informative).
+std::vector<double> SizeScaledCountSignificance(const BipartiteWorld& world,
+                                                double quality_scale,
+                                                double size_exponent,
+                                                double noise_sigma, Rng* rng);
+
+/// \brief Member-side trust counts with effort dilution:
+///
+///   trust(i) = quality(i) ·
+///              (budget(i)^budget_exponent / (1 + deg(i)))^dilution ·
+///              lognormal-noise
+///
+/// dilution > 0 encodes the paper's §4.3.1 reading of Epinions: prolific
+/// commenters spread effort thin, earning less trust per comment and less
+/// trust overall relative to their visibility. budget_exponent in [0, 1)
+/// partially compensates high-capacity members (a diligent power-user is
+/// not as diluted as a spammer with the same volume), which keeps the
+/// degree signal from being perfectly monotone — over-penalizing degree
+/// must not be a free lunch.
+std::vector<double> EffortDilutedTrustSignificance(const BipartiteWorld& world,
+                                                   double dilution,
+                                                   double budget_exponent,
+                                                   double noise_sigma,
+                                                   Rng* rng);
+
+}  // namespace d2pr
+
+#endif  // D2PR_DATAGEN_SIGNIFICANCE_H_

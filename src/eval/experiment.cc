@@ -1,0 +1,100 @@
+#include "eval/experiment.h"
+
+#include <cmath>
+
+#include "stats/correlation.h"
+
+namespace d2pr {
+
+Result<std::vector<CorrelationPoint>> CorrelationPSweep(
+    const CsrGraph& graph, std::span<const double> significance,
+    const std::vector<double>& p_grid, const D2prOptions& base) {
+  if (significance.size() != static_cast<size_t>(graph.num_nodes())) {
+    return Status::InvalidArgument("significance size != num nodes");
+  }
+  std::vector<CorrelationPoint> series;
+  series.reserve(p_grid.size());
+  for (double p : p_grid) {
+    D2prOptions options = base;
+    options.p = p;
+    D2PR_ASSIGN_OR_RETURN(PagerankResult result, ComputeD2pr(graph, options));
+    CorrelationPoint point;
+    point.p = p;
+    point.correlation = SpearmanCorrelation(result.scores, significance);
+    point.iterations = result.iterations;
+    point.converged = result.converged;
+    series.push_back(point);
+  }
+  return series;
+}
+
+Result<CorrelationSurface> CorrelationAlphaPSweep(
+    const CsrGraph& graph, std::span<const double> significance,
+    const std::vector<double>& alpha_values,
+    const std::vector<double>& p_grid, const D2prOptions& base) {
+  CorrelationSurface surface;
+  surface.outer_values = alpha_values;
+  for (double alpha : alpha_values) {
+    D2prOptions options = base;
+    options.alpha = alpha;
+    D2PR_ASSIGN_OR_RETURN(
+        std::vector<CorrelationPoint> series,
+        CorrelationPSweep(graph, significance, p_grid, options));
+    surface.series.push_back(std::move(series));
+  }
+  return surface;
+}
+
+Result<CorrelationSurface> CorrelationBetaPSweep(
+    const CsrGraph& graph, std::span<const double> significance,
+    const std::vector<double>& beta_values,
+    const std::vector<double>& p_grid, const D2prOptions& base) {
+  if (!graph.weighted()) {
+    return Status::InvalidArgument(
+        "beta sweeps require a weighted graph (beta blends connection "
+        "strength with degree de-coupling)");
+  }
+  CorrelationSurface surface;
+  surface.outer_values = beta_values;
+  for (double beta : beta_values) {
+    D2prOptions options = base;
+    options.beta = beta;
+    D2PR_ASSIGN_OR_RETURN(
+        std::vector<CorrelationPoint> series,
+        CorrelationPSweep(graph, significance, p_grid, options));
+    surface.series.push_back(std::move(series));
+  }
+  return surface;
+}
+
+CorrelationPoint BestPoint(const std::vector<CorrelationPoint>& series) {
+  D2PR_CHECK(!series.empty());
+  CorrelationPoint best = series.front();
+  for (const CorrelationPoint& point : series) {
+    if (point.correlation > best.correlation ||
+        (point.correlation == best.correlation &&
+         std::abs(point.p) < std::abs(best.p))) {
+      best = point;
+    }
+  }
+  return best;
+}
+
+CorrelationPoint ConventionalPoint(
+    const std::vector<CorrelationPoint>& series) {
+  for (const CorrelationPoint& point : series) {
+    if (point.p == 0.0) return point;
+  }
+  D2PR_CHECK(false) << "series does not include p = 0";
+  return {};
+}
+
+D2prOptions BenchOptions() {
+  D2prOptions options;
+  options.alpha = 0.85;
+  options.tolerance = 1e-9;
+  options.max_iterations = 300;
+  return options;
+}
+
+}  // namespace d2pr

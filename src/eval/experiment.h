@@ -1,0 +1,70 @@
+// Experiment runners shared by the table/figure reproduction benches.
+//
+// Every figure in the paper is some slice of the same computation: sweep p
+// (and possibly alpha or beta), compute D2PR, and report Spearman's rank
+// correlation between the scores and the application-specific node
+// significance. These helpers centralize that loop.
+
+#ifndef D2PR_EVAL_EXPERIMENT_H_
+#define D2PR_EVAL_EXPERIMENT_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "core/d2pr.h"
+#include "datagen/dataset_registry.h"
+#include "graph/csr_graph.h"
+
+namespace d2pr {
+
+/// \brief One evaluated point of a correlation sweep.
+struct CorrelationPoint {
+  double p = 0.0;            ///< De-coupling weight evaluated.
+  double correlation = 0.0;  ///< Spearman(D2PR scores, significance).
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// \brief Runs D2PR for each p in `p_grid` and correlates scores with
+/// `significance` (which must have one entry per node).
+Result<std::vector<CorrelationPoint>> CorrelationPSweep(
+    const CsrGraph& graph, std::span<const double> significance,
+    const std::vector<double>& p_grid, const D2prOptions& base = {});
+
+/// \brief A full correlation surface over (outer parameter, p).
+struct CorrelationSurface {
+  /// Values of the outer parameter (alpha for Figs 6-8, beta for 9-11).
+  std::vector<double> outer_values;
+  /// series[k][i] is the point at outer_values[k], p_grid[i].
+  std::vector<std::vector<CorrelationPoint>> series;
+};
+
+/// \brief Sweeps alpha × p (the paper's Figures 6-8 layout).
+Result<CorrelationSurface> CorrelationAlphaPSweep(
+    const CsrGraph& graph, std::span<const double> significance,
+    const std::vector<double>& alpha_values,
+    const std::vector<double>& p_grid, const D2prOptions& base = {});
+
+/// \brief Sweeps beta × p on a weighted graph (Figures 9-11 layout).
+Result<CorrelationSurface> CorrelationBetaPSweep(
+    const CsrGraph& graph, std::span<const double> significance,
+    const std::vector<double>& beta_values,
+    const std::vector<double>& p_grid, const D2prOptions& base = {});
+
+/// \brief Argmax of a correlation series; ties go to the smallest |p|
+/// (prefer the least-intrusive de-coupling).
+CorrelationPoint BestPoint(const std::vector<CorrelationPoint>& series);
+
+/// \brief The point at p = 0 (conventional PageRank) in a series; CHECKs
+/// that the grid contains 0.
+CorrelationPoint ConventionalPoint(
+    const std::vector<CorrelationPoint>& series);
+
+/// \brief Default solver settings used by the reproduction benches: the
+/// paper's alpha = 0.85 with a tolerance loose enough for sweep workloads.
+D2prOptions BenchOptions();
+
+}  // namespace d2pr
+
+#endif  // D2PR_EVAL_EXPERIMENT_H_

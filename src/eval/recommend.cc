@@ -1,0 +1,103 @@
+#include "eval/recommend.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/ranking.h"
+
+namespace d2pr {
+
+namespace {
+
+// Item indices in ranked (best-first) order.
+std::vector<NodeId> RankedOrder(std::span<const double> scores) {
+  return TopK(scores, scores.size());
+}
+
+}  // namespace
+
+double PrecisionAtK(std::span<const double> scores,
+                    std::span<const uint8_t> relevant, size_t k) {
+  D2PR_CHECK_EQ(scores.size(), relevant.size());
+  k = std::min(k, scores.size());
+  if (k == 0) return 0.0;
+  const std::vector<NodeId> order = RankedOrder(scores);
+  size_t hits = 0;
+  for (size_t i = 0; i < k; ++i) {
+    hits += relevant[static_cast<size_t>(order[i])];
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double RecallAtK(std::span<const double> scores,
+                 std::span<const uint8_t> relevant, size_t k) {
+  D2PR_CHECK_EQ(scores.size(), relevant.size());
+  size_t total_relevant = 0;
+  for (uint8_t r : relevant) total_relevant += r;
+  if (total_relevant == 0) return 0.0;
+  k = std::min(k, scores.size());
+  const std::vector<NodeId> order = RankedOrder(scores);
+  size_t hits = 0;
+  for (size_t i = 0; i < k; ++i) {
+    hits += relevant[static_cast<size_t>(order[i])];
+  }
+  return static_cast<double>(hits) / static_cast<double>(total_relevant);
+}
+
+double NdcgAtK(std::span<const double> scores, std::span<const double> gains,
+               size_t k) {
+  D2PR_CHECK_EQ(scores.size(), gains.size());
+  k = std::min(k, scores.size());
+  if (k == 0) return 0.0;
+  const std::vector<NodeId> order = RankedOrder(scores);
+  double dcg = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    const double gain = gains[static_cast<size_t>(order[i])];
+    D2PR_CHECK_GE(gain, 0.0);
+    dcg += gain / std::log2(static_cast<double>(i) + 2.0);
+  }
+  // Ideal DCG: gains sorted descending.
+  std::vector<double> ideal(gains.begin(), gains.end());
+  std::sort(ideal.begin(), ideal.end(), std::greater<double>());
+  double idcg = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    idcg += ideal[i] / std::log2(static_cast<double>(i) + 2.0);
+  }
+  if (idcg == 0.0) return 0.0;
+  return dcg / idcg;
+}
+
+double AveragePrecision(std::span<const double> scores,
+                        std::span<const uint8_t> relevant) {
+  D2PR_CHECK_EQ(scores.size(), relevant.size());
+  size_t total_relevant = 0;
+  for (uint8_t r : relevant) total_relevant += r;
+  if (total_relevant == 0) return 0.0;
+  const std::vector<NodeId> order = RankedOrder(scores);
+  double sum = 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (relevant[static_cast<size_t>(order[i])]) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return sum / static_cast<double>(total_relevant);
+}
+
+std::vector<uint8_t> TopFractionRelevance(std::span<const double> significance,
+                                          double fraction) {
+  D2PR_CHECK(fraction > 0.0 && fraction <= 1.0);
+  const size_t count = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::llround(fraction *
+                          static_cast<double>(significance.size()))));
+  std::vector<uint8_t> relevant(significance.size(), 0);
+  for (NodeId v : TopK(significance, count)) {
+    relevant[static_cast<size_t>(v)] = 1;
+  }
+  return relevant;
+}
+
+}  // namespace d2pr

@@ -1,0 +1,46 @@
+// Top-k recommendation-accuracy metrics.
+//
+// The paper's thesis is that degree de-coupling "improves recommendation
+// accuracies". Its evaluation reports rank correlations; these metrics
+// quantify the same effect on the top of the ranking, where recommenders
+// actually operate: precision@k / recall@k against a relevant set, NDCG@k
+// against graded relevance, and average precision.
+
+#ifndef D2PR_EVAL_RECOMMEND_H_
+#define D2PR_EVAL_RECOMMEND_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace d2pr {
+
+/// \brief Fraction of the top-k ranked items (by score) that are relevant.
+/// `relevant` is an indicator per item. k is clamped to the item count.
+double PrecisionAtK(std::span<const double> scores,
+                    std::span<const uint8_t> relevant, size_t k);
+
+/// \brief Fraction of all relevant items that appear in the top-k.
+/// Returns 0 when nothing is relevant.
+double RecallAtK(std::span<const double> scores,
+                 std::span<const uint8_t> relevant, size_t k);
+
+/// \brief Normalized discounted cumulative gain at k over graded
+/// relevance `gains` (non-negative). Returns 0 when all gains are 0.
+double NdcgAtK(std::span<const double> scores, std::span<const double> gains,
+               size_t k);
+
+/// \brief Average precision of the full ranking against `relevant`
+/// (area under the precision-recall curve; 0 when nothing is relevant).
+double AveragePrecision(std::span<const double> scores,
+                        std::span<const uint8_t> relevant);
+
+/// \brief Marks the top `fraction` of `significance` as relevant (the
+/// standard "top-quantile is ground truth" protocol). fraction in (0, 1].
+std::vector<uint8_t> TopFractionRelevance(std::span<const double> significance,
+                                          double fraction);
+
+}  // namespace d2pr
+
+#endif  // D2PR_EVAL_RECOMMEND_H_

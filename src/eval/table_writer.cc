@@ -1,0 +1,111 @@
+#include "eval/table_writer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace d2pr {
+
+namespace {
+
+bool LooksNumeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  bool digit_seen = false;
+  for (char ch : cell) {
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      digit_seen = true;
+    } else if (ch != '-' && ch != '+' && ch != '.' && ch != ',' &&
+               ch != 'e' && ch != 'E' && ch != '%') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string escaped = "\"";
+  for (char ch : cell) {
+    if (ch == '"') escaped += '"';
+    escaped += ch;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  D2PR_CHECK(!headers_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  D2PR_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row, bool header) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      const int width = static_cast<int>(widths[c]);
+      const bool right = !header && LooksNumeric(row[c]);
+      out += Pad(row[c], right ? -width : width);
+      if (c + 1 < row.size()) out += "  ";
+    }
+    // Trim trailing spaces of left-aligned last column.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  emit_row(headers_, /*header=*/true);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule += std::string(widths[c], '-');
+    if (c + 1 < widths.size()) rule += "  ";
+  }
+  out += rule + '\n';
+  for (const auto& row : rows_) emit_row(row, /*header=*/false);
+  return out;
+}
+
+Status TextTable::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError(StrCat("cannot open for write: ", path));
+  auto emit = [&out](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      out << CsvEscape(row[c]);
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  out.flush();
+  if (!out) return Status::IoError(StrCat("write failed: ", path));
+  return Status::OK();
+}
+
+Status EnsureDirectory(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError(StrCat("mkdir ", dir, ": ", ec.message()));
+  return Status::OK();
+}
+
+std::string ResultsDir() { return "results"; }
+
+}  // namespace d2pr

@@ -1,0 +1,44 @@
+// Aligned text tables and CSV dumps for the reproduction benches.
+
+#ifndef D2PR_EVAL_TABLE_WRITER_H_
+#define D2PR_EVAL_TABLE_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace d2pr {
+
+/// \brief Accumulates rows and renders them column-aligned (stdout) or as
+/// CSV (result archives).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds one row; the cell count must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with two-space column gutters; numeric-looking cells are
+  /// right-aligned, text cells left-aligned.
+  std::string ToString() const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Ensures `dir` exists (mkdir -p); returns IoError on failure.
+Status EnsureDirectory(const std::string& dir);
+
+/// \brief Standard location benches archive their CSVs to ("results").
+std::string ResultsDir();
+
+}  // namespace d2pr
+
+#endif  // D2PR_EVAL_TABLE_WRITER_H_

@@ -1,0 +1,84 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+
+namespace d2pr {
+
+EdgeIndex CsrGraph::num_edges() const {
+  if (directed()) return num_arcs();
+  // Count self-loops once; reciprocal pairs count once.
+  EdgeIndex loops = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (NodeId u : OutNeighbors(v)) {
+      if (u == v) ++loops;
+    }
+  }
+  return (num_arcs() - loops) / 2 + loops;
+}
+
+bool CsrGraph::HasArc(NodeId u, NodeId v) const {
+  auto row = OutNeighbors(u);
+  return std::binary_search(row.begin(), row.end(), v);
+}
+
+double CsrGraph::ArcWeight(NodeId u, NodeId v) const {
+  auto row = OutNeighbors(u);
+  auto it = std::lower_bound(row.begin(), row.end(), v);
+  if (it == row.end() || *it != v) return 0.0;
+  if (!weighted()) return 1.0;
+  return weights_[offsets_[u] + (it - row.begin())];
+}
+
+double CsrGraph::OutStrength(NodeId v) const {
+  if (!weighted()) return static_cast<double>(OutDegree(v));
+  double total = 0.0;
+  for (double w : OutWeights(v)) total += w;
+  return total;
+}
+
+std::vector<EdgeIndex> CsrGraph::InDegrees() const {
+  std::vector<EdgeIndex> in(num_nodes(), 0);
+  for (NodeId t : targets_) ++in[t];
+  return in;
+}
+
+CsrGraph CsrGraph::Transpose() const {
+  const NodeId n = num_nodes();
+  std::vector<EdgeIndex> offsets(n + 1, 0);
+  for (NodeId t : targets_) ++offsets[t + 1];
+  for (NodeId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+
+  std::vector<NodeId> targets(targets_.size());
+  std::vector<double> weights(weights_.size());
+  std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
+  for (NodeId src = 0; src < n; ++src) {
+    const EdgeIndex begin = offsets_[src];
+    const EdgeIndex end = offsets_[src + 1];
+    for (EdgeIndex e = begin; e < end; ++e) {
+      const NodeId dst = targets_[e];
+      const EdgeIndex slot = cursor[dst]++;
+      targets[slot] = src;
+      if (!weights_.empty()) weights[slot] = weights_[e];
+    }
+  }
+  // Rows of the transpose must stay sorted; counting sort above emits
+  // sources in ascending order already (we scan src ascending), so each
+  // row is sorted by construction.
+  return CsrGraph(std::move(offsets), std::move(targets), std::move(weights),
+                  kind_);
+}
+
+NodeId CsrGraph::CountDangling() const {
+  NodeId count = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (OutDegree(v) == 0) ++count;
+  }
+  return count;
+}
+
+bool CsrGraph::operator==(const CsrGraph& other) const {
+  return kind_ == other.kind_ && offsets_ == other.offsets_ &&
+         targets_ == other.targets_ && weights_ == other.weights_;
+}
+
+}  // namespace d2pr

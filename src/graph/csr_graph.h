@@ -1,0 +1,124 @@
+// CsrGraph: immutable compressed-sparse-row adjacency structure.
+//
+// This is the library's central data structure: every transition model and
+// random-walk computation reads adjacency through it. Graphs are built once
+// via GraphBuilder and never mutated afterwards, which keeps the hot loops
+// free of synchronization and lets readers share one instance.
+//
+// Storage convention:
+//  * Directed graphs store each arc (u -> v) once, grouped by source u.
+//  * Undirected graphs store each edge {u, v} as two arcs (u -> v) and
+//    (v -> u), so OutDegree(v) equals the classical degree deg(v). A
+//    self-loop is stored as a single arc and contributes 1 to the degree.
+//  * Within a source's row, targets are sorted ascending and unique
+//    (duplicates are merged at build time).
+
+#ifndef D2PR_GRAPH_CSR_GRAPH_H_
+#define D2PR_GRAPH_CSR_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "graph/types.h"
+
+namespace d2pr {
+
+/// \brief Immutable sparse graph in CSR form.
+class CsrGraph {
+ public:
+  /// Creates an empty graph with zero nodes.
+  CsrGraph() : offsets_(1, 0), kind_(GraphKind::kUndirected) {}
+
+  /// Number of nodes (node ids are 0 .. num_nodes()-1).
+  NodeId num_nodes() const {
+    return static_cast<NodeId>(offsets_.size() - 1);
+  }
+
+  /// Number of stored arcs. For undirected graphs this is twice the number
+  /// of non-loop edges plus the number of self-loops.
+  EdgeIndex num_arcs() const {
+    return static_cast<EdgeIndex>(targets_.size());
+  }
+
+  /// Number of logical edges: arcs for directed graphs; for undirected
+  /// graphs, reciprocal arc pairs count once and self-loops count once.
+  EdgeIndex num_edges() const;
+
+  GraphKind kind() const { return kind_; }
+  bool directed() const { return kind_ == GraphKind::kDirected; }
+
+  /// True if per-arc weights are stored.
+  bool weighted() const { return !weights_.empty(); }
+
+  /// Out-degree of `v` (== degree for undirected graphs).
+  EdgeIndex OutDegree(NodeId v) const {
+    D2PR_DCHECK(v >= 0 && v < num_nodes());
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Targets of arcs leaving `v`, sorted ascending.
+  std::span<const NodeId> OutNeighbors(NodeId v) const {
+    D2PR_DCHECK(v >= 0 && v < num_nodes());
+    return {targets_.data() + offsets_[v],
+            static_cast<size_t>(OutDegree(v))};
+  }
+
+  /// Weights aligned with OutNeighbors(v). Only valid when weighted().
+  std::span<const double> OutWeights(NodeId v) const {
+    D2PR_DCHECK(weighted());
+    D2PR_DCHECK(v >= 0 && v < num_nodes());
+    return {weights_.data() + offsets_[v], static_cast<size_t>(OutDegree(v))};
+  }
+
+  /// Index of the first arc of `v` in the flat arc arrays.
+  EdgeIndex ArcBegin(NodeId v) const { return offsets_[v]; }
+
+  /// Flat arrays (for kernels that iterate all arcs).
+  std::span<const EdgeIndex> offsets() const { return offsets_; }
+  std::span<const NodeId> targets() const { return targets_; }
+  std::span<const double> weights() const { return weights_; }
+
+  /// True if `u` has an arc to `v` (binary search, O(log deg)).
+  bool HasArc(NodeId u, NodeId v) const;
+
+  /// Weight of arc (u -> v); 0.0 when absent; 1.0 when present on an
+  /// unweighted graph.
+  double ArcWeight(NodeId u, NodeId v) const;
+
+  /// Sum of weights of arcs leaving `v` (the paper's Θ(v)); equals
+  /// OutDegree(v) on unweighted graphs.
+  double OutStrength(NodeId v) const;
+
+  /// In-degrees of every node (counts arcs entering each node).
+  std::vector<EdgeIndex> InDegrees() const;
+
+  /// Returns the transpose (arcs reversed). The transpose of an undirected
+  /// graph is itself (copy).
+  CsrGraph Transpose() const;
+
+  /// Count of nodes with no outgoing arcs (dangling for random walks).
+  NodeId CountDangling() const;
+
+  /// Structural equality (same kind, offsets, targets, weights).
+  bool operator==(const CsrGraph& other) const;
+
+ private:
+  friend class GraphBuilder;
+
+  CsrGraph(std::vector<EdgeIndex> offsets, std::vector<NodeId> targets,
+           std::vector<double> weights, GraphKind kind)
+      : offsets_(std::move(offsets)),
+        targets_(std::move(targets)),
+        weights_(std::move(weights)),
+        kind_(kind) {}
+
+  std::vector<EdgeIndex> offsets_;  // size num_nodes()+1
+  std::vector<NodeId> targets_;     // size num_arcs()
+  std::vector<double> weights_;     // empty or size num_arcs()
+  GraphKind kind_;
+};
+
+}  // namespace d2pr
+
+#endif  // D2PR_GRAPH_CSR_GRAPH_H_

@@ -1,0 +1,94 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace d2pr {
+
+GraphBuilder::GraphBuilder(NodeId num_nodes, GraphKind kind, bool weighted)
+    : num_nodes_(num_nodes), kind_(kind), weighted_(weighted) {
+  D2PR_CHECK_GE(num_nodes, 0);
+}
+
+Status GraphBuilder::AddEdge(NodeId u, NodeId v, double weight) {
+  if (u < 0 || u >= num_nodes_ || v < 0 || v >= num_nodes_) {
+    return Status::InvalidArgument(
+        StrCat("edge (", u, ", ", v, ") outside node range [0, ",
+               num_nodes_, ")"));
+  }
+  if (!weighted_ && weight != 1.0) {
+    return Status::InvalidArgument(
+        StrCat("weight ", weight, " on unweighted graph (expect 1.0)"));
+  }
+  if (weighted_ && !(weight > 0.0)) {
+    return Status::InvalidArgument(
+        StrCat("non-positive weight ", weight, " on edge (", u, ", ", v,
+               "); transition probabilities require positive weights"));
+  }
+  srcs_.push_back(u);
+  dsts_.push_back(v);
+  weights_.push_back(weight);
+  if (kind_ == GraphKind::kUndirected && u != v) {
+    srcs_.push_back(v);
+    dsts_.push_back(u);
+    weights_.push_back(weight);
+  }
+  return Status::OK();
+}
+
+Result<CsrGraph> GraphBuilder::Build(DuplicatePolicy policy) {
+  const size_t arc_count = srcs_.size();
+  // Sort arc indices by (src, dst) so duplicates become adjacent and CSR
+  // rows come out sorted.
+  std::vector<size_t> order(arc_count);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    if (srcs_[a] != srcs_[b]) return srcs_[a] < srcs_[b];
+    return dsts_[a] < dsts_[b];
+  });
+
+  std::vector<EdgeIndex> offsets(static_cast<size_t>(num_nodes_) + 1, 0);
+  std::vector<NodeId> targets;
+  std::vector<double> weights;
+  targets.reserve(arc_count);
+  if (weighted_) weights.reserve(arc_count);
+
+  for (size_t i = 0; i < arc_count;) {
+    const size_t idx = order[i];
+    const NodeId src = srcs_[idx];
+    const NodeId dst = dsts_[idx];
+    double weight = weights_[idx];
+    size_t j = i + 1;
+    while (j < arc_count && srcs_[order[j]] == src &&
+           dsts_[order[j]] == dst) {
+      switch (policy) {
+        case DuplicatePolicy::kSum:
+          weight += weights_[order[j]];
+          break;
+        case DuplicatePolicy::kKeepFirst:
+          break;
+        case DuplicatePolicy::kError:
+          return Status::InvalidArgument(
+              StrCat("duplicate edge (", src, ", ", dst, ")"));
+      }
+      ++j;
+    }
+    targets.push_back(dst);
+    if (weighted_) weights.push_back(weight);
+    ++offsets[static_cast<size_t>(src) + 1];
+    i = j;
+  }
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    offsets[static_cast<size_t>(v) + 1] += offsets[v];
+  }
+
+  srcs_.clear();
+  dsts_.clear();
+  weights_.clear();
+  return CsrGraph(std::move(offsets), std::move(targets), std::move(weights),
+                  kind_);
+}
+
+}  // namespace d2pr

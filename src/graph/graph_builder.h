@@ -1,0 +1,61 @@
+// GraphBuilder: accumulates edges (COO) and produces an immutable CsrGraph.
+
+#ifndef D2PR_GRAPH_GRAPH_BUILDER_H_
+#define D2PR_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+
+namespace d2pr {
+
+/// \brief How Build() treats arcs added more than once between the same
+/// ordered node pair.
+enum class DuplicatePolicy {
+  kSum,        ///< Merge, summing weights (projection-friendly default).
+  kKeepFirst,  ///< Merge, keeping the first weight seen.
+  kError,      ///< Fail the build with InvalidArgument.
+};
+
+/// \brief Mutable edge accumulator.
+///
+/// For undirected graphs AddEdge(u, v) registers both arcs; a self-loop
+/// registers one arc. Node ids outside [0, num_nodes) are rejected at
+/// AddEdge time via Status.
+class GraphBuilder {
+ public:
+  /// \param num_nodes Fixed node-id space of the graph being built.
+  /// \param kind Directed or undirected.
+  /// \param weighted When false, Build() produces an unweighted graph and
+  ///        all added weights must equal 1.0.
+  GraphBuilder(NodeId num_nodes, GraphKind kind, bool weighted = false);
+
+  /// Adds one edge (undirected) or arc (directed). Returns InvalidArgument
+  /// for out-of-range ids, or non-unit weight on an unweighted builder.
+  Status AddEdge(NodeId u, NodeId v, double weight = 1.0);
+
+  /// Number of AddEdge calls accepted so far.
+  int64_t num_added() const { return static_cast<int64_t>(srcs_.size()); }
+
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Sorts, deduplicates per `policy`, and freezes into a CsrGraph.
+  /// The builder is left empty and reusable afterwards.
+  Result<CsrGraph> Build(DuplicatePolicy policy = DuplicatePolicy::kSum);
+
+ private:
+  NodeId num_nodes_;
+  GraphKind kind_;
+  bool weighted_;
+  // COO triplets; for undirected edges both directions are stored.
+  std::vector<NodeId> srcs_;
+  std::vector<NodeId> dsts_;
+  std::vector<double> weights_;
+};
+
+}  // namespace d2pr
+
+#endif  // D2PR_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,182 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "graph/graph_builder.h"
+
+namespace d2pr {
+
+namespace {
+
+constexpr char kBinaryMagic[8] = {'D', '2', 'P', 'R', 'G', 'R', 'P', 'H'};
+constexpr int32_t kBinaryVersion = 1;
+
+}  // namespace
+
+Status WriteEdgeListText(const CsrGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError(StrCat("cannot open for write: ", path));
+  out << "# d2pr edge list: " << graph.num_nodes() << " nodes, "
+      << (graph.directed() ? "directed" : "undirected") << ", "
+      << (graph.weighted() ? "weighted" : "unweighted") << "\n";
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    auto nbrs = graph.OutNeighbors(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      if (!graph.directed() && v < u) continue;  // emit each edge once
+      out << u << ' ' << v;
+      if (graph.weighted()) {
+        out << ' ' << FormatGeneral(graph.OutWeights(u)[i], 17);
+      }
+      out << '\n';
+    }
+  }
+  out.flush();
+  if (!out) return Status::IoError(StrCat("write failed: ", path));
+  return Status::OK();
+}
+
+Result<CsrGraph> ReadEdgeListText(const std::string& path, GraphKind kind,
+                                  bool weighted, NodeId num_nodes) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError(StrCat("cannot open for read: ", path));
+
+  struct ParsedEdge {
+    NodeId u, v;
+    double w;
+  };
+  std::vector<ParsedEdge> edges;
+  NodeId max_id = -1;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view view = StripWhitespace(line);
+    if (view.empty() || view[0] == '#') continue;
+    std::istringstream fields{std::string(view)};
+    int64_t u64 = -1, v64 = -1;
+    double w = 1.0;
+    if (!(fields >> u64 >> v64)) {
+      return Status::IoError(
+          StrCat(path, ":", line_no, ": expected 'u v [w]', got '", line,
+                 "'"));
+    }
+    if (weighted && !(fields >> w)) {
+      return Status::IoError(
+          StrCat(path, ":", line_no, ": missing weight on weighted graph"));
+    }
+    if (u64 < 0 || v64 < 0) {
+      return Status::IoError(
+          StrCat(path, ":", line_no, ": negative node id"));
+    }
+    const NodeId u = static_cast<NodeId>(u64);
+    const NodeId v = static_cast<NodeId>(v64);
+    max_id = std::max(max_id, std::max(u, v));
+    edges.push_back({u, v, w});
+  }
+  if (num_nodes < 0) num_nodes = max_id + 1;
+
+  GraphBuilder builder(num_nodes, kind, weighted);
+  for (const ParsedEdge& e : edges) {
+    D2PR_RETURN_NOT_OK(builder.AddEdge(e.u, e.v, e.w));
+  }
+  return builder.Build(DuplicatePolicy::kSum);
+}
+
+Status WriteBinary(const CsrGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError(StrCat("cannot open for write: ", path));
+
+  auto put = [&out](const void* data, size_t bytes) {
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(bytes));
+  };
+  put(kBinaryMagic, sizeof(kBinaryMagic));
+  put(&kBinaryVersion, sizeof(kBinaryVersion));
+  const int32_t kind = graph.directed() ? 1 : 0;
+  const int32_t weighted = graph.weighted() ? 1 : 0;
+  const int64_t n = graph.num_nodes();
+  const int64_t m = graph.num_arcs();
+  put(&kind, sizeof(kind));
+  put(&weighted, sizeof(weighted));
+  put(&n, sizeof(n));
+  put(&m, sizeof(m));
+  put(graph.offsets().data(), graph.offsets().size() * sizeof(EdgeIndex));
+  put(graph.targets().data(), graph.targets().size() * sizeof(NodeId));
+  if (graph.weighted()) {
+    put(graph.weights().data(), graph.weights().size() * sizeof(double));
+  }
+  out.flush();
+  if (!out) return Status::IoError(StrCat("write failed: ", path));
+  return Status::OK();
+}
+
+Result<CsrGraph> ReadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError(StrCat("cannot open for read: ", path));
+
+  auto get = [&in](void* data, size_t bytes) -> bool {
+    in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+    return static_cast<bool>(in);
+  };
+  char magic[8];
+  int32_t version = 0, kind = 0, weighted = 0;
+  int64_t n = 0, m = 0;
+  if (!get(magic, sizeof(magic)) ||
+      std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    return Status::IoError(StrCat("bad magic in ", path));
+  }
+  if (!get(&version, sizeof(version)) || version != kBinaryVersion) {
+    return Status::IoError(StrCat("unsupported version in ", path));
+  }
+  if (!get(&kind, sizeof(kind)) || !get(&weighted, sizeof(weighted)) ||
+      !get(&n, sizeof(n)) || !get(&m, sizeof(m))) {
+    return Status::IoError(StrCat("truncated header in ", path));
+  }
+  if (n < 0 || m < 0) return Status::IoError("negative sizes");
+
+  std::vector<EdgeIndex> offsets(static_cast<size_t>(n) + 1);
+  std::vector<NodeId> targets(static_cast<size_t>(m));
+  std::vector<double> weights;
+  if (!get(offsets.data(), offsets.size() * sizeof(EdgeIndex)) ||
+      !get(targets.data(), targets.size() * sizeof(NodeId))) {
+    return Status::IoError(StrCat("truncated arrays in ", path));
+  }
+  if (weighted) {
+    weights.resize(static_cast<size_t>(m));
+    if (!get(weights.data(), weights.size() * sizeof(double))) {
+      return Status::IoError(StrCat("truncated weights in ", path));
+    }
+  }
+  // Validate CSR invariants before trusting the data.
+  if (offsets.front() != 0 || offsets.back() != m) {
+    return Status::IoError("corrupt offsets");
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) return Status::IoError("offsets not monotone");
+  }
+  for (NodeId t : targets) {
+    if (t < 0 || t >= n) return Status::IoError("target out of range");
+  }
+
+  GraphBuilder builder(static_cast<NodeId>(n),
+                       kind ? GraphKind::kDirected : GraphKind::kUndirected,
+                       weighted != 0);
+  // Rebuild through the builder to re-establish sortedness invariants.
+  for (NodeId u = 0; u < static_cast<NodeId>(n); ++u) {
+    for (EdgeIndex e = offsets[u]; e < offsets[u + 1]; ++e) {
+      const NodeId v = targets[static_cast<size_t>(e)];
+      if (kind == 0 && v < u) continue;  // undirected arcs are mirrored
+      const double w =
+          weighted ? weights[static_cast<size_t>(e)] : 1.0;
+      D2PR_RETURN_NOT_OK(builder.AddEdge(u, v, w));
+    }
+  }
+  return builder.Build(DuplicatePolicy::kKeepFirst);
+}
+
+}  // namespace d2pr

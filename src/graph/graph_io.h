@@ -1,0 +1,37 @@
+// Graph serialization: whitespace edge-list text and a compact binary form.
+
+#ifndef D2PR_GRAPH_GRAPH_IO_H_
+#define D2PR_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/csr_graph.h"
+
+namespace d2pr {
+
+/// \brief Writes `graph` as an edge-list text file.
+///
+/// Format: a header comment, then one line per logical edge: "u v" or
+/// "u v w" for weighted graphs. Undirected edges are emitted once with
+/// u <= v. Lines starting with '#' are comments.
+Status WriteEdgeListText(const CsrGraph& graph, const std::string& path);
+
+/// \brief Reads an edge-list text file written by WriteEdgeListText (or any
+/// whitespace-separated "u v [w]" file).
+///
+/// \param num_nodes Node-id space; pass -1 to infer max id + 1.
+Result<CsrGraph> ReadEdgeListText(const std::string& path, GraphKind kind,
+                                  bool weighted, NodeId num_nodes = -1);
+
+/// \brief Writes `graph` in the native binary format (magic + version +
+/// CSR arrays). Fast, exact round-trip including weights.
+Status WriteBinary(const CsrGraph& graph, const std::string& path);
+
+/// \brief Reads a graph in the native binary format.
+Result<CsrGraph> ReadBinary(const std::string& path);
+
+}  // namespace d2pr
+
+#endif  // D2PR_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,101 @@
+#include "graph/graph_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/correlation.h"
+
+namespace d2pr {
+
+namespace {
+
+// Number of edges among the neighbors of v (sorted-list intersections).
+int64_t NeighborEdgeCount(const CsrGraph& graph, NodeId v) {
+  auto nbrs = graph.OutNeighbors(v);
+  int64_t links = 0;
+  for (NodeId u : nbrs) {
+    if (u == v) continue;
+    auto nu = graph.OutNeighbors(u);
+    // Count w in nbrs ∩ nu with w > u to count each neighbor edge once.
+    size_t a = 0, b = 0;
+    while (a < nbrs.size() && b < nu.size()) {
+      if (nbrs[a] == nu[b]) {
+        if (nbrs[a] > u && nbrs[a] != v) ++links;
+        ++a;
+        ++b;
+      } else if (nbrs[a] < nu[b]) {
+        ++a;
+      } else {
+        ++b;
+      }
+    }
+  }
+  return links;
+}
+
+// Degree of v excluding a self-loop contribution.
+int64_t SimpleDegree(const CsrGraph& graph, NodeId v) {
+  int64_t degree = graph.OutDegree(v);
+  if (graph.HasArc(v, v)) --degree;
+  return degree;
+}
+
+}  // namespace
+
+double LocalClusteringCoefficient(const CsrGraph& graph, NodeId v) {
+  D2PR_CHECK(!graph.directed());
+  const int64_t degree = SimpleDegree(graph, v);
+  if (degree < 2) return 0.0;
+  const int64_t links = NeighborEdgeCount(graph, v);
+  return 2.0 * static_cast<double>(links) /
+         (static_cast<double>(degree) * static_cast<double>(degree - 1));
+}
+
+double AverageClusteringCoefficient(const CsrGraph& graph) {
+  D2PR_CHECK(!graph.directed());
+  double total = 0.0;
+  int64_t eligible = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (SimpleDegree(graph, v) >= 2) {
+      total += LocalClusteringCoefficient(graph, v);
+      ++eligible;
+    }
+  }
+  return eligible == 0 ? 0.0 : total / static_cast<double>(eligible);
+}
+
+double GlobalTransitivity(const CsrGraph& graph) {
+  D2PR_CHECK(!graph.directed());
+  int64_t closed = 0;  // ordered neighbor pairs that are connected
+  int64_t triples = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const int64_t degree = SimpleDegree(graph, v);
+    if (degree < 2) continue;
+    triples += degree * (degree - 1) / 2;
+    closed += NeighborEdgeCount(graph, v);
+  }
+  if (triples == 0) return 0.0;
+  // Each triangle contributes one closing edge at each of its 3 corners.
+  return static_cast<double>(closed) / static_cast<double>(triples);
+}
+
+double DegreeAssortativity(const CsrGraph& graph) {
+  // Collect per-arc endpoint degrees; for undirected graphs arcs appear in
+  // both directions, which symmetrizes the correlation as required.
+  std::vector<double> source_degree;
+  std::vector<double> target_degree;
+  source_degree.reserve(static_cast<size_t>(graph.num_arcs()));
+  target_degree.reserve(static_cast<size_t>(graph.num_arcs()));
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const double du = static_cast<double>(graph.OutDegree(u));
+    for (NodeId v : graph.OutNeighbors(u)) {
+      if (u == v) continue;
+      source_degree.push_back(du);
+      target_degree.push_back(static_cast<double>(graph.OutDegree(v)));
+    }
+  }
+  if (source_degree.size() < 2) return 0.0;
+  return PearsonCorrelation(source_degree, target_degree);
+}
+
+}  // namespace d2pr

@@ -1,0 +1,36 @@
+// Structural graph metrics beyond degree statistics: clustering and
+// degree assortativity.
+//
+// Used to characterize the synthetic data graphs against their real
+// counterparts (projection graphs are highly clustered; social graphs
+// mildly assortative) and by tests as independent structure oracles.
+
+#ifndef D2PR_GRAPH_GRAPH_METRICS_H_
+#define D2PR_GRAPH_GRAPH_METRICS_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace d2pr {
+
+/// \brief Local clustering coefficient of `v`: the fraction of pairs of
+/// v's neighbors that are themselves connected. 0 for degree < 2.
+/// Undirected graphs only (checked).
+double LocalClusteringCoefficient(const CsrGraph& graph, NodeId v);
+
+/// \brief Mean local clustering coefficient over all nodes with
+/// degree >= 2 (Watts-Strogatz convention); 0 if no such node exists.
+double AverageClusteringCoefficient(const CsrGraph& graph);
+
+/// \brief Global transitivity: 3 x triangles / connected triples.
+double GlobalTransitivity(const CsrGraph& graph);
+
+/// \brief Pearson correlation of end-point degrees over all edges
+/// (Newman's degree assortativity, r in [-1, 1]). 0 for degenerate
+/// graphs (no edges or constant degrees).
+double DegreeAssortativity(const CsrGraph& graph);
+
+}  // namespace d2pr
+
+#endif  // D2PR_GRAPH_GRAPH_METRICS_H_

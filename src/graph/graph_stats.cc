@@ -1,0 +1,91 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace d2pr {
+
+namespace {
+
+// Population standard deviation of `values`.
+double StdDev(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double ss = 0.0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / static_cast<double>(values.size()));
+}
+
+}  // namespace
+
+GraphStats ComputeGraphStats(const CsrGraph& graph) {
+  GraphStats stats;
+  const NodeId n = graph.num_nodes();
+  stats.num_nodes = n;
+  stats.num_arcs = graph.num_arcs();
+  stats.num_edges = graph.num_edges();
+  if (n == 0) return stats;
+
+  std::vector<double> degrees(n);
+  const std::vector<EdgeIndex> in_degrees =
+      graph.directed() ? graph.InDegrees() : std::vector<EdgeIndex>();
+  stats.min_degree = graph.OutDegree(0);
+  stats.max_degree = graph.OutDegree(0);
+  double sum = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    const EdgeIndex d = graph.OutDegree(v);
+    degrees[v] = static_cast<double>(d);
+    sum += degrees[v];
+    stats.min_degree = std::min(stats.min_degree, d);
+    stats.max_degree = std::max(stats.max_degree, d);
+    if (d == 0) {
+      ++stats.num_dangling;
+      const EdgeIndex incident = graph.directed() ? in_degrees[v] : 0;
+      if (incident == 0) ++stats.num_isolated;
+    }
+  }
+  stats.avg_degree = sum / static_cast<double>(n);
+  stats.stddev_degree = StdDev(degrees);
+
+  // Median over nodes of std-dev of neighbor degrees; nodes with fewer than
+  // one neighbor contribute spread 0.
+  std::vector<double> spreads;
+  spreads.reserve(n);
+  std::vector<double> buffer;
+  for (NodeId v = 0; v < n; ++v) {
+    auto nbrs = graph.OutNeighbors(v);
+    buffer.clear();
+    for (NodeId u : nbrs) buffer.push_back(degrees[u]);
+    spreads.push_back(StdDev(buffer));
+  }
+  std::sort(spreads.begin(), spreads.end());
+  const size_t mid = spreads.size() / 2;
+  stats.median_neighbor_degree_stddev =
+      spreads.size() % 2 == 1
+          ? spreads[mid]
+          : 0.5 * (spreads[mid - 1] + spreads[mid]);
+  return stats;
+}
+
+std::string FormatStatsRow(const std::string& name, const GraphStats& stats) {
+  return StrCat(Pad(name, 28), Pad(FormatWithCommas(stats.num_nodes), -10),
+                Pad(FormatWithCommas(stats.num_edges), -12),
+                Pad(FormatDouble(stats.avg_degree, 2), -10),
+                Pad(FormatDouble(stats.stddev_degree, 2), -10),
+                Pad(FormatDouble(stats.median_neighbor_degree_stddev, 2),
+                    -12));
+}
+
+std::vector<double> DegreesAsDoubles(const CsrGraph& graph) {
+  std::vector<double> degrees(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    degrees[v] = static_cast<double>(graph.OutDegree(v));
+  }
+  return degrees;
+}
+
+}  // namespace d2pr

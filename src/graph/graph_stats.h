@@ -1,0 +1,44 @@
+// Descriptive statistics for data graphs (the paper's Table 3).
+
+#ifndef D2PR_GRAPH_GRAPH_STATS_H_
+#define D2PR_GRAPH_GRAPH_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace d2pr {
+
+/// \brief The per-graph statistics reported in Table 3 of the paper, plus a
+/// few extras useful for sanity checks.
+struct GraphStats {
+  NodeId num_nodes = 0;
+  EdgeIndex num_edges = 0;  ///< Logical edges (see CsrGraph::num_edges).
+  EdgeIndex num_arcs = 0;
+  double avg_degree = 0.0;              ///< Mean out-degree.
+  double stddev_degree = 0.0;           ///< Population std-dev of out-degree.
+  /// Median over nodes of the std-dev of their neighbors' degrees. The paper
+  /// uses this to explain the stability of the correlation curves for p < 0
+  /// (§4.3.2 / §4.3.3): a high value means most nodes see one dominant
+  /// high-degree neighbor.
+  double median_neighbor_degree_stddev = 0.0;
+  EdgeIndex min_degree = 0;
+  EdgeIndex max_degree = 0;
+  NodeId num_isolated = 0;  ///< Nodes with no incident arcs at all.
+  NodeId num_dangling = 0;  ///< Nodes with no outgoing arcs.
+};
+
+/// \brief Computes GraphStats in one pass over the graph (plus one pass per
+/// node's neighborhood for the neighbor-degree spread).
+GraphStats ComputeGraphStats(const CsrGraph& graph);
+
+/// \brief Renders stats as one aligned text row (see Table 3 repro bench).
+std::string FormatStatsRow(const std::string& name, const GraphStats& stats);
+
+/// \brief Per-node degree vector as doubles (convenient for correlations).
+std::vector<double> DegreesAsDoubles(const CsrGraph& graph);
+
+}  // namespace d2pr
+
+#endif  // D2PR_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,105 @@
+#include "graph/traversal.h"
+
+#include <deque>
+
+#include "graph/graph_builder.h"
+
+namespace d2pr {
+
+std::vector<int64_t> BfsDistances(const CsrGraph& graph, NodeId source) {
+  D2PR_CHECK(source >= 0 && source < graph.num_nodes());
+  std::vector<int64_t> dist(graph.num_nodes(), -1);
+  std::deque<NodeId> frontier{source};
+  dist[source] = 0;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    for (NodeId u : graph.OutNeighbors(v)) {
+      if (dist[u] < 0) {
+        dist[u] = dist[v] + 1;
+        frontier.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+Components ConnectedComponents(const CsrGraph& graph) {
+  const NodeId n = graph.num_nodes();
+  // For directed graphs we need the reverse arcs too (weak connectivity).
+  const CsrGraph reverse =
+      graph.directed() ? graph.Transpose() : CsrGraph();
+
+  Components result;
+  result.label.assign(n, -1);
+  std::vector<NodeId> component_size;
+  std::deque<NodeId> frontier;
+  for (NodeId start = 0; start < n; ++start) {
+    if (result.label[start] >= 0) continue;
+    const NodeId comp = result.count++;
+    component_size.push_back(0);
+    result.label[start] = comp;
+    frontier.push_back(start);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop_front();
+      ++component_size[comp];
+      for (NodeId u : graph.OutNeighbors(v)) {
+        if (result.label[u] < 0) {
+          result.label[u] = comp;
+          frontier.push_back(u);
+        }
+      }
+      if (graph.directed()) {
+        for (NodeId u : reverse.OutNeighbors(v)) {
+          if (result.label[u] < 0) {
+            result.label[u] = comp;
+            frontier.push_back(u);
+          }
+        }
+      }
+    }
+  }
+  for (NodeId comp = 0; comp < result.count; ++comp) {
+    if (component_size[comp] > result.largest_size) {
+      result.largest_size = component_size[comp];
+      result.largest_label = comp;
+    }
+  }
+  return result;
+}
+
+Subgraph LargestComponentSubgraph(const CsrGraph& graph) {
+  const Components comps = ConnectedComponents(graph);
+  const NodeId n = graph.num_nodes();
+
+  Subgraph out;
+  std::vector<NodeId> new_id(n, -1);
+  for (NodeId v = 0; v < n; ++v) {
+    if (comps.label[v] == comps.largest_label) {
+      new_id[v] = static_cast<NodeId>(out.original_id.size());
+      out.original_id.push_back(v);
+    }
+  }
+
+  GraphBuilder builder(static_cast<NodeId>(out.original_id.size()),
+                       graph.kind(), graph.weighted());
+  for (NodeId v = 0; v < n; ++v) {
+    if (new_id[v] < 0) continue;
+    auto nbrs = graph.OutNeighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId u = nbrs[i];
+      if (new_id[u] < 0) continue;
+      if (!graph.directed() && u < v) continue;  // mirrored arcs: add once
+      const double w = graph.weighted() ? graph.OutWeights(v)[i] : 1.0;
+      // Ids were validated above; AddEdge cannot fail here.
+      D2PR_CHECK(builder.AddEdge(new_id[v], new_id[u], w).ok());
+    }
+  }
+  auto built = builder.Build(DuplicatePolicy::kKeepFirst);
+  D2PR_CHECK(built.ok()) << built.status().ToString();
+  out.graph = std::move(built).value();
+  return out;
+}
+
+}  // namespace d2pr

@@ -1,0 +1,44 @@
+// Breadth-first search and connected components.
+//
+// Used by the data generators (to report component structure of the
+// synthetic graphs) and by tests as an independent oracle for graph
+// construction.
+
+#ifndef D2PR_GRAPH_TRAVERSAL_H_
+#define D2PR_GRAPH_TRAVERSAL_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace d2pr {
+
+/// \brief BFS hop distances from `source`; unreachable nodes get -1.
+std::vector<int64_t> BfsDistances(const CsrGraph& graph, NodeId source);
+
+/// \brief Component labeling result.
+struct Components {
+  std::vector<NodeId> label;   ///< Component id per node, 0-based, dense.
+  NodeId count = 0;            ///< Number of components.
+  NodeId largest_size = 0;     ///< Size of the largest component.
+  NodeId largest_label = 0;    ///< Label of the largest component.
+};
+
+/// \brief Connected components (undirected) or weakly-connected components
+/// (directed; arc direction is ignored).
+Components ConnectedComponents(const CsrGraph& graph);
+
+/// \brief Extraction of an induced subgraph.
+struct Subgraph {
+  CsrGraph graph;
+  /// new id -> old id (size = subgraph nodes).
+  std::vector<NodeId> original_id;
+};
+
+/// \brief Induced subgraph on the largest (weakly) connected component.
+/// Node ids are compacted; `original_id` maps back.
+Subgraph LargestComponentSubgraph(const CsrGraph& graph);
+
+}  // namespace d2pr
+
+#endif  // D2PR_GRAPH_TRAVERSAL_H_

@@ -1,0 +1,22 @@
+// Fundamental identifier types shared by all graph components.
+
+#ifndef D2PR_GRAPH_TYPES_H_
+#define D2PR_GRAPH_TYPES_H_
+
+#include <cstdint>
+
+namespace d2pr {
+
+/// Node identifier: dense, zero-based. 32 bits covers the paper's graphs
+/// (max 191,602 nodes) with three orders of magnitude of headroom.
+using NodeId = int32_t;
+
+/// Index into edge arrays. 64 bits: projections can produce > 2^31 arcs.
+using EdgeIndex = int64_t;
+
+/// Whether a graph's arcs are one-directional.
+enum class GraphKind { kUndirected, kDirected };
+
+}  // namespace d2pr
+
+#endif  // D2PR_GRAPH_TYPES_H_

@@ -1,0 +1,80 @@
+#include "linalg/vec_ops.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace d2pr {
+
+double Sum(std::span<const double> values) {
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total;
+}
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  D2PR_CHECK_EQ(a.size(), b.size());
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) total += a[i] * b[i];
+  return total;
+}
+
+double NormL1(std::span<const double> values) {
+  double total = 0.0;
+  for (double v : values) total += std::abs(v);
+  return total;
+}
+
+double NormL2(std::span<const double> values) {
+  double total = 0.0;
+  for (double v : values) total += v * v;
+  return std::sqrt(total);
+}
+
+double NormLInf(std::span<const double> values) {
+  double best = 0.0;
+  for (double v : values) best = std::max(best, std::abs(v));
+  return best;
+}
+
+double DiffL1(std::span<const double> a, std::span<const double> b) {
+  D2PR_CHECK_EQ(a.size(), b.size());
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) total += std::abs(a[i] - b[i]);
+  return total;
+}
+
+double DiffLInf(std::span<const double> a, std::span<const double> b) {
+  D2PR_CHECK_EQ(a.size(), b.size());
+  double best = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    best = std::max(best, std::abs(a[i] - b[i]));
+  }
+  return best;
+}
+
+void Axpy(double alpha, std::span<const double> x, std::span<double> out) {
+  D2PR_CHECK_EQ(x.size(), out.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] += alpha * x[i];
+}
+
+void Scale(double alpha, std::span<double> values) {
+  for (double& v : values) v *= alpha;
+}
+
+void Fill(double value, std::span<double> values) {
+  for (double& v : values) v = value;
+}
+
+double NormalizeL1(std::span<double> values) {
+  const double norm = NormL1(values);
+  if (norm > 0.0) Scale(1.0 / norm, values);
+  return norm;
+}
+
+std::vector<double> UniformVector(size_t n) {
+  if (n == 0) return {};
+  return std::vector<double>(n, 1.0 / static_cast<double>(n));
+}
+
+}  // namespace d2pr

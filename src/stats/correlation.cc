@@ -1,0 +1,145 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "stats/ranking.h"
+
+namespace d2pr {
+
+double PearsonCorrelation(std::span<const double> x,
+                          std::span<const double> y) {
+  D2PR_CHECK_EQ(x.size(), y.size());
+  const size_t n = x.size();
+  if (n < 2) return 0.0;
+  double mean_x = 0.0, mean_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double SpearmanCorrelation(std::span<const double> x,
+                           std::span<const double> y) {
+  D2PR_CHECK_EQ(x.size(), y.size());
+  if (x.size() < 2) return 0.0;
+  const std::vector<double> rx = AverageRanks(x, RankOrder::kAscending);
+  const std::vector<double> ry = AverageRanks(y, RankOrder::kAscending);
+  return PearsonCorrelation(rx, ry);
+}
+
+namespace {
+
+// Counts inversions in `values` by index-array merge sort (iterative).
+int64_t CountInversions(std::vector<double>* values) {
+  const size_t n = values->size();
+  std::vector<double> buffer(n);
+  int64_t inversions = 0;
+  for (size_t width = 1; width < n; width *= 2) {
+    for (size_t lo = 0; lo + width < n; lo += 2 * width) {
+      const size_t mid = lo + width;
+      const size_t hi = std::min(lo + 2 * width, n);
+      size_t a = lo, b = mid, out = lo;
+      while (a < mid && b < hi) {
+        if ((*values)[b] < (*values)[a]) {
+          inversions += static_cast<int64_t>(mid - a);
+          buffer[out++] = (*values)[b++];
+        } else {
+          buffer[out++] = (*values)[a++];
+        }
+      }
+      while (a < mid) buffer[out++] = (*values)[a++];
+      while (b < hi) buffer[out++] = (*values)[b++];
+      std::copy(buffer.begin() + static_cast<int64_t>(lo),
+                buffer.begin() + static_cast<int64_t>(hi),
+                values->begin() + static_cast<int64_t>(lo));
+    }
+  }
+  return inversions;
+}
+
+// Sum over tie groups of t*(t-1)/2 in a sorted vector.
+int64_t TiePairs(std::vector<double> sorted_values) {
+  std::sort(sorted_values.begin(), sorted_values.end());
+  int64_t pairs = 0;
+  size_t i = 0;
+  while (i < sorted_values.size()) {
+    size_t j = i;
+    while (j + 1 < sorted_values.size() &&
+           sorted_values[j + 1] == sorted_values[i]) {
+      ++j;
+    }
+    const int64_t t = static_cast<int64_t>(j - i + 1);
+    pairs += t * (t - 1) / 2;
+    i = j + 1;
+  }
+  return pairs;
+}
+
+}  // namespace
+
+double KendallTauB(std::span<const double> x, std::span<const double> y) {
+  D2PR_CHECK_EQ(x.size(), y.size());
+  const size_t n = x.size();
+  if (n < 2) return 0.0;
+  const int64_t total_pairs = static_cast<int64_t>(n) *
+                              static_cast<int64_t>(n - 1) / 2;
+
+  // Sort by x (ties broken by y); then discordant pairs among x-distinct
+  // pairs are inversions of the y sequence.
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    if (x[a] != x[b]) return x[a] < x[b];
+    return y[a] < y[b];
+  });
+
+  // Joint ties (same x and same y) and x-ties.
+  int64_t ties_xy = 0;
+  {
+    size_t i = 0;
+    while (i < n) {
+      size_t j = i;
+      while (j + 1 < n && x[idx[j + 1]] == x[idx[i]] &&
+             y[idx[j + 1]] == y[idx[i]]) {
+        ++j;
+      }
+      const int64_t t = static_cast<int64_t>(j - i + 1);
+      ties_xy += t * (t - 1) / 2;
+      i = j + 1;
+    }
+  }
+  const int64_t ties_x = TiePairs(std::vector<double>(x.begin(), x.end()));
+  const int64_t ties_y = TiePairs(std::vector<double>(y.begin(), y.end()));
+
+  std::vector<double> y_sequence(n);
+  for (size_t i = 0; i < n; ++i) y_sequence[i] = y[idx[i]];
+  const int64_t discordant = CountInversions(&y_sequence);
+
+  // Pairs tied in x are never discordant under this sort (y ascending
+  // within x groups), so `discordant` counts only x-distinct pairs.
+  const int64_t concordant =
+      total_pairs - discordant - ties_x - ties_y + ties_xy;
+  const double denom_x = static_cast<double>(total_pairs - ties_x);
+  const double denom_y = static_cast<double>(total_pairs - ties_y);
+  if (denom_x <= 0.0 || denom_y <= 0.0) return 0.0;
+  return static_cast<double>(concordant - discordant) /
+         std::sqrt(denom_x * denom_y);
+}
+
+}  // namespace d2pr

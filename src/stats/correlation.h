@@ -1,0 +1,31 @@
+// Correlation coefficients: Spearman's rho (the paper's measure, §4.2),
+// Pearson's r, and Kendall's tau-b.
+
+#ifndef D2PR_STATS_CORRELATION_H_
+#define D2PR_STATS_CORRELATION_H_
+
+#include <span>
+
+namespace d2pr {
+
+/// \brief Pearson product-moment correlation of (x, y).
+///
+/// Returns 0 when either vector is constant (undefined correlation) or the
+/// vectors are shorter than 2; sizes must match.
+double PearsonCorrelation(std::span<const double> x,
+                          std::span<const double> y);
+
+/// \brief Spearman's rank correlation: Pearson correlation of the
+/// average-tie ranks of x and y. This is the measure the paper uses to
+/// compare D2PR rankings with application-specific significances.
+double SpearmanCorrelation(std::span<const double> x,
+                           std::span<const double> y);
+
+/// \brief Kendall's tau-b (tie-adjusted), computed in O(n log n) via a
+/// merge-sort inversion count. Included as a robustness cross-check on the
+/// Spearman-based findings.
+double KendallTauB(std::span<const double> x, std::span<const double> y);
+
+}  // namespace d2pr
+
+#endif  // D2PR_STATS_CORRELATION_H_

@@ -1,0 +1,74 @@
+#include "stats/ranking.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace d2pr {
+
+namespace {
+
+// Indices 0..n-1 sorted so scores come out in rank order (best first for
+// descending), ties broken by index for determinism.
+std::vector<size_t> SortedIndices(std::span<const double> scores,
+                                  RankOrder order) {
+  std::vector<size_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    if (scores[a] != scores[b]) {
+      return order == RankOrder::kDescending ? scores[a] > scores[b]
+                                             : scores[a] < scores[b];
+    }
+    return a < b;
+  });
+  return idx;
+}
+
+}  // namespace
+
+std::vector<double> AverageRanks(std::span<const double> scores,
+                                 RankOrder order) {
+  const std::vector<size_t> idx = SortedIndices(scores, order);
+  std::vector<double> ranks(scores.size());
+  size_t i = 0;
+  while (i < idx.size()) {
+    size_t j = i;
+    while (j + 1 < idx.size() && scores[idx[j + 1]] == scores[idx[i]]) ++j;
+    // Positions i..j (0-based) share the average 1-based rank.
+    const double avg = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[idx[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+std::vector<int64_t> OrdinalRanks(std::span<const double> scores,
+                                  RankOrder order) {
+  const std::vector<size_t> idx = SortedIndices(scores, order);
+  std::vector<int64_t> ranks(scores.size());
+  for (size_t pos = 0; pos < idx.size(); ++pos) {
+    ranks[idx[pos]] = static_cast<int64_t>(pos) + 1;
+  }
+  return ranks;
+}
+
+std::vector<NodeId> TopK(std::span<const double> scores, size_t k) {
+  k = std::min(k, scores.size());
+  const std::vector<size_t> idx = SortedIndices(scores, RankOrder::kDescending);
+  std::vector<NodeId> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(static_cast<NodeId>(idx[i]));
+  return out;
+}
+
+std::vector<NodeId> BottomK(std::span<const double> scores, size_t k) {
+  k = std::min(k, scores.size());
+  const std::vector<size_t> idx = SortedIndices(scores, RankOrder::kAscending);
+  std::vector<NodeId> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(static_cast<NodeId>(idx[i]));
+  return out;
+}
+
+}  // namespace d2pr

@@ -1,0 +1,42 @@
+// Ranking utilities: score vectors -> rank vectors, with tie handling.
+
+#ifndef D2PR_STATS_RANKING_H_
+#define D2PR_STATS_RANKING_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace d2pr {
+
+/// \brief Direction of ranking.
+enum class RankOrder {
+  kDescending,  ///< Rank 1 = highest score (paper convention: top node).
+  kAscending,   ///< Rank 1 = lowest score.
+};
+
+/// \brief Fractional (average) ranks with tie handling.
+///
+/// Returns ranks[i] = average position (1-based) of scores[i] in sorted
+/// order; equal scores share the average of the positions they span. This
+/// is the tie convention Spearman's rho requires.
+std::vector<double> AverageRanks(std::span<const double> scores,
+                                 RankOrder order = RankOrder::kDescending);
+
+/// \brief Ordinal ranks: each element gets a distinct 1-based rank; ties are
+/// broken by smaller index first (deterministic). Matches the paper's
+/// Table 2 presentation of node ranks.
+std::vector<int64_t> OrdinalRanks(std::span<const double> scores,
+                                  RankOrder order = RankOrder::kDescending);
+
+/// \brief Indices of the k largest scores, in decreasing score order (ties
+/// broken by smaller index). k is clamped to scores.size().
+std::vector<NodeId> TopK(std::span<const double> scores, size_t k);
+
+/// \brief Indices of the k smallest scores, in increasing score order.
+std::vector<NodeId> BottomK(std::span<const double> scores, size_t k);
+
+}  // namespace d2pr
+
+#endif  // D2PR_STATS_RANKING_H_

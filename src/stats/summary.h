@@ -1,0 +1,29 @@
+// Univariate summary statistics.
+
+#ifndef D2PR_STATS_SUMMARY_H_
+#define D2PR_STATS_SUMMARY_H_
+
+#include <span>
+
+namespace d2pr {
+
+/// \brief Moments and order statistics of one sample.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Population standard deviation.
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// \brief Computes the summary (O(n log n) due to the median).
+Summary Summarize(std::span<const double> values);
+
+/// \brief q-th quantile (0 <= q <= 1) with linear interpolation between
+/// order statistics. Returns 0 on an empty sample.
+double Quantile(std::span<const double> values, double q);
+
+}  // namespace d2pr
+
+#endif  // D2PR_STATS_SUMMARY_H_

@@ -1,0 +1,98 @@
+#include "core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/d2pr.h"
+#include "datagen/classic_generators.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_stats.h"
+#include "linalg/vec_ops.h"
+#include "stats/correlation.h"
+
+namespace d2pr {
+namespace {
+
+TEST(DegreeCentralityTest, NormalizedDegrees) {
+  GraphBuilder builder(3, GraphKind::kUndirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2).ok());
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  const std::vector<double> scores = DegreeCentralityScores(*graph);
+  EXPECT_DOUBLE_EQ(scores[0], 0.5);
+  EXPECT_DOUBLE_EQ(scores[1], 0.25);
+  EXPECT_DOUBLE_EQ(scores[2], 0.25);
+}
+
+TEST(DegreeCentralityTest, EmptyGraphAllZero) {
+  GraphBuilder builder(3, GraphKind::kUndirected);
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  const std::vector<double> scores = DegreeCentralityScores(*graph);
+  for (double s : scores) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(EqualOpportunityTest, BoostsLowDegreeNodesVersusConventional) {
+  Rng rng(21);
+  auto graph = BarabasiAlbert(400, 3, &rng);
+  ASSERT_TRUE(graph.ok());
+  auto equal_opportunity = EqualOpportunityPagerank(*graph, 0.85, -1.0);
+  auto conventional = ComputeConventionalPagerank(*graph, 0.85);
+  ASSERT_TRUE(equal_opportunity.ok());
+  ASSERT_TRUE(conventional.ok());
+  const std::vector<double> degrees = DegreesAsDoubles(*graph);
+  // Teleporting preferentially to low-degree nodes must weaken the
+  // PageRank-degree coupling relative to the conventional measure ([2]).
+  EXPECT_LT(SpearmanCorrelation(equal_opportunity->scores, degrees),
+            SpearmanCorrelation(conventional->scores, degrees));
+  EXPECT_NEAR(Sum(equal_opportunity->scores), 1.0, 1e-9);
+}
+
+TEST(EqualOpportunityTest, GammaZeroMatchesConventional) {
+  Rng rng(22);
+  auto graph = ErdosRenyi(100, 300, &rng);
+  ASSERT_TRUE(graph.ok());
+  auto eo = EqualOpportunityPagerank(*graph, 0.85, 0.0);
+  auto conventional = ComputeConventionalPagerank(*graph, 0.85);
+  ASSERT_TRUE(eo.ok());
+  ASSERT_TRUE(conventional.ok());
+  for (size_t i = 0; i < eo->scores.size(); ++i) {
+    EXPECT_NEAR(eo->scores[i], conventional->scores[i], 1e-10);
+  }
+}
+
+TEST(DegreeBiasedWalkTest, MatchesD2prWithPMinusOne) {
+  Rng rng(23);
+  auto graph = BarabasiAlbert(200, 2, &rng);
+  ASSERT_TRUE(graph.ok());
+  auto biased = DegreeBiasedWalkScores(*graph, 0.85);
+  auto d2pr = ComputeD2pr(*graph, {.p = -1.0});
+  ASSERT_TRUE(biased.ok());
+  ASSERT_TRUE(d2pr.ok());
+  for (size_t i = 0; i < biased->scores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(biased->scores[i], d2pr->scores[i]);
+  }
+}
+
+TEST(DegreeBiasedWalkTest, StrengthensDegreeCoupling) {
+  // [11] used degree-biased walks to locate high-degree vertices quickly:
+  // the stationary distribution must be at least as degree-aligned as the
+  // plain walk's.
+  Rng rng(24);
+  auto graph = ErdosRenyi(500, 2000, &rng);
+  ASSERT_TRUE(graph.ok());
+  auto biased = DegreeBiasedWalkScores(*graph);
+  ASSERT_TRUE(biased.ok());
+  const std::vector<double> degrees = DegreesAsDoubles(*graph);
+  // Must remain near-perfectly aligned with degree (the property [11]
+  // exploits to find hubs quickly).
+  EXPECT_GT(SpearmanCorrelation(biased->scores, degrees), 0.95);
+  auto penalized = ComputeD2pr(*graph, {.p = 1.0});
+  ASSERT_TRUE(penalized.ok());
+  EXPECT_GT(SpearmanCorrelation(biased->scores, degrees),
+            SpearmanCorrelation(penalized->scores, degrees));
+}
+
+}  // namespace
+}  // namespace d2pr

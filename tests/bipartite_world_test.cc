@@ -1,0 +1,182 @@
+#include "datagen/bipartite_world.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "stats/correlation.h"
+
+namespace d2pr {
+namespace {
+
+BipartiteWorldConfig SmallConfig() {
+  BipartiteWorldConfig config;
+  config.num_members = 400;
+  config.num_venues = 200;
+  config.venue_size_min = 2;
+  config.venue_size_max = 10;
+  config.budget_mean = 8.0;
+  config.seed = 99;
+  return config;
+}
+
+TEST(BipartiteWorldTest, StructuralInvariants) {
+  auto world = GenerateBipartiteWorld(SmallConfig());
+  ASSERT_TRUE(world.ok()) << world.status().ToString();
+  EXPECT_EQ(world->member_quality.size(), 400u);
+  EXPECT_EQ(world->venue_quality.size(), 200u);
+  EXPECT_EQ(world->venue_members.size(), 200u);
+  EXPECT_EQ(world->member_venues.size(), 400u);
+  // Qualities lie in (0, 1).
+  for (double q : world->member_quality) {
+    EXPECT_GT(q, 0.0);
+    EXPECT_LT(q, 1.0);
+  }
+  // Memberships are sorted, distinct, in-range, and the two views agree.
+  int64_t from_venues = 0;
+  for (NodeId r = 0; r < 200; ++r) {
+    const auto& members = world->venue_members[static_cast<size_t>(r)];
+    EXPECT_TRUE(std::is_sorted(members.begin(), members.end()));
+    EXPECT_TRUE(std::adjacent_find(members.begin(), members.end()) ==
+                members.end());
+    from_venues += static_cast<int64_t>(members.size());
+    for (NodeId i : members) {
+      ASSERT_GE(i, 0);
+      ASSERT_LT(i, 400);
+      const auto& venues = world->member_venues[static_cast<size_t>(i)];
+      EXPECT_TRUE(std::binary_search(venues.begin(), venues.end(), r));
+    }
+  }
+  EXPECT_EQ(from_venues, world->TotalMemberships());
+}
+
+TEST(BipartiteWorldTest, DeterministicInSeed) {
+  auto a = GenerateBipartiteWorld(SmallConfig());
+  auto b = GenerateBipartiteWorld(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->venue_members, b->venue_members);
+  EXPECT_EQ(a->member_quality, b->member_quality);
+}
+
+TEST(BipartiteWorldTest, DifferentSeedsDiffer) {
+  BipartiteWorldConfig other = SmallConfig();
+  other.seed = 100;
+  auto a = GenerateBipartiteWorld(SmallConfig());
+  auto b = GenerateBipartiteWorld(other);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->venue_members, b->venue_members);
+}
+
+TEST(BipartiteWorldTest, BudgetsNeverOverspent) {
+  BipartiteWorldConfig config = SmallConfig();
+  config.cost_quality_slope = 2.0;
+  auto world = GenerateBipartiteWorld(config);
+  ASSERT_TRUE(world.ok());
+  for (size_t i = 0; i < world->member_budget.size(); ++i) {
+    EXPECT_LE(world->member_spent[i], world->member_budget[i] + 1e-9);
+  }
+}
+
+TEST(BipartiteWorldTest, VenueSizesWithinConfiguredRange) {
+  auto world = GenerateBipartiteWorld(SmallConfig());
+  ASSERT_TRUE(world.ok());
+  for (const auto& members : world->venue_members) {
+    EXPECT_LE(members.size(), 10u);
+  }
+}
+
+TEST(BipartiteWorldTest, CostSlopeCreatesNegativeDegreeQualityCoupling) {
+  // The paper's §1.2.1 mechanism: with expensive high-quality venues,
+  // high-quality (assortative) members join fewer venues.
+  // High venue demand relative to member budgets, so the budget binds.
+  BipartiteWorldConfig config = SmallConfig();
+  config.num_members = 600;
+  config.num_venues = 1500;
+  config.affinity = 5.0;
+  config.cost_base = 1.0;
+  config.cost_quality_slope = 3.5;
+  config.budget_mean = 10.0;
+  config.budget_sigma = 0.1;
+  auto world = GenerateBipartiteWorld(config);
+  ASSERT_TRUE(world.ok());
+  std::vector<double> degrees(600);
+  for (size_t i = 0; i < 600; ++i) {
+    degrees[i] = static_cast<double>(world->member_venues[i].size());
+  }
+  EXPECT_LT(SpearmanCorrelation(degrees, world->member_quality), -0.25);
+}
+
+TEST(BipartiteWorldTest, NoCostSlopeMeansWeakCoupling) {
+  BipartiteWorldConfig config = SmallConfig();
+  config.num_members = 1500;
+  config.num_venues = 800;
+  config.cost_quality_slope = 0.0;
+  config.budget_sigma = 0.2;
+  auto world = GenerateBipartiteWorld(config);
+  ASSERT_TRUE(world.ok());
+  std::vector<double> degrees(1500);
+  for (size_t i = 0; i < 1500; ++i) {
+    degrees[i] = static_cast<double>(world->member_venues[i].size());
+  }
+  EXPECT_NEAR(SpearmanCorrelation(degrees, world->member_quality), 0.0,
+              0.15);
+}
+
+TEST(BipartiteWorldTest, AssortativityMatchesQualities) {
+  // With strong affinity, a member's venues should have quality close to
+  // the member's own.
+  BipartiteWorldConfig config = SmallConfig();
+  config.num_members = 1000;
+  config.num_venues = 600;
+  config.affinity = 6.0;
+  auto world = GenerateBipartiteWorld(config);
+  ASSERT_TRUE(world.ok());
+  std::vector<double> member_q, venue_avg_q;
+  for (size_t i = 0; i < 1000; ++i) {
+    const auto& venues = world->member_venues[i];
+    if (venues.size() < 2) continue;
+    double total = 0.0;
+    for (NodeId r : venues) {
+      total += world->venue_quality[static_cast<size_t>(r)];
+    }
+    member_q.push_back(world->member_quality[i]);
+    venue_avg_q.push_back(total / static_cast<double>(venues.size()));
+  }
+  EXPECT_GT(SpearmanCorrelation(member_q, venue_avg_q), 0.5);
+}
+
+TEST(BipartiteWorldTest, ValidationRejectsBadConfigs) {
+  BipartiteWorldConfig config = SmallConfig();
+  config.num_members = 0;
+  EXPECT_FALSE(GenerateBipartiteWorld(config).ok());
+
+  config = SmallConfig();
+  config.venue_size_min = 5;
+  config.venue_size_max = 2;
+  EXPECT_FALSE(GenerateBipartiteWorld(config).ok());
+
+  config = SmallConfig();
+  config.quality_alpha = 0.0;
+  EXPECT_FALSE(GenerateBipartiteWorld(config).ok());
+
+  config = SmallConfig();
+  config.cost_base = 0.0;
+  EXPECT_FALSE(GenerateBipartiteWorld(config).ok());
+
+  config = SmallConfig();
+  config.budget_mean = 0.5;  // below cost_base = 1
+  EXPECT_FALSE(GenerateBipartiteWorld(config).ok());
+
+  config = SmallConfig();
+  config.affinity = -1.0;
+  EXPECT_FALSE(GenerateBipartiteWorld(config).ok());
+
+  config = SmallConfig();
+  config.cost_quality_slope = -2.0;  // cost can go non-positive
+  EXPECT_FALSE(GenerateBipartiteWorld(config).ok());
+}
+
+}  // namespace
+}  // namespace d2pr

@@ -1,0 +1,39 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace d2pr {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  D2PR_CHECK(true);
+  D2PR_CHECK_EQ(1, 1);
+  D2PR_CHECK_NE(1, 2);
+  D2PR_CHECK_LT(1, 2);
+  D2PR_CHECK_LE(1, 1);
+  D2PR_CHECK_GT(2, 1);
+  D2PR_CHECK_GE(2, 2);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(D2PR_CHECK(false) << "extra context", "CHECK failed: false");
+}
+
+TEST(CheckDeathTest, FailureMessageIncludesStreamedContext) {
+  EXPECT_DEATH(D2PR_CHECK(1 == 2) << "value was " << 7, "value was 7");
+}
+
+TEST(CheckDeathTest, ComparisonMacrosAbort) {
+  EXPECT_DEATH(D2PR_CHECK_EQ(1, 2), "CHECK failed");
+  EXPECT_DEATH(D2PR_CHECK_LT(2, 1), "CHECK failed");
+}
+
+TEST(CheckTest, CheckDoesNotDoubleEvaluate) {
+  int calls = 0;
+  auto increment = [&calls]() { return ++calls > 0; };
+  D2PR_CHECK(increment());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace d2pr

@@ -1,0 +1,150 @@
+#include "datagen/classic_generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_stats.h"
+#include "graph/traversal.h"
+
+namespace d2pr {
+namespace {
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  Rng rng(1);
+  auto graph = ErdosRenyi(100, 500, &rng);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_nodes(), 100);
+  EXPECT_EQ(graph->num_edges(), 500);
+  // No self loops.
+  for (NodeId v = 0; v < 100; ++v) EXPECT_FALSE(graph->HasArc(v, v));
+}
+
+TEST(ErdosRenyiTest, RejectsImpossibleEdgeCounts) {
+  Rng rng(2);
+  EXPECT_FALSE(ErdosRenyi(4, 7, &rng).ok());  // max is 6
+  EXPECT_FALSE(ErdosRenyi(4, -1, &rng).ok());
+  EXPECT_TRUE(ErdosRenyi(4, 6, &rng).ok());  // complete graph OK
+}
+
+TEST(ErdosRenyiTest, ZeroEdges) {
+  Rng rng(3);
+  auto graph = ErdosRenyi(10, 0, &rng);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_arcs(), 0);
+}
+
+TEST(ErdosRenyiTest, DeterministicGivenRngState) {
+  Rng a(7), b(7);
+  auto ga = ErdosRenyi(60, 150, &a);
+  auto gb = ErdosRenyi(60, 150, &b);
+  ASSERT_TRUE(ga.ok());
+  ASSERT_TRUE(gb.ok());
+  EXPECT_TRUE(*ga == *gb);
+}
+
+TEST(BarabasiAlbertTest, DegreeBoundsAndConnectivity) {
+  Rng rng(4);
+  const int m = 3;
+  auto graph = BarabasiAlbert(500, m, &rng);
+  ASSERT_TRUE(graph.ok());
+  // Every non-seed node attaches with exactly m edges, so min degree >= m.
+  GraphStats stats = ComputeGraphStats(*graph);
+  EXPECT_GE(stats.min_degree, m);
+  // Preferential attachment keeps the graph connected.
+  Components comps = ConnectedComponents(*graph);
+  EXPECT_EQ(comps.count, 1);
+  // Edge count: seed clique + m per added node.
+  const int64_t seed_edges = (m + 1) * m / 2;
+  EXPECT_EQ(graph->num_edges(), seed_edges + (500 - (m + 1)) * m);
+}
+
+TEST(BarabasiAlbertTest, ProducesHeavyTail) {
+  Rng rng(5);
+  auto graph = BarabasiAlbert(2000, 2, &rng);
+  ASSERT_TRUE(graph.ok());
+  GraphStats stats = ComputeGraphStats(*graph);
+  // Hubs far above the mean are the signature of preferential attachment.
+  EXPECT_GT(static_cast<double>(stats.max_degree), 8.0 * stats.avg_degree);
+}
+
+TEST(BarabasiAlbertTest, RejectsBadParameters) {
+  Rng rng(6);
+  EXPECT_FALSE(BarabasiAlbert(5, 0, &rng).ok());
+  EXPECT_FALSE(BarabasiAlbert(3, 3, &rng).ok());
+}
+
+TEST(WattsStrogatzTest, ZeroRewireIsRingLattice) {
+  Rng rng(7);
+  auto graph = WattsStrogatz(20, 2, 0.0, &rng);
+  ASSERT_TRUE(graph.ok());
+  // Every node has exactly 2k = 4 neighbors.
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(graph->OutDegree(v), 4);
+  EXPECT_TRUE(graph->HasArc(0, 1));
+  EXPECT_TRUE(graph->HasArc(0, 2));
+  EXPECT_TRUE(graph->HasArc(0, 19));
+  EXPECT_TRUE(graph->HasArc(0, 18));
+}
+
+TEST(WattsStrogatzTest, RewirePreservesEdgeCount) {
+  Rng rng(8);
+  auto graph = WattsStrogatz(100, 3, 0.3, &rng);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_edges(), 300);  // n*k edges
+}
+
+TEST(WattsStrogatzTest, FullRewireChangesStructure) {
+  Rng rng(9);
+  auto lattice = WattsStrogatz(200, 2, 0.0, &rng);
+  auto random = WattsStrogatz(200, 2, 1.0, &rng);
+  ASSERT_TRUE(lattice.ok());
+  ASSERT_TRUE(random.ok());
+  EXPECT_FALSE(*lattice == *random);
+  // Rewiring creates degree variance where the lattice had none.
+  GraphStats stats = ComputeGraphStats(*random);
+  EXPECT_GT(stats.stddev_degree, 0.0);
+}
+
+TEST(WattsStrogatzTest, RejectsBadParameters) {
+  Rng rng(10);
+  EXPECT_FALSE(WattsStrogatz(10, 0, 0.1, &rng).ok());
+  EXPECT_FALSE(WattsStrogatz(10, 5, 0.1, &rng).ok());   // 2k >= n
+  EXPECT_FALSE(WattsStrogatz(10, 2, -0.1, &rng).ok());
+  EXPECT_FALSE(WattsStrogatz(10, 2, 1.1, &rng).ok());
+}
+
+TEST(ChungLuTest, ExpectedDegreesApproximatelyRealized) {
+  Rng rng(11);
+  const int n = 2000;
+  std::vector<double> expected(n, 10.0);
+  for (int i = 0; i < 100; ++i) expected[static_cast<size_t>(i)] = 50.0;
+  auto graph = ChungLu(expected, &rng);
+  ASSERT_TRUE(graph.ok());
+  double high = 0.0, low = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    high += static_cast<double>(graph->OutDegree(i));
+  }
+  for (int i = 100; i < n; ++i) {
+    low += static_cast<double>(graph->OutDegree(i));
+  }
+  EXPECT_NEAR(high / 100.0, 50.0, 5.0);
+  EXPECT_NEAR(low / (n - 100.0), 10.0, 1.0);
+}
+
+TEST(ChungLuTest, ZeroWeightNodesStayIsolated) {
+  Rng rng(12);
+  std::vector<double> expected{5.0, 5.0, 0.0, 5.0};
+  auto graph = ChungLu(expected, &rng);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->OutDegree(2), 0);
+}
+
+TEST(ChungLuTest, RejectsNegativeOrDegenerateWeights) {
+  Rng rng(13);
+  EXPECT_FALSE(ChungLu({1.0, -1.0}, &rng).ok());
+  EXPECT_FALSE(ChungLu({0.0, 0.0}, &rng).ok());
+}
+
+}  // namespace
+}  // namespace d2pr

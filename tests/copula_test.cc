@@ -1,0 +1,66 @@
+#include "datagen/copula.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/correlation.h"
+
+namespace d2pr {
+namespace {
+
+class CopulaTargetTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CopulaTargetTest, AchievesTargetSpearman) {
+  Rng rng(321);
+  std::vector<double> reference(4000);
+  for (double& v : reference) v = rng.Lognormal(0.0, 1.0);
+  auto coupled = SpearmanCoupledVector(reference, GetParam(), &rng);
+  ASSERT_TRUE(coupled.ok());
+  const double achieved = SpearmanCorrelation(reference, *coupled);
+  EXPECT_NEAR(achieved, GetParam(), 0.05) << "target " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, CopulaTargetTest,
+                         ::testing::Values(-0.9, -0.5, -0.2, 0.0, 0.2, 0.5,
+                                           0.9));
+
+TEST(CopulaTest, ExtremeTargetsReachNearPerfectCorrelation) {
+  Rng rng(322);
+  std::vector<double> reference(1000);
+  for (double& v : reference) v = rng.Normal();
+  auto coupled = SpearmanCoupledVector(reference, 1.0, &rng);
+  ASSERT_TRUE(coupled.ok());
+  EXPECT_GT(SpearmanCorrelation(reference, *coupled), 0.995);
+}
+
+TEST(CopulaTest, WorksWithTiedReferenceValues) {
+  Rng rng(323);
+  std::vector<double> reference(1000);
+  for (size_t i = 0; i < reference.size(); ++i) {
+    reference[i] = static_cast<double>(i % 5);  // heavy ties
+  }
+  auto coupled = SpearmanCoupledVector(reference, 0.6, &rng);
+  ASSERT_TRUE(coupled.ok());
+  EXPECT_NEAR(SpearmanCorrelation(reference, *coupled), 0.6, 0.08);
+}
+
+TEST(CopulaTest, RejectsInvalidInput) {
+  Rng rng(324);
+  std::vector<double> reference{1.0, 2.0, 3.0};
+  EXPECT_FALSE(SpearmanCoupledVector(reference, 1.5, &rng).ok());
+  EXPECT_FALSE(SpearmanCoupledVector(reference, -1.5, &rng).ok());
+  std::vector<double> tiny{1.0};
+  EXPECT_FALSE(SpearmanCoupledVector(tiny, 0.5, &rng).ok());
+}
+
+TEST(CopulaTest, DeterministicGivenRngState) {
+  std::vector<double> reference{5.0, 1.0, 3.0, 2.0, 4.0};
+  Rng a(77), b(77);
+  auto ca = SpearmanCoupledVector(reference, 0.5, &a);
+  auto cb = SpearmanCoupledVector(reference, 0.5, &b);
+  ASSERT_TRUE(ca.ok());
+  ASSERT_TRUE(cb.ok());
+  EXPECT_EQ(*ca, *cb);
+}
+
+}  // namespace
+}  // namespace d2pr

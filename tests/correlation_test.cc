@@ -1,0 +1,172 @@
+#include "stats/correlation.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace d2pr {
+namespace {
+
+TEST(PearsonTest, PerfectLinear) {
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> neg{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantVectorGivesZero) {
+  std::vector<double> x{1.0, 1.0, 1.0};
+  std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(PearsonTest, KnownValue) {
+  // Hand-computed: x={1,2,3}, y={1,3,2}: r = 0.5.
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{1.0, 3.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.5, 1e-12);
+}
+
+TEST(PearsonTest, TooShortGivesZero) {
+  std::vector<double> x{1.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, x), 0.0);
+}
+
+TEST(SpearmanTest, MonotoneTransformInvariance) {
+  // Spearman depends only on ranks: rho(x, y) == rho(x, exp(y)).
+  std::vector<double> x{0.3, 0.1, 0.9, 0.5, 0.7};
+  std::vector<double> y{1.0, 0.5, 2.5, 1.5, 2.0};
+  std::vector<double> exp_y;
+  for (double v : y) exp_y.push_back(std::exp(v));
+  EXPECT_NEAR(SpearmanCorrelation(x, y), SpearmanCorrelation(x, exp_y),
+              1e-12);
+}
+
+TEST(SpearmanTest, PerfectAgreementAndReversal) {
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> y{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> rev{50.0, 40.0, 30.0, 20.0, 10.0};
+  EXPECT_NEAR(SpearmanCorrelation(x, rev), -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, KnownValueWithTies) {
+  // x = {1, 2, 2, 4}, y = {1, 2, 3, 4}.
+  // Ranks x (average ties): {1, 2.5, 2.5, 4}; ranks y: {1,2,3,4}.
+  // Pearson of ranks = 4.5 / sqrt(4.5 * 5) = 3/sqrt(10).
+  std::vector<double> x{1.0, 2.0, 2.0, 4.0};
+  std::vector<double> y{1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 3.0 / std::sqrt(10.0), 1e-12);
+}
+
+TEST(SpearmanTest, IndependentSamplesNearZero) {
+  Rng rng(4242);
+  std::vector<double> x(5000), y(5000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Normal();
+    y[i] = rng.Normal();
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 0.0, 0.05);
+}
+
+TEST(SpearmanTest, SymmetricInArguments) {
+  std::vector<double> x{3.0, 1.0, 4.0, 1.0, 5.0};
+  std::vector<double> y{2.0, 7.0, 1.0, 8.0, 2.0};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), SpearmanCorrelation(y, x), 1e-12);
+}
+
+TEST(KendallTest, PerfectAgreementAndReversal) {
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y{1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(KendallTauB(x, y), 1.0, 1e-12);
+  std::vector<double> rev{4.0, 3.0, 2.0, 1.0};
+  EXPECT_NEAR(KendallTauB(x, rev), -1.0, 1e-12);
+}
+
+TEST(KendallTest, KnownSmallExample) {
+  // x = {1,2,3}, y = {1,3,2}: concordant {12? y1<y3:(1,3)c, (1,2)c},
+  // pairs: (1,2): x inc, y inc -> c; (1,3): x inc, y inc -> c;
+  // (2,3): x inc, y dec -> d. tau = (2 - 1) / 3 = 1/3.
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{1.0, 3.0, 2.0};
+  EXPECT_NEAR(KendallTauB(x, y), 1.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTest, TieAdjustedExample) {
+  // x = {1, 1, 2}, y = {1, 2, 3}.
+  // Pairs: (1,2): x tied -> neither; (1,3): c; (2,3): c.
+  // n0 = 3, ties_x = 1, ties_y = 0.
+  // tau_b = (2 - 0) / sqrt((3-1)(3-0)) = 2/sqrt(6).
+  std::vector<double> x{1.0, 1.0, 2.0};
+  std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_NEAR(KendallTauB(x, y), 2.0 / std::sqrt(6.0), 1e-12);
+}
+
+TEST(KendallTest, MatchesBruteForceOnRandomData) {
+  Rng rng(777);
+  std::vector<double> x(200), y(200);
+  for (size_t i = 0; i < x.size(); ++i) {
+    // Coarse grid to force plenty of ties.
+    x[i] = static_cast<double>(rng.UniformInt(0, 9));
+    y[i] = static_cast<double>(rng.UniformInt(0, 9));
+  }
+  // Brute force tau-b.
+  int64_t concordant = 0, discordant = 0, ties_x = 0, ties_y = 0,
+          ties_xy = 0;
+  const int64_t n = static_cast<int64_t>(x.size());
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      if (dx == 0 && dy == 0) {
+        ++ties_xy;
+        ++ties_x;
+        ++ties_y;
+      } else if (dx == 0) {
+        ++ties_x;
+      } else if (dy == 0) {
+        ++ties_y;
+      } else if (dx * dy > 0) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const int64_t total = n * (n - 1) / 2;
+  const double expected =
+      static_cast<double>(concordant - discordant) /
+      std::sqrt(static_cast<double>(total - ties_x) *
+                static_cast<double>(total - ties_y));
+  EXPECT_NEAR(KendallTauB(x, y), expected, 1e-12);
+  (void)ties_xy;
+}
+
+TEST(KendallTest, AgreesInSignWithSpearman) {
+  Rng rng(31337);
+  std::vector<double> x(500), y(500);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Normal();
+    y[i] = 0.6 * x[i] + 0.8 * rng.Normal();
+  }
+  const double spearman = SpearmanCorrelation(x, y);
+  const double kendall = KendallTauB(x, y);
+  EXPECT_GT(spearman, 0.3);
+  EXPECT_GT(kendall, 0.2);
+  EXPECT_LT(kendall, spearman);  // tau is typically ~2/3 of rho here
+}
+
+TEST(CorrelationDeathTest, SizeMismatchAborts) {
+  std::vector<double> a{1.0, 2.0};
+  std::vector<double> b{1.0};
+  EXPECT_DEATH((void)PearsonCorrelation(a, b), "CHECK failed");
+  EXPECT_DEATH((void)SpearmanCorrelation(a, b), "CHECK failed");
+  EXPECT_DEATH((void)KendallTauB(a, b), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace d2pr

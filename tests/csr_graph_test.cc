@@ -1,0 +1,170 @@
+#include "graph/csr_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace d2pr {
+namespace {
+
+CsrGraph BuildOrDie(GraphBuilder* builder,
+                    DuplicatePolicy policy = DuplicatePolicy::kSum) {
+  auto result = builder->Build(policy);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+// The paper's Figure 1 sample graph: A-B, A-C, A-D, B-E, C-E, C-F gives
+// deg(A)=3, deg(B)=2, deg(C)=3, deg(D)=1, deg(E)=2, deg(F)=1.
+CsrGraph Figure1Graph() {
+  GraphBuilder builder(6, GraphKind::kUndirected);
+  EXPECT_TRUE(builder.AddEdge(0, 1).ok());  // A-B
+  EXPECT_TRUE(builder.AddEdge(0, 2).ok());  // A-C
+  EXPECT_TRUE(builder.AddEdge(0, 3).ok());  // A-D
+  EXPECT_TRUE(builder.AddEdge(1, 4).ok());  // B-E
+  EXPECT_TRUE(builder.AddEdge(2, 4).ok());  // C-E
+  EXPECT_TRUE(builder.AddEdge(2, 5).ok());  // C-F
+  return BuildOrDie(&builder);
+}
+
+TEST(CsrGraphTest, EmptyGraph) {
+  CsrGraph graph;
+  EXPECT_EQ(graph.num_nodes(), 0);
+  EXPECT_EQ(graph.num_arcs(), 0);
+  EXPECT_EQ(graph.num_edges(), 0);
+  EXPECT_FALSE(graph.directed());
+  EXPECT_FALSE(graph.weighted());
+}
+
+TEST(CsrGraphTest, UndirectedDegreesMatchFigure1) {
+  CsrGraph graph = Figure1Graph();
+  EXPECT_EQ(graph.num_nodes(), 6);
+  EXPECT_EQ(graph.num_edges(), 6);
+  EXPECT_EQ(graph.num_arcs(), 12);  // mirrored
+  EXPECT_EQ(graph.OutDegree(0), 3);
+  EXPECT_EQ(graph.OutDegree(1), 2);
+  EXPECT_EQ(graph.OutDegree(2), 3);
+  EXPECT_EQ(graph.OutDegree(3), 1);
+  EXPECT_EQ(graph.OutDegree(4), 2);
+  EXPECT_EQ(graph.OutDegree(5), 1);
+}
+
+TEST(CsrGraphTest, NeighborsSortedAndSymmetric) {
+  CsrGraph graph = Figure1Graph();
+  auto nbrs = graph.OutNeighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 1);
+  EXPECT_EQ(nbrs[1], 2);
+  EXPECT_EQ(nbrs[2], 3);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) {
+      EXPECT_TRUE(graph.HasArc(v, u)) << u << "->" << v;
+    }
+  }
+}
+
+TEST(CsrGraphTest, HasArcAndArcWeightUnweighted) {
+  CsrGraph graph = Figure1Graph();
+  EXPECT_TRUE(graph.HasArc(0, 1));
+  EXPECT_FALSE(graph.HasArc(0, 4));
+  EXPECT_DOUBLE_EQ(graph.ArcWeight(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(graph.ArcWeight(0, 4), 0.0);
+}
+
+TEST(CsrGraphTest, WeightedArcs) {
+  GraphBuilder builder(3, GraphKind::kDirected, /*weighted=*/true);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 2.5).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2, 0.5).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2, 4.0).ok());
+  CsrGraph graph = BuildOrDie(&builder);
+  EXPECT_TRUE(graph.weighted());
+  EXPECT_DOUBLE_EQ(graph.ArcWeight(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(graph.ArcWeight(0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(graph.OutStrength(0), 3.0);
+  EXPECT_DOUBLE_EQ(graph.OutStrength(1), 4.0);
+  EXPECT_DOUBLE_EQ(graph.OutStrength(2), 0.0);
+}
+
+TEST(CsrGraphTest, OutStrengthEqualsDegreeWhenUnweighted) {
+  CsrGraph graph = Figure1Graph();
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(graph.OutStrength(v),
+                     static_cast<double>(graph.OutDegree(v)));
+  }
+}
+
+TEST(CsrGraphTest, DirectedInDegrees) {
+  GraphBuilder builder(4, GraphKind::kDirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(3, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 0).ok());
+  CsrGraph graph = BuildOrDie(&builder);
+  const std::vector<EdgeIndex> in = graph.InDegrees();
+  EXPECT_EQ(in[0], 1);
+  EXPECT_EQ(in[1], 3);
+  EXPECT_EQ(in[2], 0);
+  EXPECT_EQ(in[3], 0);
+  EXPECT_EQ(graph.num_edges(), 4);
+}
+
+TEST(CsrGraphTest, TransposeReversesArcs) {
+  GraphBuilder builder(3, GraphKind::kDirected, /*weighted=*/true);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 2.0).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2, 3.0).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 1, 5.0).ok());
+  CsrGraph graph = BuildOrDie(&builder);
+  CsrGraph transpose = graph.Transpose();
+  EXPECT_EQ(transpose.num_arcs(), graph.num_arcs());
+  EXPECT_TRUE(transpose.HasArc(1, 0));
+  EXPECT_TRUE(transpose.HasArc(2, 0));
+  EXPECT_TRUE(transpose.HasArc(1, 2));
+  EXPECT_FALSE(transpose.HasArc(0, 1));
+  EXPECT_DOUBLE_EQ(transpose.ArcWeight(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(transpose.ArcWeight(1, 2), 5.0);
+}
+
+TEST(CsrGraphTest, TransposeOfUndirectedIsIdentical) {
+  CsrGraph graph = Figure1Graph();
+  EXPECT_TRUE(graph.Transpose() == graph);
+}
+
+TEST(CsrGraphTest, TransposeTwiceIsIdentity) {
+  GraphBuilder builder(5, GraphKind::kDirected);
+  ASSERT_TRUE(builder.AddEdge(0, 4).ok());
+  ASSERT_TRUE(builder.AddEdge(4, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(3, 3).ok());
+  CsrGraph graph = BuildOrDie(&builder);
+  EXPECT_TRUE(graph.Transpose().Transpose() == graph);
+}
+
+TEST(CsrGraphTest, SelfLoopCountsOnceUndirected) {
+  GraphBuilder builder(2, GraphKind::kUndirected);
+  ASSERT_TRUE(builder.AddEdge(0, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  CsrGraph graph = BuildOrDie(&builder);
+  EXPECT_EQ(graph.OutDegree(0), 2);  // loop + edge to 1
+  EXPECT_EQ(graph.num_arcs(), 3);
+  EXPECT_EQ(graph.num_edges(), 2);
+}
+
+TEST(CsrGraphTest, CountDangling) {
+  GraphBuilder builder(4, GraphKind::kDirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2).ok());
+  CsrGraph graph = BuildOrDie(&builder);
+  EXPECT_EQ(graph.CountDangling(), 3);  // 1, 2, 3 have no out-arcs
+}
+
+TEST(CsrGraphDeathTest, OutOfRangeAccessAbortsInDebug) {
+#ifndef NDEBUG
+  CsrGraph graph = Figure1Graph();
+  EXPECT_DEATH((void)graph.OutDegree(99), "CHECK failed");
+#else
+  GTEST_SKIP() << "DCHECKs compiled out in release builds";
+#endif
+}
+
+}  // namespace
+}  // namespace d2pr

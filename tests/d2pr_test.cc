@@ -1,0 +1,152 @@
+#include "core/d2pr.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/classic_generators.h"
+#include "graph/graph_builder.h"
+#include "linalg/vec_ops.h"
+#include "stats/correlation.h"
+#include "graph/graph_stats.h"
+
+namespace d2pr {
+namespace {
+
+TEST(D2prTest, DefaultOptionsAreConventionalPagerank) {
+  Rng rng(1);
+  auto graph = BarabasiAlbert(200, 3, &rng);
+  ASSERT_TRUE(graph.ok());
+  auto d2pr = ComputeD2pr(*graph);
+  auto conventional = ComputeConventionalPagerank(*graph);
+  ASSERT_TRUE(d2pr.ok());
+  ASSERT_TRUE(conventional.ok());
+  for (size_t i = 0; i < d2pr->scores.size(); ++i) {
+    EXPECT_NEAR(d2pr->scores[i], conventional->scores[i], 1e-12);
+  }
+}
+
+TEST(D2prTest, PZeroTightlyCoupledWithDegree) {
+  // The paper's Table 1 observation: Spearman(PR, degree) ≈ 0.85-0.997 on
+  // undirected graphs.
+  Rng rng(2);
+  auto graph = BarabasiAlbert(800, 3, &rng);
+  ASSERT_TRUE(graph.ok());
+  auto pr = ComputeD2pr(*graph, {.p = 0.0});
+  ASSERT_TRUE(pr.ok());
+  const std::vector<double> degrees = DegreesAsDoubles(*graph);
+  EXPECT_GT(SpearmanCorrelation(pr->scores, degrees), 0.9);
+}
+
+TEST(D2prTest, PositivePReducesDegreeCoupling) {
+  Rng rng(3);
+  auto graph = BarabasiAlbert(800, 3, &rng);
+  ASSERT_TRUE(graph.ok());
+  const std::vector<double> degrees = DegreesAsDoubles(*graph);
+  auto plain = ComputeD2pr(*graph, {.p = 0.0});
+  auto penalized = ComputeD2pr(*graph, {.p = 2.0});
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(penalized.ok());
+  EXPECT_LT(SpearmanCorrelation(penalized->scores, degrees),
+            SpearmanCorrelation(plain->scores, degrees));
+}
+
+TEST(D2prTest, BoostedWalkStaysDegreeAlignedPenalizedDoesNot) {
+  // Boosting tracks degree through a two-hop aggregate, so it need not
+  // beat p = 0 exactly, but it must stay strongly aligned while
+  // penalization decorrelates.
+  Rng rng(4);
+  auto graph = ErdosRenyi(600, 2400, &rng);
+  ASSERT_TRUE(graph.ok());
+  const std::vector<double> degrees = DegreesAsDoubles(*graph);
+  auto boosted = ComputeD2pr(*graph, {.p = -2.0});
+  auto penalized = ComputeD2pr(*graph, {.p = 2.0});
+  ASSERT_TRUE(boosted.ok());
+  ASSERT_TRUE(penalized.ok());
+  EXPECT_GT(SpearmanCorrelation(boosted->scores, degrees), 0.95);
+  EXPECT_GT(SpearmanCorrelation(boosted->scores, degrees),
+            SpearmanCorrelation(penalized->scores, degrees) + 0.1);
+}
+
+TEST(D2prTest, ScoresFormDistributionForAllP) {
+  Rng rng(5);
+  auto graph = BarabasiAlbert(300, 2, &rng);
+  ASSERT_TRUE(graph.ok());
+  for (double p : {-8.0, -1.0, 0.0, 0.5, 3.0, 8.0}) {
+    auto pr = ComputeD2pr(*graph, {.p = p});
+    ASSERT_TRUE(pr.ok()) << "p = " << p;
+    EXPECT_NEAR(Sum(pr->scores), 1.0, 1e-8) << "p = " << p;
+    for (double s : pr->scores) EXPECT_GT(s, 0.0);
+  }
+}
+
+TEST(D2prTest, ConventionalOnWeightedGraphUsesStrengths) {
+  GraphBuilder builder(3, GraphKind::kUndirected, /*weighted=*/true);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 10.0).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2, 1.0).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2, 1.0).ok());
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  auto pr = ComputeConventionalPagerank(*graph);
+  ASSERT_TRUE(pr.ok());
+  // The heavy 0-1 edge concentrates the walk on {0, 1}.
+  EXPECT_GT(pr->scores[0], pr->scores[2]);
+  EXPECT_GT(pr->scores[1], pr->scores[2]);
+}
+
+TEST(D2prTest, PersonalizedConcentratesAroundSeeds) {
+  Rng rng(6);
+  auto graph = WattsStrogatz(100, 3, 0.1, &rng);
+  ASSERT_TRUE(graph.ok());
+  const std::vector<NodeId> seeds{10, 11};
+  auto ppr = ComputePersonalizedD2pr(*graph, seeds, {.p = 0.5});
+  ASSERT_TRUE(ppr.ok());
+  // Seeds must outrank the global median by a wide margin.
+  std::vector<double> sorted = ppr->scores;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  EXPECT_GT(ppr->scores[10], 5.0 * median);
+  EXPECT_GT(ppr->scores[11], 5.0 * median);
+}
+
+TEST(D2prTest, PersonalizedRejectsBadSeeds) {
+  Rng rng(7);
+  auto graph = ErdosRenyi(20, 40, &rng);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(
+      ComputePersonalizedD2pr(*graph, std::vector<NodeId>{99}, {}).ok());
+  EXPECT_FALSE(
+      ComputePersonalizedD2pr(*graph, std::vector<NodeId>{}, {}).ok());
+}
+
+TEST(D2prTest, OptionTranslation) {
+  D2prOptions options;
+  options.p = 1.5;
+  options.beta = 0.25;
+  options.alpha = 0.7;
+  options.tolerance = 1e-6;
+  options.max_iterations = 42;
+  options.metric = DegreeMetric::kInDegree;
+  options.dangling = DanglingPolicy::kSelfLoop;
+  const TransitionConfig tc = ToTransitionConfig(options);
+  EXPECT_DOUBLE_EQ(tc.p, 1.5);
+  EXPECT_DOUBLE_EQ(tc.beta, 0.25);
+  EXPECT_EQ(tc.metric, DegreeMetric::kInDegree);
+  const PagerankOptions po = ToPagerankOptions(options);
+  EXPECT_DOUBLE_EQ(po.alpha, 0.7);
+  EXPECT_DOUBLE_EQ(po.tolerance, 1e-6);
+  EXPECT_EQ(po.max_iterations, 42);
+  EXPECT_EQ(po.dangling, DanglingPolicy::kSelfLoop);
+}
+
+TEST(D2prTest, InvalidOptionsPropagateAsStatus) {
+  Rng rng(8);
+  auto graph = ErdosRenyi(20, 40, &rng);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(ComputeD2pr(*graph, {.p = 0.0, .beta = 2.0}).ok());
+  D2prOptions bad_alpha;
+  bad_alpha.alpha = 1.0;
+  EXPECT_FALSE(ComputeD2pr(*graph, bad_alpha).ok());
+}
+
+}  // namespace
+}  // namespace d2pr

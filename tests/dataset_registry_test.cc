@@ -1,0 +1,146 @@
+#include "datagen/dataset_registry.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_stats.h"
+#include "graph/traversal.h"
+
+namespace d2pr {
+namespace {
+
+RegistryOptions TestOptions() {
+  RegistryOptions options;
+  options.scale = 0.25;  // keep registry tests fast
+  return options;
+}
+
+TEST(RegistryTest, AllGraphsGenerate) {
+  for (PaperGraphId id : AllPaperGraphIds()) {
+    auto graph = MakePaperGraph(id, TestOptions());
+    ASSERT_TRUE(graph.ok())
+        << PaperGraphName(id) << ": " << graph.status().ToString();
+    EXPECT_GT(graph->unweighted.num_nodes(), 50)
+        << PaperGraphName(id);
+    EXPECT_GT(graph->unweighted.num_edges(), 100) << PaperGraphName(id);
+    EXPECT_EQ(graph->significance.size(),
+              static_cast<size_t>(graph->unweighted.num_nodes()));
+    EXPECT_EQ(graph->name, PaperGraphName(id));
+    EXPECT_EQ(graph->expected_group, ExpectedGroup(id));
+    EXPECT_FALSE(graph->weight_semantics.empty());
+  }
+}
+
+TEST(RegistryTest, WeightedAndUnweightedShareTopology) {
+  auto graph =
+      MakePaperGraph(PaperGraphId::kImdbActorActor, TestOptions());
+  ASSERT_TRUE(graph.ok());
+  EXPECT_TRUE(graph->weighted.weighted());
+  EXPECT_FALSE(graph->unweighted.weighted());
+  ASSERT_EQ(graph->weighted.num_nodes(), graph->unweighted.num_nodes());
+  ASSERT_EQ(graph->weighted.num_arcs(), graph->unweighted.num_arcs());
+  for (NodeId v = 0; v < graph->weighted.num_nodes(); ++v) {
+    auto wn = graph->weighted.OutNeighbors(v);
+    auto un = graph->unweighted.OutNeighbors(v);
+    ASSERT_EQ(wn.size(), un.size());
+    for (size_t i = 0; i < wn.size(); ++i) EXPECT_EQ(wn[i], un[i]);
+  }
+}
+
+TEST(RegistryTest, GraphsAreConnected) {
+  // FinalizeDataGraph restricts to the largest component.
+  for (PaperGraphId id : AllPaperGraphIds()) {
+    auto graph = MakePaperGraph(id, TestOptions());
+    ASSERT_TRUE(graph.ok());
+    Components comps = ConnectedComponents(graph->unweighted);
+    EXPECT_EQ(comps.count, 1) << PaperGraphName(id);
+    GraphStats stats = ComputeGraphStats(graph->unweighted);
+    EXPECT_EQ(stats.num_dangling, 0) << PaperGraphName(id);
+  }
+}
+
+TEST(RegistryTest, DeterministicInSeed) {
+  auto a = MakePaperGraph(PaperGraphId::kDblpAuthorAuthor, TestOptions());
+  auto b = MakePaperGraph(PaperGraphId::kDblpAuthorAuthor, TestOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->unweighted == b->unweighted);
+  EXPECT_EQ(a->significance, b->significance);
+}
+
+TEST(RegistryTest, SeedChangesOutput) {
+  RegistryOptions other = TestOptions();
+  other.seed = 777;
+  auto a = MakePaperGraph(PaperGraphId::kDblpAuthorAuthor, TestOptions());
+  auto b = MakePaperGraph(PaperGraphId::kDblpAuthorAuthor, other);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(a->unweighted == b->unweighted);
+}
+
+TEST(RegistryTest, ScaleGrowsGraphs) {
+  RegistryOptions small = TestOptions();
+  RegistryOptions large = TestOptions();
+  large.scale = 0.5;
+  auto gs = MakePaperGraph(PaperGraphId::kLastfmListenerListener, small);
+  auto gl = MakePaperGraph(PaperGraphId::kLastfmListenerListener, large);
+  ASSERT_TRUE(gs.ok());
+  ASSERT_TRUE(gl.ok());
+  EXPECT_GT(gl->unweighted.num_nodes(), gs->unweighted.num_nodes());
+}
+
+TEST(RegistryTest, RejectsNonPositiveScale) {
+  RegistryOptions bad;
+  bad.scale = 0.0;
+  EXPECT_FALSE(MakePaperGraph(PaperGraphId::kImdbMovieMovie, bad).ok());
+}
+
+TEST(RegistryTest, GroupsPartitionTheEightGraphs) {
+  size_t total = 0;
+  for (ApplicationGroup group :
+       {ApplicationGroup::kPenalizationHelps,
+        ApplicationGroup::kConventionalIdeal,
+        ApplicationGroup::kBoostingHelps}) {
+    const auto ids = GraphsInGroup(group);
+    total += ids.size();
+    for (PaperGraphId id : ids) EXPECT_EQ(ExpectedGroup(id), group);
+  }
+  EXPECT_EQ(total, AllPaperGraphIds().size());
+}
+
+TEST(RegistryTest, NamesAreUniqueAndStable) {
+  std::set<std::string> names;
+  for (PaperGraphId id : AllPaperGraphIds()) {
+    names.insert(std::string(PaperGraphName(id)));
+  }
+  EXPECT_EQ(names.size(), 8u);
+  EXPECT_EQ(PaperGraphName(PaperGraphId::kEpinionsProductProduct),
+            "epinions_product_product");
+}
+
+TEST(RegistryTest, GroupLabelsMentionDirection) {
+  EXPECT_NE(GroupLabel(ApplicationGroup::kPenalizationHelps).find("p > 0"),
+            std::string_view::npos);
+  EXPECT_NE(GroupLabel(ApplicationGroup::kConventionalIdeal).find("p = 0"),
+            std::string_view::npos);
+  EXPECT_NE(GroupLabel(ApplicationGroup::kBoostingHelps).find("p < 0"),
+            std::string_view::npos);
+}
+
+TEST(ScaleFromEnvTest, ParsesAndClamps) {
+  unsetenv("D2PR_SCALE");
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(), 1.0);
+  setenv("D2PR_SCALE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(), 2.5);
+  setenv("D2PR_SCALE", "0.001", 1);
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(), 0.1);
+  setenv("D2PR_SCALE", "1e9", 1);
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(), 100.0);
+  setenv("D2PR_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(), 1.0);
+  unsetenv("D2PR_SCALE");
+}
+
+}  // namespace
+}  // namespace d2pr

@@ -1,0 +1,149 @@
+#include "datagen/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace d2pr {
+namespace {
+
+TEST(ZipfSamplerTest, ValuesInRange) {
+  Rng rng(1);
+  ZipfSampler sampler(100, 1.2);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = sampler.Sample(&rng);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 100);
+  }
+}
+
+TEST(ZipfSamplerTest, ExponentZeroIsUniform) {
+  Rng rng(2);
+  ZipfSampler sampler(10, 0.0);
+  std::vector<int> counts(11, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(&rng)];
+  for (int k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(counts[k], n / 10, n / 10 * 0.1) << "k = " << k;
+  }
+}
+
+TEST(ZipfSamplerTest, HigherExponentConcentratesOnSmallValues) {
+  Rng rng(3);
+  ZipfSampler flat(50, 0.5);
+  ZipfSampler steep(50, 2.5);
+  double mean_flat = 0.0, mean_steep = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    mean_flat += static_cast<double>(flat.Sample(&rng));
+    mean_steep += static_cast<double>(steep.Sample(&rng));
+  }
+  EXPECT_GT(mean_flat / n, 2.0 * mean_steep / n);
+}
+
+TEST(ZipfSamplerTest, EmpiricalMeanMatchesAnalytic) {
+  Rng rng(4);
+  ZipfSampler sampler(30, 1.1);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(sampler.Sample(&rng));
+  }
+  EXPECT_NEAR(sum / n, sampler.Mean(), sampler.Mean() * 0.03);
+}
+
+TEST(ZipfSamplerTest, FrequenciesFollowPowerLaw) {
+  Rng rng(5);
+  const double s = 1.5;
+  ZipfSampler sampler(1000, s);
+  std::vector<int64_t> counts(1001, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(&rng)];
+  // P(1)/P(2) should be 2^s.
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[2], std::pow(2.0, s),
+              0.25);
+}
+
+TEST(SampleZipfManyTest, ShiftsToMinValue) {
+  Rng rng(6);
+  const std::vector<int64_t> values = SampleZipfMany(5000, 10, 1.0, 3, &rng);
+  EXPECT_EQ(values.size(), 5000u);
+  const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  EXPECT_GE(*lo, 3);
+  EXPECT_LE(*hi, 12);
+  EXPECT_EQ(*lo, 3);  // min value should actually appear
+}
+
+TEST(WeightedSampleTest, RespectsKAndDistinctness) {
+  Rng rng(7);
+  std::vector<double> weights(50, 1.0);
+  const std::vector<int32_t> sample =
+      WeightedSampleWithoutReplacement(weights, 10, &rng);
+  EXPECT_EQ(sample.size(), 10u);
+  for (size_t i = 1; i < sample.size(); ++i) {
+    EXPECT_LT(sample[i - 1], sample[i]);  // sorted and distinct
+  }
+}
+
+TEST(WeightedSampleTest, ZeroWeightNeverSampled) {
+  Rng rng(8);
+  std::vector<double> weights(20, 1.0);
+  weights[5] = 0.0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::vector<int32_t> sample =
+        WeightedSampleWithoutReplacement(weights, 10, &rng);
+    EXPECT_EQ(std::count(sample.begin(), sample.end(), 5), 0);
+  }
+}
+
+TEST(WeightedSampleTest, HeavyWeightSampledMuchMoreOften) {
+  Rng rng(9);
+  std::vector<double> weights(10, 1.0);
+  weights[0] = 50.0;
+  int hits = 0;
+  const int trials = 2000;
+  for (int trial = 0; trial < trials; ++trial) {
+    const std::vector<int32_t> sample =
+        WeightedSampleWithoutReplacement(weights, 1, &rng);
+    hits += (sample[0] == 0);
+  }
+  // P(pick 0) = 50/59 ≈ 0.847.
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 50.0 / 59.0, 0.03);
+}
+
+TEST(WeightedSampleTest, KZeroGivesEmpty) {
+  Rng rng(10);
+  std::vector<double> weights{1.0, 2.0};
+  EXPECT_TRUE(WeightedSampleWithoutReplacement(weights, 0, &rng).empty());
+}
+
+TEST(WeightedSampleDeathTest, TooFewPositiveWeightsAborts) {
+  Rng rng(11);
+  std::vector<double> weights{1.0, 0.0, 0.0};
+  EXPECT_DEATH(WeightedSampleWithoutReplacement(weights, 2, &rng),
+               "CHECK failed");
+}
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959963985, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.8413447460685429), 1.0, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.99865), 3.0, 1e-4);
+}
+
+TEST(NormalQuantileTest, SymmetryAroundHalf) {
+  for (double q : {0.01, 0.1, 0.3, 0.45}) {
+    EXPECT_NEAR(NormalQuantile(q), -NormalQuantile(1.0 - q), 1e-8);
+  }
+}
+
+TEST(NormalQuantileDeathTest, RejectsBoundary) {
+  EXPECT_DEATH((void)NormalQuantile(0.0), "CHECK failed");
+  EXPECT_DEATH((void)NormalQuantile(1.0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace d2pr

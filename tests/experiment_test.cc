@@ -1,0 +1,137 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/sweeps.h"
+#include "datagen/classic_generators.h"
+#include "datagen/copula.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_stats.h"
+
+namespace d2pr {
+namespace {
+
+TEST(CorrelationPSweepTest, TracksTargetAcrossGrid) {
+  Rng rng(1);
+  auto graph = BarabasiAlbert(300, 3, &rng);
+  ASSERT_TRUE(graph.ok());
+  const std::vector<double> significance = DegreesAsDoubles(*graph);
+  auto series = CorrelationPSweep(*graph, significance, {-1.0, 0.0, 2.0},
+                                  BenchOptions());
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), 3u);
+  // Significance == degree: boosting must beat penalizing.
+  EXPECT_GT((*series)[0].correlation, (*series)[2].correlation);
+  for (const auto& point : *series) {
+    EXPECT_TRUE(point.converged);
+    EXPECT_GT(point.iterations, 0);
+  }
+}
+
+TEST(CorrelationPSweepTest, RejectsSizeMismatch) {
+  Rng rng(2);
+  auto graph = ErdosRenyi(50, 100, &rng);
+  ASSERT_TRUE(graph.ok());
+  std::vector<double> wrong(10, 1.0);
+  EXPECT_FALSE(CorrelationPSweep(*graph, wrong, {0.0}).ok());
+}
+
+TEST(CorrelationAlphaPSweepTest, ProducesFullSurface) {
+  Rng rng(3);
+  auto graph = BarabasiAlbert(150, 2, &rng);
+  ASSERT_TRUE(graph.ok());
+  Rng noise(4);
+  auto significance =
+      SpearmanCoupledVector(DegreesAsDoubles(*graph), 0.3, &noise);
+  ASSERT_TRUE(significance.ok());
+  auto surface = CorrelationAlphaPSweep(*graph, *significance, {0.5, 0.85},
+                                        {-1.0, 0.0, 1.0}, BenchOptions());
+  ASSERT_TRUE(surface.ok());
+  EXPECT_EQ(surface->outer_values, (std::vector<double>{0.5, 0.85}));
+  ASSERT_EQ(surface->series.size(), 2u);
+  for (const auto& series : surface->series) {
+    EXPECT_EQ(series.size(), 3u);
+  }
+}
+
+TEST(CorrelationBetaPSweepTest, RequiresWeightedGraph) {
+  Rng rng(5);
+  auto graph = ErdosRenyi(50, 150, &rng);
+  ASSERT_TRUE(graph.ok());
+  std::vector<double> significance(50, 1.0);
+  EXPECT_FALSE(
+      CorrelationBetaPSweep(*graph, significance, {0.0, 1.0}, {0.0}).ok());
+}
+
+TEST(CorrelationBetaPSweepTest, WorksOnWeightedGraph) {
+  GraphBuilder builder(40, GraphKind::kUndirected, /*weighted=*/true);
+  Rng rng(6);
+  for (NodeId v = 0; v + 1 < 40; ++v) {
+    ASSERT_TRUE(
+        builder.AddEdge(v, v + 1, 1.0 + rng.Uniform() * 4.0).ok());
+  }
+  for (int extra = 0; extra < 40; ++extra) {
+    const NodeId u = static_cast<NodeId>(rng.Below(40));
+    const NodeId v = static_cast<NodeId>(rng.Below(40));
+    if (u != v) {
+      ASSERT_TRUE(builder.AddEdge(u, v, 1.0 + rng.Uniform()).ok());
+    }
+  }
+  auto graph = builder.Build(DuplicatePolicy::kKeepFirst);
+  ASSERT_TRUE(graph.ok());
+  std::vector<double> significance(40);
+  for (double& s : significance) s = rng.Uniform();
+  auto surface = CorrelationBetaPSweep(*graph, significance,
+                                       PaperBetaGrid(), {-1.0, 0.0, 1.0});
+  ASSERT_TRUE(surface.ok());
+  EXPECT_EQ(surface->series.size(), 5u);
+}
+
+TEST(BestPointTest, PicksMaxAndPrefersSmallestAbsP) {
+  std::vector<CorrelationPoint> series;
+  for (double p : {-2.0, -1.0, 0.0, 1.0, 2.0}) {
+    CorrelationPoint point;
+    point.p = p;
+    point.correlation = (p == -1.0 || p == 1.0) ? 0.5 : 0.1;
+    series.push_back(point);
+  }
+  // Tie between p = -1 and p = 1: the earlier (-1) wins since |p| equal,
+  // and strict improvement is required to replace.
+  const CorrelationPoint best = BestPoint(series);
+  EXPECT_DOUBLE_EQ(best.correlation, 0.5);
+  EXPECT_DOUBLE_EQ(best.p, -1.0);
+}
+
+TEST(BestPointTest, PrefersLessIntrusiveP) {
+  std::vector<CorrelationPoint> series(2);
+  series[0].p = 3.0;
+  series[0].correlation = 0.4;
+  series[1].p = 0.5;
+  series[1].correlation = 0.4;
+  EXPECT_DOUBLE_EQ(BestPoint(series).p, 0.5);
+}
+
+TEST(ConventionalPointTest, FindsPZero) {
+  std::vector<CorrelationPoint> series(3);
+  series[0].p = -1.0;
+  series[1].p = 0.0;
+  series[1].correlation = 0.25;
+  series[2].p = 1.0;
+  EXPECT_DOUBLE_EQ(ConventionalPoint(series).correlation, 0.25);
+}
+
+TEST(ConventionalPointDeathTest, MissingPZeroAborts) {
+  std::vector<CorrelationPoint> series(1);
+  series[0].p = 1.0;
+  EXPECT_DEATH(ConventionalPoint(series), "CHECK failed");
+}
+
+TEST(BenchOptionsTest, MatchesPaperDefaults) {
+  const D2prOptions options = BenchOptions();
+  EXPECT_DOUBLE_EQ(options.alpha, 0.85);
+  EXPECT_DOUBLE_EQ(options.beta, 0.0);
+}
+
+}  // namespace
+}  // namespace d2pr

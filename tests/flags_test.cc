@@ -1,0 +1,80 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace d2pr {
+namespace {
+
+Flags ParseOrDie(std::vector<const char*> args) {
+  auto flags = Flags::Parse(static_cast<int>(args.size()), args.data());
+  EXPECT_TRUE(flags.ok()) << flags.status().ToString();
+  return std::move(flags).value();
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  Flags flags = ParseOrDie({"--p=0.5", "--graph=edges.txt"});
+  EXPECT_TRUE(flags.Has("p"));
+  EXPECT_EQ(flags.GetString("graph"), "edges.txt");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("p", 0.0).value(), 0.5);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  Flags flags = ParseOrDie({"--alpha", "0.9", "--top", "5"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("alpha", 0.0).value(), 0.9);
+  EXPECT_EQ(flags.GetInt("top", 0).value(), 5);
+}
+
+TEST(FlagsTest, BareBooleanFlags) {
+  Flags flags = ParseOrDie({"--directed", "--weighted=false", "--stats"});
+  EXPECT_TRUE(flags.GetBool("directed", false).value());
+  EXPECT_FALSE(flags.GetBool("weighted", true).value());
+  EXPECT_TRUE(flags.Has("stats"));
+  EXPECT_FALSE(flags.GetBool("absent", false).value());
+  EXPECT_TRUE(flags.GetBool("absent", true).value());
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  Flags flags = ParseOrDie({"input.txt", "--p=1", "output.txt"});
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"input.txt", "output.txt"}));
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  Flags flags = ParseOrDie({});
+  EXPECT_EQ(flags.GetString("missing", "default"), "default");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing", 2.5).value(), 2.5);
+  EXPECT_EQ(flags.GetInt("missing", -3).value(), -3);
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(FlagsTest, BadNumbersAreErrors) {
+  Flags flags = ParseOrDie({"--p=abc", "--n=1.5", "--b=maybe"});
+  EXPECT_FALSE(flags.GetDouble("p", 0.0).ok());
+  EXPECT_FALSE(flags.GetInt("n", 0).ok());
+  EXPECT_FALSE(flags.GetBool("b", false).ok());
+}
+
+TEST(FlagsTest, MalformedFlagRejected) {
+  std::vector<const char*> args{"--=value"};
+  auto flags = Flags::Parse(1, args.data());
+  EXPECT_FALSE(flags.ok());
+}
+
+TEST(FlagsTest, LastValueWins) {
+  Flags flags = ParseOrDie({"--p=1", "--p=2"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("p", 0.0).value(), 2.0);
+}
+
+TEST(FlagsTest, NegativeNumberAsSeparateValue) {
+  // "--p -1" treats "-1" as the value (does not start with "--").
+  Flags flags = ParseOrDie({"--p", "-1.5"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("p", 0.0).value(), -1.5);
+}
+
+TEST(FlagsTest, FlagNamesEnumerated) {
+  Flags flags = ParseOrDie({"--b=1", "--a=2"});
+  EXPECT_EQ(flags.FlagNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace d2pr

@@ -1,0 +1,129 @@
+#include "graph/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace d2pr {
+namespace {
+
+TEST(GraphBuilderTest, RejectsOutOfRangeNodes) {
+  GraphBuilder builder(3, GraphKind::kUndirected);
+  EXPECT_EQ(builder.AddEdge(0, 3).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(builder.AddEdge(-1, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(builder.AddEdge(5, 7).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(builder.num_added(), 0);
+}
+
+TEST(GraphBuilderTest, RejectsWeightsOnUnweightedBuilder) {
+  GraphBuilder builder(3, GraphKind::kUndirected, /*weighted=*/false);
+  EXPECT_FALSE(builder.AddEdge(0, 1, 2.0).ok());
+  EXPECT_TRUE(builder.AddEdge(0, 1, 1.0).ok());
+}
+
+TEST(GraphBuilderTest, RejectsNonPositiveWeights) {
+  GraphBuilder builder(3, GraphKind::kDirected, /*weighted=*/true);
+  EXPECT_FALSE(builder.AddEdge(0, 1, 0.0).ok());
+  EXPECT_FALSE(builder.AddEdge(0, 1, -2.0).ok());
+  EXPECT_TRUE(builder.AddEdge(0, 1, 0.25).ok());
+}
+
+TEST(GraphBuilderTest, DuplicateSumMergesWeights) {
+  GraphBuilder builder(2, GraphKind::kDirected, /*weighted=*/true);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 1.5).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 1, 2.5).ok());
+  auto graph = builder.Build(DuplicatePolicy::kSum);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_arcs(), 1);
+  EXPECT_DOUBLE_EQ(graph->ArcWeight(0, 1), 4.0);
+}
+
+TEST(GraphBuilderTest, DuplicateKeepFirst) {
+  GraphBuilder builder(2, GraphKind::kDirected, /*weighted=*/true);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 1.5).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 1, 2.5).ok());
+  auto graph = builder.Build(DuplicatePolicy::kKeepFirst);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_DOUBLE_EQ(graph->ArcWeight(0, 1), 1.5);
+}
+
+TEST(GraphBuilderTest, DuplicateErrorFailsBuild) {
+  GraphBuilder builder(2, GraphKind::kDirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  auto graph = builder.Build(DuplicatePolicy::kError);
+  EXPECT_FALSE(graph.ok());
+  EXPECT_EQ(graph.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, UndirectedAddsBothArcs) {
+  GraphBuilder builder(3, GraphKind::kUndirected);
+  ASSERT_TRUE(builder.AddEdge(0, 2).ok());
+  EXPECT_EQ(builder.num_added(), 2);  // both directions staged
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_TRUE(graph->HasArc(0, 2));
+  EXPECT_TRUE(graph->HasArc(2, 0));
+}
+
+TEST(GraphBuilderTest, UndirectedReciprocalAddsMerge) {
+  // Adding (u, v) and (v, u) on an undirected builder is the same edge.
+  GraphBuilder builder(3, GraphKind::kUndirected, /*weighted=*/true);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 0, 3.0).ok());
+  auto graph = builder.Build(DuplicatePolicy::kSum);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_edges(), 1);
+  EXPECT_DOUBLE_EQ(graph->ArcWeight(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(graph->ArcWeight(1, 0), 4.0);
+}
+
+TEST(GraphBuilderTest, EmptyBuildProducesIsolatedNodes) {
+  GraphBuilder builder(5, GraphKind::kDirected);
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_nodes(), 5);
+  EXPECT_EQ(graph->num_arcs(), 0);
+  EXPECT_EQ(graph->CountDangling(), 5);
+}
+
+TEST(GraphBuilderTest, BuilderReusableAfterBuild) {
+  GraphBuilder builder(2, GraphKind::kDirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  auto first = builder.Build();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->num_arcs(), 1);
+  // Builder was drained; a fresh build is empty.
+  auto second = builder.Build();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->num_arcs(), 0);
+}
+
+TEST(GraphBuilderTest, RowsComeOutSortedRegardlessOfInsertOrder) {
+  GraphBuilder builder(6, GraphKind::kDirected);
+  ASSERT_TRUE(builder.AddEdge(0, 5).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 3).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2).ok());
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  auto nbrs = graph->OutNeighbors(0);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(GraphBuilderTest, LargeStarGraph) {
+  constexpr NodeId kLeaves = 5000;
+  GraphBuilder builder(kLeaves + 1, GraphKind::kUndirected);
+  for (NodeId leaf = 1; leaf <= kLeaves; ++leaf) {
+    ASSERT_TRUE(builder.AddEdge(0, leaf).ok());
+  }
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->OutDegree(0), kLeaves);
+  EXPECT_EQ(graph->num_edges(), kLeaves);
+  for (NodeId leaf = 1; leaf <= kLeaves; ++leaf) {
+    EXPECT_EQ(graph->OutDegree(leaf), 1);
+  }
+}
+
+}  // namespace
+}  // namespace d2pr

@@ -1,0 +1,179 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/classic_generators.h"
+#include "graph/graph_builder.h"
+
+namespace d2pr {
+namespace {
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/" + name;
+  }
+};
+
+CsrGraph SampleWeightedDirected() {
+  GraphBuilder builder(4, GraphKind::kDirected, /*weighted=*/true);
+  EXPECT_TRUE(builder.AddEdge(0, 1, 2.5).ok());
+  EXPECT_TRUE(builder.AddEdge(1, 2, 0.125).ok());
+  EXPECT_TRUE(builder.AddEdge(2, 0, 7.0).ok());
+  EXPECT_TRUE(builder.AddEdge(2, 3, 1.0).ok());
+  auto graph = builder.Build();
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST_F(GraphIoTest, TextRoundTripUndirected) {
+  GraphBuilder builder(5, GraphKind::kUndirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(3, 4).ok());
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+
+  const std::string path = TempPath("undirected.txt");
+  ASSERT_TRUE(WriteEdgeListText(*graph, path).ok());
+  auto loaded = ReadEdgeListText(path, GraphKind::kUndirected,
+                                 /*weighted=*/false, 5);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(*loaded == *graph);
+}
+
+TEST_F(GraphIoTest, TextRoundTripWeightedDirected) {
+  CsrGraph graph = SampleWeightedDirected();
+  const std::string path = TempPath("weighted.txt");
+  ASSERT_TRUE(WriteEdgeListText(graph, path).ok());
+  auto loaded =
+      ReadEdgeListText(path, GraphKind::kDirected, /*weighted=*/true, 4);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(*loaded == graph);
+}
+
+TEST_F(GraphIoTest, TextReaderInfersNodeCount) {
+  const std::string path = TempPath("inferred.txt");
+  {
+    std::ofstream out(path);
+    out << "# comment line\n0 7\n3 5\n\n";
+  }
+  auto loaded = ReadEdgeListText(path, GraphKind::kDirected,
+                                 /*weighted=*/false);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), 8);
+  EXPECT_TRUE(loaded->HasArc(0, 7));
+  EXPECT_TRUE(loaded->HasArc(3, 5));
+}
+
+TEST_F(GraphIoTest, TextReaderRejectsGarbage) {
+  const std::string path = TempPath("garbage.txt");
+  {
+    std::ofstream out(path);
+    out << "0 not_a_number\n";
+  }
+  auto loaded = ReadEdgeListText(path, GraphKind::kDirected,
+                                 /*weighted=*/false);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(GraphIoTest, TextReaderRejectsNegativeIds) {
+  const std::string path = TempPath("negative.txt");
+  {
+    std::ofstream out(path);
+    out << "0 -2\n";
+  }
+  auto loaded = ReadEdgeListText(path, GraphKind::kDirected,
+                                 /*weighted=*/false);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(GraphIoTest, TextReaderRequiresWeightWhenWeighted) {
+  const std::string path = TempPath("noweight.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\n";
+  }
+  auto loaded = ReadEdgeListText(path, GraphKind::kDirected,
+                                 /*weighted=*/true);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(GraphIoTest, MissingFileIsIoError) {
+  auto loaded = ReadEdgeListText(TempPath("does_not_exist.txt"),
+                                 GraphKind::kDirected, false);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  auto binary = ReadBinary(TempPath("does_not_exist.bin"));
+  EXPECT_FALSE(binary.ok());
+}
+
+TEST_F(GraphIoTest, BinaryRoundTripWeightedDirected) {
+  CsrGraph graph = SampleWeightedDirected();
+  const std::string path = TempPath("graph.bin");
+  ASSERT_TRUE(WriteBinary(graph, path).ok());
+  auto loaded = ReadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(*loaded == graph);
+}
+
+TEST_F(GraphIoTest, BinaryRoundTripRandomUndirected) {
+  Rng rng(99);
+  auto graph = ErdosRenyi(200, 800, &rng);
+  ASSERT_TRUE(graph.ok());
+  const std::string path = TempPath("er.bin");
+  ASSERT_TRUE(WriteBinary(*graph, path).ok());
+  auto loaded = ReadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(*loaded == *graph);
+}
+
+TEST_F(GraphIoTest, BinaryRejectsBadMagic) {
+  const std::string path = TempPath("bad_magic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTAGRPH extra bytes beyond the header for good measure";
+  }
+  auto loaded = ReadBinary(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("magic"), std::string::npos);
+}
+
+TEST_F(GraphIoTest, BinaryRejectsTruncatedFile) {
+  CsrGraph graph = SampleWeightedDirected();
+  const std::string path = TempPath("trunc.bin");
+  ASSERT_TRUE(WriteBinary(graph, path).ok());
+  // Truncate to half size.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() / 2));
+  }
+  auto loaded = ReadBinary(path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(GraphIoTest, SelfLoopSurvivesTextRoundTrip) {
+  GraphBuilder builder(2, GraphKind::kUndirected);
+  ASSERT_TRUE(builder.AddEdge(0, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  const std::string path = TempPath("loop.txt");
+  ASSERT_TRUE(WriteEdgeListText(*graph, path).ok());
+  auto loaded = ReadEdgeListText(path, GraphKind::kUndirected, false, 2);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(*loaded == *graph);
+}
+
+}  // namespace
+}  // namespace d2pr

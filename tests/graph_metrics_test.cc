@@ -1,0 +1,137 @@
+#include "graph/graph_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/classic_generators.h"
+#include "graph/graph_builder.h"
+
+namespace d2pr {
+namespace {
+
+CsrGraph BuildOrDie(GraphBuilder* builder) {
+  auto result = builder->Build();
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+CsrGraph Triangle() {
+  GraphBuilder builder(3, GraphKind::kUndirected);
+  EXPECT_TRUE(builder.AddEdge(0, 1).ok());
+  EXPECT_TRUE(builder.AddEdge(1, 2).ok());
+  EXPECT_TRUE(builder.AddEdge(2, 0).ok());
+  return BuildOrDie(&builder);
+}
+
+CsrGraph Star(NodeId leaves) {
+  GraphBuilder builder(leaves + 1, GraphKind::kUndirected);
+  for (NodeId leaf = 1; leaf <= leaves; ++leaf) {
+    EXPECT_TRUE(builder.AddEdge(0, leaf).ok());
+  }
+  return BuildOrDie(&builder);
+}
+
+TEST(ClusteringTest, TriangleIsFullyClustered) {
+  CsrGraph graph = Triangle();
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(graph, v), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(graph), 1.0);
+  EXPECT_DOUBLE_EQ(GlobalTransitivity(graph), 1.0);
+}
+
+TEST(ClusteringTest, StarHasNoTriangles) {
+  CsrGraph graph = Star(5);
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(graph, 0), 0.0);
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(graph), 0.0);
+  EXPECT_DOUBLE_EQ(GlobalTransitivity(graph), 0.0);
+}
+
+TEST(ClusteringTest, TriangleWithPendant) {
+  // Triangle {0,1,2} plus pendant 3 attached to 0.
+  GraphBuilder builder(4, GraphKind::kUndirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 3).ok());
+  CsrGraph graph = BuildOrDie(&builder);
+  // Node 0 has neighbors {1,2,3}: one of three pairs connected.
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(graph, 0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(graph, 1), 1.0);
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(graph, 3), 0.0);
+  // Average over nodes with degree >= 2: (1/3 + 1 + 1) / 3.
+  EXPECT_NEAR(AverageClusteringCoefficient(graph), (1.0 / 3.0 + 2.0) / 3.0,
+              1e-12);
+  // Transitivity: 3 triangles corners / triples: triples = C(3,2)+1+1 = 5;
+  // closed = 3 -> 0.6.
+  EXPECT_DOUBLE_EQ(GlobalTransitivity(graph), 3.0 / 5.0);
+}
+
+TEST(ClusteringTest, SelfLoopsIgnored) {
+  GraphBuilder builder(3, GraphKind::kUndirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 0).ok());
+  CsrGraph graph = BuildOrDie(&builder);
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(graph, 0), 1.0);
+}
+
+TEST(ClusteringTest, WattsStrogatzLatticeValue) {
+  // Ring lattice with k = 2: C = (3k - 3) / (4k - 2) = 3/6 = 0.5.
+  Rng rng(1);
+  auto graph = WattsStrogatz(50, 2, 0.0, &rng);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_NEAR(AverageClusteringCoefficient(*graph), 0.5, 1e-12);
+}
+
+TEST(ClusteringTest, RewiringReducesClustering) {
+  Rng rng(2);
+  auto lattice = WattsStrogatz(300, 3, 0.0, &rng);
+  auto random = WattsStrogatz(300, 3, 1.0, &rng);
+  ASSERT_TRUE(lattice.ok());
+  ASSERT_TRUE(random.ok());
+  EXPECT_GT(AverageClusteringCoefficient(*lattice),
+            3.0 * AverageClusteringCoefficient(*random));
+}
+
+TEST(AssortativityTest, StarIsPerfectlyDisassortative) {
+  CsrGraph graph = Star(6);
+  EXPECT_NEAR(DegreeAssortativity(graph), -1.0, 1e-12);
+}
+
+TEST(AssortativityTest, RegularGraphIsDegenerate) {
+  Rng rng(3);
+  auto graph = WattsStrogatz(40, 2, 0.0, &rng);
+  ASSERT_TRUE(graph.ok());
+  // All degrees equal: correlation undefined -> 0 by convention.
+  EXPECT_DOUBLE_EQ(DegreeAssortativity(*graph), 0.0);
+}
+
+TEST(AssortativityTest, TwoStarsJoinedAtLeavesArePositivelyMixed) {
+  // Path of two hubs: hub A (0) - leaves 1..3; hub B (4) - leaves 5..7;
+  // hubs connected. Hub-hub edge joins degree-4 to degree-4.
+  GraphBuilder builder(8, GraphKind::kUndirected);
+  for (NodeId leaf : {1, 2, 3}) ASSERT_TRUE(builder.AddEdge(0, leaf).ok());
+  for (NodeId leaf : {5, 6, 7}) ASSERT_TRUE(builder.AddEdge(4, leaf).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 4).ok());
+  CsrGraph joined = BuildOrDie(&builder);
+  // Compare against a single star with the same leaf count.
+  EXPECT_GT(DegreeAssortativity(joined), DegreeAssortativity(Star(7)));
+}
+
+TEST(AssortativityTest, EmptyGraphIsZero) {
+  GraphBuilder builder(5, GraphKind::kUndirected);
+  CsrGraph graph = BuildOrDie(&builder);
+  EXPECT_DOUBLE_EQ(DegreeAssortativity(graph), 0.0);
+}
+
+TEST(MetricsDeathTest, DirectedGraphsRejectedForClustering) {
+  GraphBuilder builder(3, GraphKind::kDirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  CsrGraph graph = BuildOrDie(&builder);
+  EXPECT_DEATH((void)AverageClusteringCoefficient(graph), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace d2pr

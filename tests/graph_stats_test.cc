@@ -1,0 +1,94 @@
+#include "graph/graph_stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace d2pr {
+namespace {
+
+CsrGraph Path4() {
+  // 0 - 1 - 2 - 3: degrees 1, 2, 2, 1.
+  GraphBuilder builder(4, GraphKind::kUndirected);
+  EXPECT_TRUE(builder.AddEdge(0, 1).ok());
+  EXPECT_TRUE(builder.AddEdge(1, 2).ok());
+  EXPECT_TRUE(builder.AddEdge(2, 3).ok());
+  auto graph = builder.Build();
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(GraphStatsTest, PathGraphBasics) {
+  GraphStats stats = ComputeGraphStats(Path4());
+  EXPECT_EQ(stats.num_nodes, 4);
+  EXPECT_EQ(stats.num_edges, 3);
+  EXPECT_EQ(stats.num_arcs, 6);
+  EXPECT_DOUBLE_EQ(stats.avg_degree, 1.5);
+  // degrees {1,2,2,1}: population stddev = 0.5.
+  EXPECT_DOUBLE_EQ(stats.stddev_degree, 0.5);
+  EXPECT_EQ(stats.min_degree, 1);
+  EXPECT_EQ(stats.max_degree, 2);
+  EXPECT_EQ(stats.num_isolated, 0);
+  EXPECT_EQ(stats.num_dangling, 0);
+}
+
+TEST(GraphStatsTest, PathGraphNeighborSpread) {
+  // Neighbor degree lists: node0 -> {2} (sd 0); node1 -> {1,2} (sd .5);
+  // node2 -> {2,1} (sd .5); node3 -> {2} (sd 0). Sorted: {0, 0, .5, .5};
+  // median = 0.25.
+  GraphStats stats = ComputeGraphStats(Path4());
+  EXPECT_DOUBLE_EQ(stats.median_neighbor_degree_stddev, 0.25);
+}
+
+TEST(GraphStatsTest, StarGraph) {
+  constexpr NodeId kLeaves = 10;
+  GraphBuilder builder(kLeaves + 1, GraphKind::kUndirected);
+  for (NodeId leaf = 1; leaf <= kLeaves; ++leaf) {
+    ASSERT_TRUE(builder.AddEdge(0, leaf).ok());
+  }
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  GraphStats stats = ComputeGraphStats(*graph);
+  EXPECT_EQ(stats.max_degree, kLeaves);
+  EXPECT_EQ(stats.min_degree, 1);
+  // Every leaf sees only the hub (spread 0); the hub sees 10 equal leaves
+  // (spread 0) -> median 0.
+  EXPECT_DOUBLE_EQ(stats.median_neighbor_degree_stddev, 0.0);
+}
+
+TEST(GraphStatsTest, IsolatedAndDanglingCounts) {
+  GraphBuilder builder(4, GraphKind::kDirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  GraphStats stats = ComputeGraphStats(*graph);
+  // Node 1 is dangling (no out-arcs) but not isolated (has an in-arc);
+  // nodes 2 and 3 are both.
+  EXPECT_EQ(stats.num_dangling, 3);
+  EXPECT_EQ(stats.num_isolated, 2);
+}
+
+TEST(GraphStatsTest, EmptyGraph) {
+  GraphStats stats = ComputeGraphStats(CsrGraph());
+  EXPECT_EQ(stats.num_nodes, 0);
+  EXPECT_EQ(stats.num_edges, 0);
+  EXPECT_DOUBLE_EQ(stats.avg_degree, 0.0);
+}
+
+TEST(GraphStatsTest, DegreesAsDoubles) {
+  const std::vector<double> degrees = DegreesAsDoubles(Path4());
+  EXPECT_EQ(degrees, (std::vector<double>{1.0, 2.0, 2.0, 1.0}));
+}
+
+TEST(GraphStatsTest, FormatStatsRowContainsFields) {
+  GraphStats stats = ComputeGraphStats(Path4());
+  const std::string row = FormatStatsRow("path4", stats);
+  EXPECT_NE(row.find("path4"), std::string::npos);
+  EXPECT_NE(row.find("4"), std::string::npos);
+  EXPECT_NE(row.find("1.50"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace d2pr

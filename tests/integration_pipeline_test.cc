@@ -1,0 +1,138 @@
+// Cross-module pipeline: generate -> serialize -> reload -> rank -> tune,
+// exercising the public API the way the examples do.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/d2pr.h"
+#include "core/push_ppr.h"
+#include "core/sweeps.h"
+#include "core/teleport.h"
+#include "core/tuner.h"
+#include "datagen/dataset_registry.h"
+#include "eval/experiment.h"
+#include "eval/table_writer.h"
+#include "graph/graph_io.h"
+#include "linalg/vec_ops.h"
+#include "stats/correlation.h"
+#include "stats/ranking.h"
+
+namespace d2pr {
+namespace {
+
+TEST(PipelineTest, GenerateSerializeReloadRank) {
+  RegistryOptions options;
+  options.scale = 0.2;
+  auto data = MakePaperGraph(PaperGraphId::kImdbActorActor, options);
+  ASSERT_TRUE(data.ok());
+
+  // Round-trip through both serialization formats.
+  const std::string text_path = testing::TempDir() + "/pipeline.txt";
+  const std::string bin_path = testing::TempDir() + "/pipeline.bin";
+  ASSERT_TRUE(WriteEdgeListText(data->weighted, text_path).ok());
+  ASSERT_TRUE(WriteBinary(data->weighted, bin_path).ok());
+  auto from_text = ReadEdgeListText(text_path, GraphKind::kUndirected,
+                                    /*weighted=*/true,
+                                    data->weighted.num_nodes());
+  auto from_bin = ReadBinary(bin_path);
+  ASSERT_TRUE(from_text.ok());
+  ASSERT_TRUE(from_bin.ok());
+  EXPECT_TRUE(*from_text == data->weighted);
+  EXPECT_TRUE(*from_bin == data->weighted);
+
+  // Rankings on the reloaded graph equal rankings on the original.
+  auto original = ComputeD2pr(data->weighted, {.p = 0.5, .beta = 0.25});
+  auto reloaded = ComputeD2pr(*from_bin, {.p = 0.5, .beta = 0.25});
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(original->scores, reloaded->scores);
+}
+
+TEST(PipelineTest, TunerAgreesWithSweepArgmax) {
+  RegistryOptions options;
+  options.scale = 0.2;
+  auto data = MakePaperGraph(PaperGraphId::kEpinionsCommenterCommenter,
+                             options);
+  ASSERT_TRUE(data.ok());
+
+  TuneOptions tune_options;
+  tune_options.base = BenchOptions();
+  auto tuned =
+      TuneDecouplingWeight(data->unweighted, data->significance,
+                           tune_options);
+  ASSERT_TRUE(tuned.ok());
+
+  auto series = CorrelationPSweep(data->unweighted, data->significance,
+                                  PaperPGrid(), BenchOptions());
+  ASSERT_TRUE(series.ok());
+  const CorrelationPoint best = BestPoint(*series);
+  // The tuner's refined optimum can only improve on the grid argmax.
+  EXPECT_GE(tuned->best_correlation, best.correlation - 1e-9);
+  EXPECT_NEAR(tuned->best_p, best.p, 0.51);  // within one coarse cell
+}
+
+TEST(PipelineTest, PushPprTopKMatchesPowerIterationTopK) {
+  RegistryOptions options;
+  options.scale = 0.2;
+  auto data = MakePaperGraph(PaperGraphId::kLastfmListenerListener,
+                             options);
+  ASSERT_TRUE(data.ok());
+  const CsrGraph& graph = data->unweighted;
+
+  auto transition = TransitionMatrix::Build(graph, {.p = 0.5});
+  ASSERT_TRUE(transition.ok());
+  const NodeId seed = graph.num_nodes() / 2;
+
+  auto teleport = SeededTeleport(graph.num_nodes(),
+                                 std::vector<NodeId>{seed});
+  ASSERT_TRUE(teleport.ok());
+  PagerankOptions exact_options;
+  exact_options.tolerance = 1e-12;
+  exact_options.max_iterations = 500;
+  auto exact = SolvePagerank(graph, *transition, *teleport, exact_options);
+  ASSERT_TRUE(exact.ok());
+
+  PushOptions push_options;
+  push_options.epsilon = 1e-9;
+  auto push = ForwardPushPpr(graph, *transition, seed, push_options);
+  ASSERT_TRUE(push.ok());
+
+  const std::vector<NodeId> exact_top = TopK(exact->scores, 10);
+  const std::vector<NodeId> push_top = TopK(push->scores, 10);
+  // Top-10 sets agree (order may differ deep in the tail of ties).
+  std::set<NodeId> a(exact_top.begin(), exact_top.end());
+  std::set<NodeId> b(push_top.begin(), push_top.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(PipelineTest, ResultsArchiveWritable) {
+  const std::string dir = testing::TempDir() + "/d2pr_results";
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  TextTable table({"graph", "best_p", "corr"});
+  table.AddRow({"demo", "0.5", "0.123"});
+  ASSERT_TRUE(table.WriteCsv(dir + "/demo.csv").ok());
+}
+
+TEST(PipelineTest, WeightedExperimentEndToEnd) {
+  RegistryOptions options;
+  options.scale = 0.2;
+  auto data =
+      MakePaperGraph(PaperGraphId::kLastfmArtistArtist, options);
+  ASSERT_TRUE(data.ok());
+  auto surface = CorrelationBetaPSweep(data->weighted, data->significance,
+                                       {0.0, 1.0}, {-1.0, 0.0, 1.0},
+                                       BenchOptions());
+  ASSERT_TRUE(surface.ok());
+  ASSERT_EQ(surface->series.size(), 2u);
+  // beta = 1 at any p is the conventional weighted PageRank: all three
+  // p-points coincide.
+  const auto& conventional = surface->series[1];
+  EXPECT_NEAR(conventional[0].correlation, conventional[2].correlation,
+              1e-9);
+  // beta = 0 must differentiate p.
+  const auto& decoupled = surface->series[0];
+  EXPECT_NE(decoupled[0].correlation, decoupled[2].correlation);
+}
+
+}  // namespace
+}  // namespace d2pr

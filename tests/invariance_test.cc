@@ -1,0 +1,175 @@
+// Cross-cutting invariance properties of the D2PR pipeline:
+//  * permutation equivariance — relabeling nodes permutes scores,
+//  * weight-scale invariance — multiplying all edge weights by a constant
+//    changes nothing (both T_conn and Θ^-p normalize per row),
+//  * solver determinism — identical inputs give bit-identical outputs,
+//  * teleport composition — PPR over the union of seeds equals the mixture
+//    of per-seed PPRs (linearity of the personalized fixed point).
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/d2pr.h"
+#include "core/pagerank.h"
+#include "core/teleport.h"
+#include "datagen/classic_generators.h"
+#include "graph/graph_builder.h"
+#include "linalg/vec_ops.h"
+
+namespace d2pr {
+namespace {
+
+class InvarianceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(InvarianceTest, PermutationEquivariance) {
+  Rng rng(11);
+  auto graph = BarabasiAlbert(150, 3, &rng);
+  ASSERT_TRUE(graph.ok());
+
+  // Random relabeling.
+  std::vector<NodeId> perm(150);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  rng.Shuffle(&perm);
+  GraphBuilder builder(150, GraphKind::kUndirected);
+  for (NodeId u = 0; u < 150; ++u) {
+    for (NodeId v : graph->OutNeighbors(u)) {
+      if (v > u) {
+        ASSERT_TRUE(builder
+                        .AddEdge(perm[static_cast<size_t>(u)],
+                                 perm[static_cast<size_t>(v)])
+                        .ok());
+      }
+    }
+  }
+  auto relabeled = builder.Build();
+  ASSERT_TRUE(relabeled.ok());
+
+  const D2prOptions options{.p = GetParam(), .tolerance = 1e-12};
+  auto original = ComputeD2pr(*graph, options);
+  auto permuted = ComputeD2pr(*relabeled, options);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(permuted.ok());
+  for (NodeId v = 0; v < 150; ++v) {
+    EXPECT_NEAR(original->scores[static_cast<size_t>(v)],
+                permuted->scores[static_cast<size_t>(
+                    perm[static_cast<size_t>(v)])],
+                1e-9)
+        << "node " << v << " p " << GetParam();
+  }
+}
+
+TEST_P(InvarianceTest, WeightScaleInvariance) {
+  Rng rng(13);
+  auto topology = ErdosRenyi(80, 240, &rng);
+  ASSERT_TRUE(topology.ok());
+  auto build_weighted = [&](double scale) {
+    GraphBuilder builder(80, GraphKind::kUndirected, /*weighted=*/true);
+    Rng weights(99);  // same weight stream for both graphs
+    for (NodeId u = 0; u < 80; ++u) {
+      for (NodeId v : topology->OutNeighbors(u)) {
+        if (v > u) {
+          EXPECT_TRUE(
+              builder.AddEdge(u, v, scale * (0.5 + weights.Uniform())).ok());
+        }
+      }
+    }
+    auto graph = builder.Build();
+    EXPECT_TRUE(graph.ok());
+    return std::move(graph).value();
+  };
+  const CsrGraph base = build_weighted(1.0);
+  const CsrGraph scaled = build_weighted(7.5);
+
+  const D2prOptions options{
+      .p = GetParam(), .beta = 0.5, .tolerance = 1e-12};
+  auto a = ComputeD2pr(base, options);
+  auto b = ComputeD2pr(scaled, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(DiffLInf(a->scores, b->scores), 1e-10) << "p " << GetParam();
+}
+
+TEST_P(InvarianceTest, SolverDeterminism) {
+  Rng rng(17);
+  auto graph = BarabasiAlbert(200, 2, &rng);
+  ASSERT_TRUE(graph.ok());
+  const D2prOptions options{.p = GetParam()};
+  auto a = ComputeD2pr(*graph, options);
+  auto b = ComputeD2pr(*graph, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->scores, b->scores);  // bit-identical
+  EXPECT_EQ(a->iterations, b->iterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(PGrid, InvarianceTest,
+                         ::testing::Values(-3.0, -1.0, 0.0, 0.5, 3.0));
+
+TEST(TeleportLinearityTest, MixtureOfSeedsEqualsMixtureOfScores) {
+  // The personalized fixed point is linear in the teleport vector:
+  // scores(0.5·t_a + 0.5·t_b) == 0.5·scores(t_a) + 0.5·scores(t_b).
+  Rng rng(19);
+  auto graph = WattsStrogatz(120, 3, 0.2, &rng);
+  ASSERT_TRUE(graph.ok());
+  auto transition = TransitionMatrix::Build(*graph, {.p = 0.5});
+  ASSERT_TRUE(transition.ok());
+  PagerankOptions options;
+  options.tolerance = 1e-13;
+  options.max_iterations = 500;
+
+  auto t_a = SeededTeleport(120, std::vector<NodeId>{10});
+  auto t_b = SeededTeleport(120, std::vector<NodeId>{90});
+  ASSERT_TRUE(t_a.ok());
+  ASSERT_TRUE(t_b.ok());
+  std::vector<double> t_mix(120);
+  for (size_t i = 0; i < 120; ++i) t_mix[i] = 0.5 * (*t_a)[i] + 0.5 * (*t_b)[i];
+
+  auto score_a = SolvePagerank(*graph, *transition, *t_a, options);
+  auto score_b = SolvePagerank(*graph, *transition, *t_b, options);
+  auto score_mix = SolvePagerank(*graph, *transition, t_mix, options);
+  ASSERT_TRUE(score_a.ok());
+  ASSERT_TRUE(score_b.ok());
+  ASSERT_TRUE(score_mix.ok());
+  for (size_t i = 0; i < 120; ++i) {
+    EXPECT_NEAR(score_mix->scores[i],
+                0.5 * score_a->scores[i] + 0.5 * score_b->scores[i], 1e-10);
+  }
+}
+
+TEST(DuplicateEdgeSemanticsTest, RepeatedUnweightedEdgesCollapse) {
+  // Adding the same unweighted edge twice must not change the walk.
+  GraphBuilder once(4, GraphKind::kUndirected);
+  GraphBuilder twice(4, GraphKind::kUndirected);
+  const std::pair<NodeId, NodeId> edges[] = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  for (auto [u, v] : edges) {
+    ASSERT_TRUE(once.AddEdge(u, v).ok());
+    ASSERT_TRUE(twice.AddEdge(u, v).ok());
+    ASSERT_TRUE(twice.AddEdge(u, v).ok());
+  }
+  auto g_once = once.Build(DuplicatePolicy::kKeepFirst);
+  auto g_twice = twice.Build(DuplicatePolicy::kKeepFirst);
+  ASSERT_TRUE(g_once.ok());
+  ASSERT_TRUE(g_twice.ok());
+  EXPECT_TRUE(*g_once == *g_twice);
+}
+
+TEST(AlphaContinuityTest, ScoresVaryContinuouslyInAlpha) {
+  // Small alpha perturbations must produce small score changes — a guard
+  // against discontinuities in dangling/teleport handling.
+  Rng rng(23);
+  auto graph = BarabasiAlbert(100, 2, &rng);
+  ASSERT_TRUE(graph.ok());
+  D2prOptions a{.p = 1.0, .alpha = 0.85, .tolerance = 1e-12};
+  D2prOptions b{.p = 1.0, .alpha = 0.8501, .tolerance = 1e-12};
+  auto score_a = ComputeD2pr(*graph, a);
+  auto score_b = ComputeD2pr(*graph, b);
+  ASSERT_TRUE(score_a.ok());
+  ASSERT_TRUE(score_b.ok());
+  EXPECT_LT(DiffL1(score_a->scores, score_b->scores), 1e-2);
+}
+
+}  // namespace
+}  // namespace d2pr

@@ -1,0 +1,45 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace d2pr {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_level_ = GlobalLogLevel(); }
+  void TearDown() override { GlobalLogLevel() = saved_level_; }
+  LogLevel saved_level_;
+};
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarning), "WARN");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+TEST_F(LoggingTest, BelowThresholdIsSuppressed) {
+  GlobalLogLevel() = LogLevel::kError;
+  testing::internal::CaptureStderr();
+  D2PR_LOG(Info) << "should not appear";
+  D2PR_LOG(Warning) << "nor this";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingTest, AtOrAboveThresholdIsEmitted) {
+  GlobalLogLevel() = LogLevel::kInfo;
+  testing::internal::CaptureStderr();
+  D2PR_LOG(Error) << "visible " << 42;
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("visible 42"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR"), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, DefaultLevelIsInfo) {
+  EXPECT_EQ(saved_level_, LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace d2pr

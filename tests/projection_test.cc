@@ -1,0 +1,129 @@
+#include "datagen/projection.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace d2pr {
+namespace {
+
+TEST(ProjectGroupsTest, SingleGroupMakesClique) {
+  const std::vector<std::vector<NodeId>> groups{{0, 1, 2}};
+  auto graph = ProjectGroups(groups, 4);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_edges(), 3);  // triangle on {0,1,2}
+  EXPECT_TRUE(graph->HasArc(0, 1));
+  EXPECT_TRUE(graph->HasArc(1, 2));
+  EXPECT_TRUE(graph->HasArc(0, 2));
+  EXPECT_EQ(graph->OutDegree(3), 0);  // node 3 in no group
+}
+
+TEST(ProjectGroupsTest, SharedPairsAccumulateWeight) {
+  const std::vector<std::vector<NodeId>> groups{{0, 1}, {0, 1, 2}, {1, 0}};
+  ProjectionConfig config;
+  config.weighted = true;
+  auto graph = ProjectGroups(groups, 3, config);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_TRUE(graph->weighted());
+  EXPECT_DOUBLE_EQ(graph->ArcWeight(0, 1), 3.0);  // co-occur in all three
+  EXPECT_DOUBLE_EQ(graph->ArcWeight(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(graph->ArcWeight(1, 2), 1.0);
+}
+
+TEST(ProjectGroupsTest, UnweightedStillDeduplicates) {
+  const std::vector<std::vector<NodeId>> groups{{0, 1}, {0, 1}};
+  auto graph = ProjectGroups(groups, 2);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(graph->weighted());
+  EXPECT_EQ(graph->num_edges(), 1);
+}
+
+TEST(ProjectGroupsTest, MaxAnchorSizeSkipsLargeGroups) {
+  const std::vector<std::vector<NodeId>> groups{{0, 1}, {2, 3, 4, 5}};
+  ProjectionConfig config;
+  config.max_anchor_size = 3;
+  auto graph = ProjectGroups(groups, 6, config);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_TRUE(graph->HasArc(0, 1));
+  EXPECT_FALSE(graph->HasArc(2, 3));  // the size-4 anchor was skipped
+  EXPECT_EQ(graph->num_edges(), 1);
+}
+
+TEST(ProjectGroupsTest, RejectsOutOfRangeAndDuplicateMembers) {
+  EXPECT_FALSE(ProjectGroups({{0, 9}}, 3).ok());
+  EXPECT_FALSE(ProjectGroups({{-1, 0}}, 3).ok());
+  EXPECT_FALSE(ProjectGroups({{1, 1}}, 3).ok());
+}
+
+TEST(ProjectGroupsTest, EmptyAndSingletonGroupsProduceNoEdges) {
+  auto graph = ProjectGroups({{}, {2}}, 3);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_edges(), 0);
+  EXPECT_EQ(graph->num_nodes(), 3);
+}
+
+TEST(ProjectionSidesTest, MemberAndVenueViewsAreConsistent) {
+  BipartiteWorld world;
+  world.config.num_members = 4;
+  world.config.num_venues = 3;
+  world.venue_members = {{0, 1}, {1, 2}, {2, 3}};
+  world.member_venues = {{0}, {0, 1}, {1, 2}, {2}};
+  world.member_quality.assign(4, 0.5);
+  world.venue_quality.assign(3, 0.5);
+
+  auto members = ProjectMembers(world);
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ(members->num_nodes(), 4);
+  EXPECT_TRUE(members->HasArc(0, 1));
+  EXPECT_TRUE(members->HasArc(1, 2));
+  EXPECT_TRUE(members->HasArc(2, 3));
+  EXPECT_FALSE(members->HasArc(0, 2));
+
+  auto venues = ProjectVenues(world);
+  ASSERT_TRUE(venues.ok());
+  EXPECT_EQ(venues->num_nodes(), 3);
+  EXPECT_TRUE(venues->HasArc(0, 1));  // share member 1
+  EXPECT_TRUE(venues->HasArc(1, 2));  // share member 2
+  EXPECT_FALSE(venues->HasArc(0, 2));
+}
+
+TEST(CommonNeighborTest, WeightsAreSharedNeighborsPlusOne) {
+  // Diamond: 0-1, 0-2, 1-2, 1-3, 2-3. Edge (1,2) shares {0, 3}.
+  GraphBuilder builder(4, GraphKind::kUndirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 3).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 3).ok());
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  auto weighted = CommonNeighborWeightedGraph(*graph);
+  ASSERT_TRUE(weighted.ok());
+  EXPECT_TRUE(weighted->weighted());
+  EXPECT_DOUBLE_EQ(weighted->ArcWeight(1, 2), 3.0);  // 1 + |{0, 3}|
+  EXPECT_DOUBLE_EQ(weighted->ArcWeight(0, 1), 2.0);  // 1 + |{2}|
+  EXPECT_DOUBLE_EQ(weighted->ArcWeight(1, 3), 2.0);  // 1 + |{2}|
+  // Topology unchanged.
+  EXPECT_EQ(weighted->num_edges(), graph->num_edges());
+}
+
+TEST(CommonNeighborTest, RejectsDirectedInput) {
+  GraphBuilder builder(2, GraphKind::kDirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(CommonNeighborWeightedGraph(*graph).ok());
+}
+
+TEST(CommonNeighborTest, NoSharedNeighborsGivesWeightOne) {
+  GraphBuilder builder(2, GraphKind::kUndirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  auto weighted = CommonNeighborWeightedGraph(*graph);
+  ASSERT_TRUE(weighted.ok());
+  EXPECT_DOUBLE_EQ(weighted->ArcWeight(0, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace d2pr

@@ -1,0 +1,165 @@
+#include "core/push_ppr.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/pagerank.h"
+#include "core/teleport.h"
+#include "datagen/classic_generators.h"
+#include "graph/graph_builder.h"
+#include "linalg/vec_ops.h"
+
+namespace d2pr {
+namespace {
+
+TransitionMatrix Transition(const CsrGraph& graph, double p = 0.0) {
+  auto result = TransitionMatrix::Build(graph, {.p = p});
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+class PushVsPowerTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PushVsPowerTest, PushApproximatesPowerIteration) {
+  // The forward-push estimate must agree with the power-iteration PPR for
+  // any de-coupling weight p, within the epsilon * n guarantee.
+  Rng rng(101);
+  auto graph = BarabasiAlbert(300, 3, &rng);
+  ASSERT_TRUE(graph.ok());
+  TransitionMatrix t = Transition(*graph, GetParam());
+
+  auto teleport = SeededTeleport(graph->num_nodes(),
+                                 std::vector<NodeId>{5});
+  ASSERT_TRUE(teleport.ok());
+  PagerankOptions exact_options;
+  exact_options.tolerance = 1e-13;
+  exact_options.max_iterations = 500;
+  auto exact = SolvePagerank(*graph, t, *teleport, exact_options);
+  ASSERT_TRUE(exact.ok());
+
+  PushOptions push_options;
+  push_options.epsilon = 1e-8;
+  auto push = ForwardPushPpr(*graph, t, 5, push_options);
+  ASSERT_TRUE(push.ok());
+  EXPECT_TRUE(push->completed);
+  EXPECT_NEAR(DiffL1(push->scores, exact->scores),
+              0.0, 1e-8 * graph->num_nodes() * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(PGrid, PushVsPowerTest,
+                         ::testing::Values(-2.0, -1.0, 0.0, 0.5, 2.0));
+
+TEST(PushPprTest, ResidualsBelowEpsilonOnCompletion) {
+  Rng rng(103);
+  auto graph = ErdosRenyi(200, 800, &rng);
+  ASSERT_TRUE(graph.ok());
+  TransitionMatrix t = Transition(*graph);
+  PushOptions options;
+  options.epsilon = 1e-6;
+  auto push = ForwardPushPpr(*graph, t, 0, options);
+  ASSERT_TRUE(push.ok());
+  ASSERT_TRUE(push->completed);
+  for (double r : push->residual) EXPECT_LE(r, options.epsilon + 1e-15);
+}
+
+TEST(PushPprTest, MassConservation) {
+  // estimate + residual mass accounts for everything injected so far:
+  // ||scores||_1 / (1 - alpha)-discounted plus residual equals 1 in the
+  // no-dangling case.
+  Rng rng(104);
+  auto graph = BarabasiAlbert(150, 2, &rng);
+  ASSERT_TRUE(graph.ok());
+  TransitionMatrix t = Transition(*graph);
+  PushOptions options;
+  options.alpha = 0.85;
+  options.epsilon = 1e-7;
+  auto push = ForwardPushPpr(*graph, t, 3, options);
+  ASSERT_TRUE(push.ok());
+  // Total PPR mass is 1; the estimate is missing at most the residual's
+  // discounted future contribution.
+  const double estimate_mass = Sum(push->scores);
+  EXPECT_LE(estimate_mass, 1.0 + 1e-9);
+  EXPECT_GT(estimate_mass, 0.99);
+}
+
+TEST(PushPprTest, SeedDominatesScores) {
+  Rng rng(105);
+  auto graph = WattsStrogatz(120, 3, 0.05, &rng);
+  ASSERT_TRUE(graph.ok());
+  TransitionMatrix t = Transition(*graph);
+  auto push = ForwardPushPpr(*graph, t, 60, {});
+  ASSERT_TRUE(push.ok());
+  for (NodeId v = 0; v < graph->num_nodes(); ++v) {
+    if (v != 60) {
+      EXPECT_GE(push->scores[60], push->scores[v]);
+    }
+  }
+}
+
+TEST(PushPprTest, DistributionSeed) {
+  Rng rng(106);
+  auto graph = ErdosRenyi(100, 400, &rng);
+  ASSERT_TRUE(graph.ok());
+  TransitionMatrix t = Transition(*graph);
+  std::vector<double> seed(100, 0.0);
+  seed[10] = 0.5;
+  seed[20] = 0.5;
+  auto push = ForwardPushPpr(*graph, t, seed, {});
+  ASSERT_TRUE(push.ok());
+  EXPECT_GT(push->scores[10], 0.0);
+  EXPECT_GT(push->scores[20], 0.0);
+}
+
+TEST(PushPprTest, DanglingReinjection) {
+  // 0 -> 1 -> (sink). With reinjection the sink's mass flows back to the
+  // seed; without, it is dropped and the estimate mass is smaller.
+  GraphBuilder builder(2, GraphKind::kDirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  TransitionMatrix t = Transition(*graph);
+  PushOptions with;
+  with.reinject_dangling = true;
+  with.epsilon = 1e-10;
+  PushOptions without;
+  without.reinject_dangling = false;
+  without.epsilon = 1e-10;
+  auto push_with = ForwardPushPpr(*graph, t, 0, with);
+  auto push_without = ForwardPushPpr(*graph, t, 0, without);
+  ASSERT_TRUE(push_with.ok());
+  ASSERT_TRUE(push_without.ok());
+  EXPECT_GT(Sum(push_with->scores), Sum(push_without->scores));
+}
+
+TEST(PushPprTest, MaxPushesCapReported) {
+  Rng rng(107);
+  auto graph = BarabasiAlbert(500, 3, &rng);
+  ASSERT_TRUE(graph.ok());
+  TransitionMatrix t = Transition(*graph);
+  PushOptions options;
+  options.epsilon = 1e-12;
+  options.max_pushes = 10;
+  auto push = ForwardPushPpr(*graph, t, 0, options);
+  ASSERT_TRUE(push.ok());
+  EXPECT_FALSE(push->completed);
+  EXPECT_LE(push->pushes, 10);
+}
+
+TEST(PushPprTest, ValidationErrors) {
+  Rng rng(108);
+  auto graph = ErdosRenyi(10, 20, &rng);
+  ASSERT_TRUE(graph.ok());
+  TransitionMatrix t = Transition(*graph);
+  EXPECT_FALSE(ForwardPushPpr(*graph, t, NodeId{99}, {}).ok());
+  PushOptions bad_alpha;
+  bad_alpha.alpha = 1.0;
+  EXPECT_FALSE(ForwardPushPpr(*graph, t, 0, bad_alpha).ok());
+  PushOptions bad_eps;
+  bad_eps.epsilon = 0.0;
+  EXPECT_FALSE(ForwardPushPpr(*graph, t, 0, bad_eps).ok());
+  std::vector<double> bad_seed(10, 0.2);  // sums to 2
+  EXPECT_FALSE(ForwardPushPpr(*graph, t, bad_seed, {}).ok());
+}
+
+}  // namespace
+}  // namespace d2pr

@@ -1,0 +1,81 @@
+#include "stats/ranking.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace d2pr {
+namespace {
+
+TEST(AverageRanksTest, NoTiesDescending) {
+  std::vector<double> scores{0.1, 0.9, 0.5};
+  const std::vector<double> ranks = AverageRanks(scores);
+  EXPECT_EQ(ranks, (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(AverageRanksTest, NoTiesAscending) {
+  std::vector<double> scores{0.1, 0.9, 0.5};
+  const std::vector<double> ranks =
+      AverageRanks(scores, RankOrder::kAscending);
+  EXPECT_EQ(ranks, (std::vector<double>{1.0, 3.0, 2.0}));
+}
+
+TEST(AverageRanksTest, TiesShareAverageRank) {
+  // Descending: 9 -> rank 1; the two 5s occupy positions 2,3 -> 2.5 each;
+  // 1 -> rank 4.
+  std::vector<double> scores{5.0, 9.0, 5.0, 1.0};
+  const std::vector<double> ranks = AverageRanks(scores);
+  EXPECT_EQ(ranks, (std::vector<double>{2.5, 1.0, 2.5, 4.0}));
+}
+
+TEST(AverageRanksTest, AllEqualGetMiddleRank) {
+  std::vector<double> scores{7.0, 7.0, 7.0};
+  const std::vector<double> ranks = AverageRanks(scores);
+  EXPECT_EQ(ranks, (std::vector<double>{2.0, 2.0, 2.0}));
+}
+
+TEST(AverageRanksTest, EmptyAndSingle) {
+  EXPECT_TRUE(AverageRanks(std::vector<double>{}).empty());
+  EXPECT_EQ(AverageRanks(std::vector<double>{3.0}),
+            (std::vector<double>{1.0}));
+}
+
+TEST(OrdinalRanksTest, TiesBrokenByIndex) {
+  std::vector<double> scores{5.0, 9.0, 5.0};
+  const std::vector<int64_t> ranks = OrdinalRanks(scores);
+  EXPECT_EQ(ranks, (std::vector<int64_t>{2, 1, 3}));
+}
+
+TEST(OrdinalRanksTest, AscendingOrder) {
+  std::vector<double> scores{5.0, 9.0, 1.0};
+  const std::vector<int64_t> ranks =
+      OrdinalRanks(scores, RankOrder::kAscending);
+  EXPECT_EQ(ranks, (std::vector<int64_t>{2, 3, 1}));
+}
+
+TEST(OrdinalRanksTest, RanksAreAPermutation) {
+  std::vector<double> scores{2.0, 2.0, 2.0, 1.0, 3.0};
+  std::vector<int64_t> ranks = OrdinalRanks(scores);
+  std::sort(ranks.begin(), ranks.end());
+  EXPECT_EQ(ranks, (std::vector<int64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(TopKTest, ReturnsLargestInOrder) {
+  std::vector<double> scores{0.3, 0.9, 0.1, 0.7};
+  EXPECT_EQ(TopK(scores, 2), (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(TopK(scores, 10), (std::vector<NodeId>{1, 3, 0, 2}));
+  EXPECT_TRUE(TopK(scores, 0).empty());
+}
+
+TEST(TopKTest, TieBreaksBySmallerIndex) {
+  std::vector<double> scores{0.5, 0.5, 0.9};
+  EXPECT_EQ(TopK(scores, 3), (std::vector<NodeId>{2, 0, 1}));
+}
+
+TEST(BottomKTest, ReturnsSmallestInOrder) {
+  std::vector<double> scores{0.3, 0.9, 0.1, 0.7};
+  EXPECT_EQ(BottomK(scores, 2), (std::vector<NodeId>{2, 0}));
+}
+
+}  // namespace
+}  // namespace d2pr

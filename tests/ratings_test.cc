@@ -1,0 +1,161 @@
+#include "datagen/ratings.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/bipartite_world.h"
+#include "stats/correlation.h"
+
+namespace d2pr {
+namespace {
+
+BipartiteWorld SmallWorld() {
+  BipartiteWorldConfig config;
+  config.num_members = 300;
+  config.num_venues = 150;
+  config.venue_size_min = 2;
+  config.venue_size_max = 10;
+  config.budget_mean = 8.0;
+  config.seed = 5;
+  auto world = GenerateBipartiteWorld(config);
+  EXPECT_TRUE(world.ok());
+  return std::move(world).value();
+}
+
+TEST(RatingsTest, TableShapeAndBounds) {
+  const BipartiteWorld world = SmallWorld();
+  RatingsConfig config;
+  config.num_users = 200;
+  config.ratings_per_user = 15;
+  auto table = GenerateRatings(world, config);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->ratings.size(), 200u * 15u);
+  EXPECT_EQ(table->venue_mean.size(), 150u);
+  for (const Rating& rating : table->ratings) {
+    EXPECT_GE(rating.stars, 1.0);
+    EXPECT_LE(rating.stars, 5.0);
+    EXPECT_GE(rating.item, 0);
+    EXPECT_LT(rating.item, 150);
+    EXPECT_GE(rating.user, 0);
+    EXPECT_LT(rating.user, 200);
+  }
+}
+
+TEST(RatingsTest, EachUserRatesDistinctItems) {
+  const BipartiteWorld world = SmallWorld();
+  RatingsConfig config;
+  config.num_users = 50;
+  config.ratings_per_user = 20;
+  auto table = GenerateRatings(world, config);
+  ASSERT_TRUE(table.ok());
+  std::set<std::pair<int32_t, NodeId>> seen;
+  for (const Rating& rating : table->ratings) {
+    EXPECT_TRUE(seen.insert({rating.user, rating.item}).second)
+        << "duplicate rating by user " << rating.user;
+  }
+}
+
+TEST(RatingsTest, MeansTrackVenueQuality) {
+  const BipartiteWorld world = SmallWorld();
+  RatingsConfig config;
+  config.num_users = 1500;
+  config.ratings_per_user = 30;
+  config.taste_sigma = 0.3;
+  config.user_bias_sigma = 0.2;
+  auto table = GenerateRatings(world, config);
+  ASSERT_TRUE(table.ok());
+  EXPECT_GT(SpearmanCorrelation(table->venue_mean, world.venue_quality),
+            0.8);
+}
+
+TEST(RatingsTest, VenueCountsMatchTable) {
+  const BipartiteWorld world = SmallWorld();
+  RatingsConfig config;
+  config.num_users = 100;
+  config.ratings_per_user = 10;
+  auto table = GenerateRatings(world, config);
+  ASSERT_TRUE(table.ok());
+  std::vector<int32_t> counts(150, 0);
+  for (const Rating& rating : table->ratings) {
+    ++counts[static_cast<size_t>(rating.item)];
+  }
+  EXPECT_EQ(counts, table->venue_count);
+}
+
+TEST(RatingsTest, PopularityBiasSkewsCoverage) {
+  const BipartiteWorld world = SmallWorld();
+  RatingsConfig uniform;
+  uniform.num_users = 400;
+  uniform.ratings_per_user = 10;
+  uniform.popularity_exponent = 0.0;
+  RatingsConfig biased = uniform;
+  biased.popularity_exponent = 2.0;
+  auto t_uniform = GenerateRatings(world, uniform);
+  auto t_biased = GenerateRatings(world, biased);
+  ASSERT_TRUE(t_uniform.ok());
+  ASSERT_TRUE(t_biased.ok());
+  // Count std-dev is larger under popularity bias.
+  auto spread = [](const std::vector<int32_t>& counts) {
+    double mean = 0.0;
+    for (int32_t c : counts) mean += c;
+    mean /= static_cast<double>(counts.size());
+    double ss = 0.0;
+    for (int32_t c : counts) ss += (c - mean) * (c - mean);
+    return ss;
+  };
+  EXPECT_GT(spread(t_biased->venue_count), spread(t_uniform->venue_count));
+}
+
+TEST(RatingsTest, UnratedVenuesGetGlobalMean) {
+  const BipartiteWorld world = SmallWorld();
+  RatingsConfig config;
+  config.num_users = 2;  // sparse: most venues unrated
+  config.ratings_per_user = 3;
+  auto table = GenerateRatings(world, config);
+  ASSERT_TRUE(table.ok());
+  for (NodeId r = 0; r < 150; ++r) {
+    if (table->venue_count[static_cast<size_t>(r)] == 0) {
+      EXPECT_DOUBLE_EQ(table->venue_mean[static_cast<size_t>(r)],
+                       table->global_mean);
+    }
+  }
+}
+
+TEST(RatingsTest, DeterministicInSeed) {
+  const BipartiteWorld world = SmallWorld();
+  RatingsConfig config;
+  config.num_users = 30;
+  auto a = GenerateRatings(world, config);
+  auto b = GenerateRatings(world, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->venue_mean, b->venue_mean);
+}
+
+TEST(RatingsTest, ValidationErrors) {
+  const BipartiteWorld world = SmallWorld();
+  RatingsConfig config;
+  config.num_users = 0;
+  EXPECT_FALSE(GenerateRatings(world, config).ok());
+  config = RatingsConfig();
+  config.ratings_per_user = 0;
+  EXPECT_FALSE(GenerateRatings(world, config).ok());
+  config = RatingsConfig();
+  config.taste_sigma = -1.0;
+  EXPECT_FALSE(GenerateRatings(world, config).ok());
+  config = RatingsConfig();
+  config.popularity_exponent = -0.5;
+  EXPECT_FALSE(GenerateRatings(world, config).ok());
+}
+
+TEST(RatingsTest, RatingsPerUserCappedByVenueCount) {
+  const BipartiteWorld world = SmallWorld();
+  RatingsConfig config;
+  config.num_users = 5;
+  config.ratings_per_user = 10000;  // far more than 150 venues
+  auto table = GenerateRatings(world, config);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->ratings.size(), 5u * 150u);
+}
+
+}  // namespace
+}  // namespace d2pr

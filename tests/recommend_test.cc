@@ -1,0 +1,110 @@
+#include "eval/recommend.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace d2pr {
+namespace {
+
+// scores rank items as 3, 1, 0, 2 (best first).
+const std::vector<double> kScores{0.5, 0.7, 0.1, 0.9};
+
+TEST(PrecisionAtKTest, CountsHitsInPrefix) {
+  const std::vector<uint8_t> relevant{0, 1, 0, 1};  // items 1 and 3
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kScores, relevant, 1), 1.0);  // {3}
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kScores, relevant, 2), 1.0);  // {3,1}
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kScores, relevant, 3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kScores, relevant, 4), 0.5);
+}
+
+TEST(PrecisionAtKTest, KLargerThanItemsClamps) {
+  const std::vector<uint8_t> relevant{1, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kScores, relevant, 100), 0.25);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kScores, relevant, 0), 0.0);
+}
+
+TEST(RecallAtKTest, FractionOfRelevantRetrieved) {
+  const std::vector<uint8_t> relevant{0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(RecallAtK(kScores, relevant, 1), 0.5);   // {3}
+  EXPECT_DOUBLE_EQ(RecallAtK(kScores, relevant, 2), 1.0);   // {3,1}
+  EXPECT_DOUBLE_EQ(RecallAtK(kScores, relevant, 4), 1.0);
+}
+
+TEST(RecallAtKTest, NoRelevantGivesZero) {
+  const std::vector<uint8_t> relevant{0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(RecallAtK(kScores, relevant, 2), 0.0);
+}
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  // Gains aligned with scores: ranking is ideal.
+  const std::vector<double> gains{2.0, 3.0, 1.0, 4.0};
+  EXPECT_NEAR(NdcgAtK(kScores, gains, 4), 1.0, 1e-12);
+}
+
+TEST(NdcgTest, WorstRankingBelowOne) {
+  const std::vector<double> gains{4.0, 1.0, 3.0, 0.0};  // anti-aligned
+  const double ndcg = NdcgAtK(kScores, gains, 4);
+  EXPECT_LT(ndcg, 0.9);
+  EXPECT_GT(ndcg, 0.0);
+}
+
+TEST(NdcgTest, HandComputedValue) {
+  // Ranking order: 3, 1, 0, 2. Gains: {0, 1, 0, 1}.
+  // DCG@2 = 1/log2(2) + 1/log2(3) = 1 + 0.63093.
+  // IDCG@2 = same (two relevant items ideally first) -> NDCG = 1.
+  // DCG@3 unchanged; NDCG@3 = 1 as well (ideal has only 2 gains).
+  const std::vector<double> gains{0.0, 1.0, 0.0, 1.0};
+  EXPECT_NEAR(NdcgAtK(kScores, gains, 2), 1.0, 1e-12);
+  // Now swap gains so the second-best gain sits at the bottom rank.
+  const std::vector<double> gains2{0.0, 0.0, 1.0, 1.0};
+  // Order 3,1,0,2: DCG@4 = 1/log2(2) + 1/log2(5) = 1 + 0.430677.
+  // IDCG@4 = 1/log2(2) + 1/log2(3) = 1.63093.
+  EXPECT_NEAR(NdcgAtK(kScores, gains2, 4),
+              (1.0 + 1.0 / std::log2(5.0)) / (1.0 + 1.0 / std::log2(3.0)),
+              1e-12);
+}
+
+TEST(NdcgTest, ZeroGainsGiveZero) {
+  const std::vector<double> gains{0.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(NdcgAtK(kScores, gains, 4), 0.0);
+}
+
+TEST(AveragePrecisionTest, PerfectAndWorst) {
+  const std::vector<uint8_t> top_two{0, 1, 0, 1};  // ranks 1 and 2
+  EXPECT_DOUBLE_EQ(AveragePrecision(kScores, top_two), 1.0);
+  const std::vector<uint8_t> bottom_two{1, 0, 1, 0};  // ranks 3 and 4
+  // AP = (1/3 + 2/4) / 2.
+  EXPECT_DOUBLE_EQ(AveragePrecision(kScores, bottom_two),
+                   (1.0 / 3.0 + 0.5) / 2.0);
+}
+
+TEST(AveragePrecisionTest, EmptyRelevantGivesZero) {
+  const std::vector<uint8_t> relevant{0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(AveragePrecision(kScores, relevant), 0.0);
+}
+
+TEST(TopFractionTest, MarksExpectedCount) {
+  const std::vector<double> significance{5.0, 1.0, 4.0, 2.0, 3.0};
+  const std::vector<uint8_t> relevant =
+      TopFractionRelevance(significance, 0.4);
+  EXPECT_EQ(relevant, (std::vector<uint8_t>{1, 0, 1, 0, 0}));
+}
+
+TEST(TopFractionTest, AtLeastOneMarked) {
+  const std::vector<double> significance{1.0, 2.0};
+  const std::vector<uint8_t> relevant =
+      TopFractionRelevance(significance, 0.01);
+  EXPECT_EQ(relevant[1], 1);
+  EXPECT_EQ(relevant[0] + relevant[1], 1);
+}
+
+TEST(RecommendDeathTest, SizeMismatchesAbort) {
+  const std::vector<uint8_t> relevant{1};
+  EXPECT_DEATH((void)PrecisionAtK(kScores, relevant, 1), "CHECK failed");
+  const std::vector<double> gains{1.0};
+  EXPECT_DEATH((void)NdcgAtK(kScores, gains, 1), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace d2pr

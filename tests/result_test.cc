@@ -1,0 +1,95 @@
+#include "common/result.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace d2pr {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("nope"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.status().message(), "nope");
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> good(7);
+  Result<int> bad(Status::Internal("x"));
+  EXPECT_EQ(good.value_or(-1), 7);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> result(std::vector<int>{1, 2, 3});
+  std::vector<int> moved = std::move(result).value();
+  EXPECT_EQ(moved.size(), 3u);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> result(std::string("abc"));
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::string> result(std::string("abc"));
+  result.value() += "d";
+  EXPECT_EQ(*result, "abcd");
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> result(Status::Internal("boom"));
+  EXPECT_DEATH((void)result.value(), "Result::value");
+}
+
+TEST(ResultDeathTest, ConstructFromOkStatusAborts) {
+  EXPECT_DEATH(Result<int>{Status::OK()}, "OK status");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> Doubled(int x) {
+  D2PR_ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  return value * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  EXPECT_FALSE(Doubled(-1).ok());
+  EXPECT_EQ(Doubled(-1).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnUnwrapsValue) {
+  ASSERT_TRUE(Doubled(21).ok());
+  EXPECT_EQ(Doubled(21).value(), 42);
+}
+
+Result<std::unique_ptr<int>> MakeUnique(int v) {
+  return std::make_unique<int>(v);
+}
+
+Result<int> UsesMoveOnly() {
+  D2PR_ASSIGN_OR_RETURN(std::unique_ptr<int> ptr, MakeUnique(5));
+  return *ptr;
+}
+
+TEST(ResultTest, AssignOrReturnHandlesMoveOnlyTypes) {
+  ASSERT_TRUE(UsesMoveOnly().ok());
+  EXPECT_EQ(UsesMoveOnly().value(), 5);
+}
+
+}  // namespace
+}  // namespace d2pr

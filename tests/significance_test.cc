@@ -1,0 +1,178 @@
+#include "datagen/significance.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/correlation.h"
+
+namespace d2pr {
+namespace {
+
+// A tiny hand-built world: 3 venues with qualities .2/.5/.8; 4 members.
+BipartiteWorld TinyWorld() {
+  BipartiteWorld world;
+  world.config.num_members = 4;
+  world.config.num_venues = 3;
+  world.member_quality = {0.1, 0.4, 0.6, 0.9};
+  world.venue_quality = {0.2, 0.5, 0.8};
+  world.venue_members = {{0, 1}, {1, 2}, {2, 3}};
+  world.member_venues = {{0}, {0, 1}, {1, 2}, {2}};
+  world.member_budget = {4.0, 2.0, 2.0, 1.0};
+  world.member_spent = {1.0, 2.0, 2.0, 1.0};
+  return world;
+}
+
+TEST(AvgVenueQualityTest, NoiselessMeansExactAverages) {
+  BipartiteWorld world = TinyWorld();
+  Rng rng(1);
+  const std::vector<double> sig =
+      AvgVenueQualitySignificance(world, 0.0, &rng);
+  EXPECT_DOUBLE_EQ(sig[0], 0.2);
+  EXPECT_DOUBLE_EQ(sig[1], 0.35);  // (0.2 + 0.5)/2
+  EXPECT_DOUBLE_EQ(sig[2], 0.65);  // (0.5 + 0.8)/2
+  EXPECT_DOUBLE_EQ(sig[3], 0.8);
+}
+
+TEST(AvgVenueQualityTest, LonelyMemberGetsOwnQuality) {
+  BipartiteWorld world = TinyWorld();
+  world.member_venues[0].clear();
+  Rng rng(2);
+  const std::vector<double> sig =
+      AvgVenueQualitySignificance(world, 0.0, &rng);
+  EXPECT_DOUBLE_EQ(sig[0], 0.1);
+}
+
+TEST(AvgVenueQualityTest, NoiseChangesValuesButNotScale) {
+  BipartiteWorld world = TinyWorld();
+  Rng rng(3);
+  const std::vector<double> noisy =
+      AvgVenueQualitySignificance(world, 0.05, &rng);
+  EXPECT_NE(noisy[1], 0.35);
+  EXPECT_NEAR(noisy[1], 0.35, 0.5);
+}
+
+TEST(AvgVenueSignificanceTest, AveragesProvidedScores) {
+  BipartiteWorld world = TinyWorld();
+  const std::vector<double> venue_scores{10.0, 20.0, 40.0};
+  const std::vector<double> sig = AvgVenueSignificance(world, venue_scores);
+  EXPECT_DOUBLE_EQ(sig[0], 10.0);
+  EXPECT_DOUBLE_EQ(sig[1], 15.0);
+  EXPECT_DOUBLE_EQ(sig[2], 30.0);
+  EXPECT_DOUBLE_EQ(sig[3], 40.0);
+}
+
+TEST(AvgVenueSignificanceTest, MemberWithoutVenuesGetsZero) {
+  BipartiteWorld world = TinyWorld();
+  world.member_venues[3].clear();
+  const std::vector<double> sig =
+      AvgVenueSignificance(world, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(sig[3], 0.0);
+}
+
+TEST(VenueRatingTest, StaysOnOneToFiveScale) {
+  BipartiteWorld world = TinyWorld();
+  Rng rng(4);
+  const std::vector<double> sig =
+      VenueRatingSignificance(world, 0.5, 2.0, &rng);
+  for (double s : sig) {
+    EXPECT_GE(s, 1.0);
+    EXPECT_LE(s, 5.0);
+  }
+}
+
+TEST(VenueRatingTest, NoiselessZeroSlopeIsAffineInQuality) {
+  BipartiteWorld world = TinyWorld();
+  Rng rng(5);
+  const std::vector<double> sig =
+      VenueRatingSignificance(world, 0.0, 0.0, &rng);
+  EXPECT_DOUBLE_EQ(sig[0], 1.0 + 4.0 * 0.2);
+  EXPECT_DOUBLE_EQ(sig[1], 1.0 + 4.0 * 0.5);
+  EXPECT_DOUBLE_EQ(sig[2], 1.0 + 4.0 * 0.8);
+}
+
+TEST(VenueRatingTest, NegativeSlopePenalizesLargeVenues) {
+  // Build a world where venue size varies strongly and quality is flat.
+  BipartiteWorld world;
+  world.config.num_members = 40;
+  world.config.num_venues = 20;
+  world.member_quality.assign(40, 0.5);
+  world.venue_quality.assign(20, 0.5);
+  world.venue_members.resize(20);
+  world.member_venues.resize(40);
+  for (NodeId r = 0; r < 20; ++r) {
+    const int size = 1 + r;  // sizes 1..20
+    for (int k = 0; k < size && k < 40; ++k) {
+      world.venue_members[static_cast<size_t>(r)].push_back(k);
+      world.member_venues[static_cast<size_t>(k)].push_back(r);
+    }
+  }
+  Rng rng(6);
+  const std::vector<double> sig =
+      VenueRatingSignificance(world, -0.8, 0.0, &rng);
+  std::vector<double> sizes(20);
+  for (size_t r = 0; r < 20; ++r) {
+    sizes[r] = static_cast<double>(world.venue_members[r].size());
+  }
+  EXPECT_LT(SpearmanCorrelation(sizes, sig), -0.9);
+}
+
+TEST(SizeScaledCountTest, PositiveAndGrowsWithSizeAndQuality) {
+  BipartiteWorld world = TinyWorld();
+  // Make venue 2 much bigger.
+  world.venue_members[2] = {0, 1, 2, 3};
+  Rng rng(7);
+  const std::vector<double> sig =
+      SizeScaledCountSignificance(world, 1.0, 1.5, 0.0, &rng);
+  for (double s : sig) EXPECT_GT(s, 0.0);
+  // Venue 2: highest quality AND biggest: must dominate.
+  EXPECT_GT(sig[2], sig[0]);
+  EXPECT_GT(sig[2], sig[1]);
+}
+
+TEST(SizeScaledCountTest, ZeroExponentsIgnoreSize) {
+  BipartiteWorld world = TinyWorld();
+  Rng rng(8);
+  const std::vector<double> sig =
+      SizeScaledCountSignificance(world, 0.0, 0.0, 0.0, &rng);
+  for (double s : sig) EXPECT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(EffortDilutedTrustTest, DilutionPenalizesDegree) {
+  BipartiteWorld world = TinyWorld();
+  // Same quality and budget, different degrees.
+  world.member_quality.assign(4, 0.5);
+  world.member_budget.assign(4, 2.0);
+  world.member_venues = {{0}, {0, 1}, {0, 1, 2}, {}};
+  Rng rng(9);
+  const std::vector<double> sig =
+      EffortDilutedTrustSignificance(world, 0.8, 0.0, 0.0, &rng);
+  EXPECT_GT(sig[3], sig[0]);
+  EXPECT_GT(sig[0], sig[1]);
+  EXPECT_GT(sig[1], sig[2]);
+}
+
+TEST(EffortDilutedTrustTest, BudgetExponentCompensates) {
+  BipartiteWorld world = TinyWorld();
+  world.member_quality.assign(4, 0.5);
+  world.member_venues = {{0, 1}, {0, 1}, {0, 1}, {0, 1}};  // equal degrees
+  world.member_budget = {1.0, 2.0, 4.0, 8.0};
+  Rng rng(10);
+  const std::vector<double> sig =
+      EffortDilutedTrustSignificance(world, 1.0, 1.0, 0.0, &rng);
+  // With full budget compensation, higher budget -> higher trust.
+  EXPECT_LT(sig[0], sig[1]);
+  EXPECT_LT(sig[1], sig[2]);
+  EXPECT_LT(sig[2], sig[3]);
+}
+
+TEST(EffortDilutedTrustTest, ZeroDilutionLeavesQuality) {
+  BipartiteWorld world = TinyWorld();
+  Rng rng(11);
+  const std::vector<double> sig =
+      EffortDilutedTrustSignificance(world, 0.0, 0.0, 0.0, &rng);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(sig[i], world.member_quality[i]);
+  }
+}
+
+}  // namespace
+}  // namespace d2pr

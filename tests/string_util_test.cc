@@ -1,0 +1,87 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace d2pr {
+namespace {
+
+TEST(StrCatTest, ConcatenatesMixedTypes) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(StrCat(), "");
+  EXPECT_EQ(StrCat(42), "42");
+}
+
+TEST(FormatDoubleTest, FixedDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(-0.5, 3), "-0.500");
+  EXPECT_EQ(FormatDouble(0.0, 1), "0.0");
+}
+
+TEST(FormatGeneralTest, SignificantDigits) {
+  EXPECT_EQ(FormatGeneral(0.988, 3), "0.988");
+  EXPECT_EQ(FormatGeneral(1234567.0, 3), "1.23e+06");
+}
+
+TEST(FormatWithCommasTest, GroupsThousands) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(4465272), "4,465,272");
+  EXPECT_EQ(FormatWithCommas(-1234567), "-1,234,567");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StripWhitespaceTest, TrimsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  abc  "), "abc");
+  EXPECT_EQ(StripWhitespace("\t x \n"), "x");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("abcdef", "abc"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+  EXPECT_FALSE(StartsWith("xbc", "ab"));
+}
+
+TEST(PadTest, LeftAndRightPadding) {
+  EXPECT_EQ(Pad("ab", 5), "ab   ");
+  EXPECT_EQ(Pad("ab", -5), "   ab");
+  EXPECT_EQ(Pad("abcdef", 3), "abcdef");  // never truncates
+}
+
+TEST(ParseDoubleTest, AcceptsValidRejectsGarbage) {
+  double value = 0.0;
+  EXPECT_TRUE(ParseDouble("3.5", &value));
+  EXPECT_DOUBLE_EQ(value, 3.5);
+  EXPECT_TRUE(ParseDouble("  -0.25 ", &value));
+  EXPECT_DOUBLE_EQ(value, -0.25);
+  EXPECT_TRUE(ParseDouble("1e-3", &value));
+  EXPECT_DOUBLE_EQ(value, 1e-3);
+  EXPECT_FALSE(ParseDouble("", &value));
+  EXPECT_FALSE(ParseDouble("abc", &value));
+  EXPECT_FALSE(ParseDouble("1.5x", &value));
+}
+
+TEST(ParseInt64Test, AcceptsValidRejectsGarbage) {
+  int64_t value = 0;
+  EXPECT_TRUE(ParseInt64("42", &value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(ParseInt64(" -7 ", &value));
+  EXPECT_EQ(value, -7);
+  EXPECT_FALSE(ParseInt64("4.5", &value));
+  EXPECT_FALSE(ParseInt64("", &value));
+  EXPECT_FALSE(ParseInt64("12a", &value));
+}
+
+}  // namespace
+}  // namespace d2pr

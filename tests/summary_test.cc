@@ -1,0 +1,66 @@
+#include "stats/summary.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace d2pr {
+namespace {
+
+TEST(SummaryTest, BasicMoments) {
+  std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  Summary s = Summarize(values);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic example
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+}
+
+TEST(SummaryTest, EmptySample) {
+  Summary s = Summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(SummaryTest, SingleElement) {
+  Summary s = Summarize(std::vector<double>{3.5});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+}
+
+TEST(QuantileTest, MedianOddAndEven) {
+  std::vector<double> odd{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Quantile(odd, 0.5), 2.0);
+  std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Quantile(even, 0.5), 2.5);
+}
+
+TEST(QuantileTest, Extremes) {
+  std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.75), 7.5);
+}
+
+TEST(QuantileTest, EmptyGivesZero) {
+  EXPECT_DOUBLE_EQ(Quantile(std::vector<double>{}, 0.5), 0.0);
+}
+
+TEST(QuantileDeathTest, OutOfRangeQAborts) {
+  std::vector<double> v{1.0};
+  EXPECT_DEATH((void)Quantile(v, -0.1), "CHECK failed");
+  EXPECT_DEATH((void)Quantile(v, 1.1), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace d2pr

@@ -1,0 +1,70 @@
+#include "eval/table_writer.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace d2pr {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"alpha", "0.85"});
+  table.AddRow({"a-much-longer-name", "7"});
+  const std::string out = table.ToString();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+  // Numeric cells right-aligned: "0.85" is preceded by spaces.
+  EXPECT_NE(out.find(" 0.85"), std::string::npos);
+}
+
+TEST(TextTableTest, NumRows) {
+  TextTable table({"x"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow({"1"});
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TextTableDeathTest, CellCountMismatchAborts) {
+  TextTable table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "CHECK failed");
+}
+
+TEST(TextTableTest, CsvEscapesSpecialCharacters) {
+  TextTable table({"name", "note"});
+  table.AddRow({"plain", "with,comma"});
+  table.AddRow({"quoted", "say \"hi\""});
+  const std::string path = testing::TempDir() + "/table.csv";
+  ASSERT_TRUE(table.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,note");
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,\"with,comma\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "quoted,\"say \"\"hi\"\"\"");
+}
+
+TEST(TextTableTest, CsvToMissingDirectoryFails) {
+  TextTable table({"a"});
+  EXPECT_FALSE(
+      table.WriteCsv("/nonexistent_dir_zzz/file.csv").ok());
+}
+
+TEST(EnsureDirectoryTest, CreatesNested) {
+  const std::string dir = testing::TempDir() + "/d2pr_test_dir/a/b";
+  std::filesystem::remove_all(testing::TempDir() + "/d2pr_test_dir");
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  // Idempotent.
+  EXPECT_TRUE(EnsureDirectory(dir).ok());
+}
+
+TEST(ResultsDirTest, IsStable) { EXPECT_EQ(ResultsDir(), "results"); }
+
+}  // namespace
+}  // namespace d2pr

@@ -1,0 +1,108 @@
+#include "core/teleport.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "linalg/vec_ops.h"
+
+namespace d2pr {
+namespace {
+
+TEST(UniformTeleportTest, SumsToOne) {
+  const std::vector<double> t = UniformTeleport(8);
+  ASSERT_EQ(t.size(), 8u);
+  EXPECT_NEAR(Sum(t), 1.0, 1e-12);
+  for (double v : t) EXPECT_DOUBLE_EQ(v, 0.125);
+}
+
+TEST(SeededTeleportTest, UniformOverSeeds) {
+  auto t = SeededTeleport(5, std::vector<NodeId>{1, 3});
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ((*t)[0], 0.0);
+  EXPECT_DOUBLE_EQ((*t)[1], 0.5);
+  EXPECT_DOUBLE_EQ((*t)[3], 0.5);
+}
+
+TEST(SeededTeleportTest, RejectsEmptyOutOfRangeAndDuplicates) {
+  EXPECT_FALSE(SeededTeleport(5, std::vector<NodeId>{}).ok());
+  EXPECT_FALSE(SeededTeleport(5, std::vector<NodeId>{5}).ok());
+  EXPECT_FALSE(SeededTeleport(5, std::vector<NodeId>{-1}).ok());
+  EXPECT_FALSE(SeededTeleport(5, std::vector<NodeId>{2, 2}).ok());
+}
+
+TEST(WeightedTeleportTest, NormalizesWeights) {
+  auto t = WeightedTeleport(4, std::vector<NodeId>{0, 2},
+                            std::vector<double>{1.0, 3.0});
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ((*t)[0], 0.25);
+  EXPECT_DOUBLE_EQ((*t)[2], 0.75);
+}
+
+TEST(WeightedTeleportTest, RejectsBadWeights) {
+  EXPECT_FALSE(WeightedTeleport(4, std::vector<NodeId>{0},
+                                std::vector<double>{0.0})
+                   .ok());
+  EXPECT_FALSE(WeightedTeleport(4, std::vector<NodeId>{0},
+                                std::vector<double>{-1.0})
+                   .ok());
+  EXPECT_FALSE(WeightedTeleport(4, std::vector<NodeId>{0, 1},
+                                std::vector<double>{1.0})
+                   .ok());
+}
+
+TEST(DegreeProportionalTeleportTest, GammaMinusOneBoostsLowDegree) {
+  // Star: hub degree 3, leaves degree 1.
+  GraphBuilder builder(4, GraphKind::kUndirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 3).ok());
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  const std::vector<double> t = DegreeProportionalTeleport(*graph, -1.0);
+  EXPECT_NEAR(Sum(t), 1.0, 1e-12);
+  // Hub share 1/3 relative to each leaf's 1: hub = (1/3) / (1/3 + 3).
+  EXPECT_NEAR(t[0], (1.0 / 3.0) / (1.0 / 3.0 + 3.0), 1e-12);
+  EXPECT_GT(t[1], t[0]);
+}
+
+TEST(DegreeProportionalTeleportTest, GammaPlusOneBoostsHubs) {
+  GraphBuilder builder(4, GraphKind::kUndirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 3).ok());
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  const std::vector<double> t = DegreeProportionalTeleport(*graph, 1.0);
+  EXPECT_NEAR(t[0], 0.5, 1e-12);  // 3 / (3 + 1 + 1 + 1)
+}
+
+TEST(DegreeProportionalTeleportTest, GammaZeroIsUniform) {
+  GraphBuilder builder(3, GraphKind::kUndirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2).ok());
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  const std::vector<double> t = DegreeProportionalTeleport(*graph, 0.0);
+  for (double v : t) EXPECT_NEAR(v, 1.0 / 3.0, 1e-12);
+}
+
+TEST(DegreeProportionalTeleportTest, IsolatedNodesGetMinimumShare) {
+  GraphBuilder builder(3, GraphKind::kUndirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());  // node 2 isolated
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  const std::vector<double> t = DegreeProportionalTeleport(*graph, -1.0);
+  EXPECT_GT(t[2], 0.0);
+  EXPECT_NEAR(Sum(t), 1.0, 1e-12);
+}
+
+TEST(DegreeProportionalTeleportTest, AllIsolatedFallsBackToUniform) {
+  GraphBuilder builder(3, GraphKind::kUndirected);
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  const std::vector<double> t = DegreeProportionalTeleport(*graph, -1.0);
+  for (double v : t) EXPECT_NEAR(v, 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace d2pr

@@ -1,0 +1,331 @@
+#include "core/transition.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/classic_generators.h"
+#include "graph/graph_builder.h"
+
+namespace d2pr {
+namespace {
+
+CsrGraph BuildOrDie(GraphBuilder* builder) {
+  auto result = builder->Build();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TransitionMatrix BuildTransitionOrDie(const CsrGraph& graph,
+                                      const TransitionConfig& config) {
+  auto result = TransitionMatrix::Build(graph, config);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+// The paper's Figure 1: node A (0) has neighbors B (1, degree 2),
+// C (2, degree 3), D (3, degree 1). Edges: A-B, A-C, A-D, B-E, C-E, C-F.
+CsrGraph Figure1Graph() {
+  GraphBuilder builder(6, GraphKind::kUndirected);
+  EXPECT_TRUE(builder.AddEdge(0, 1).ok());
+  EXPECT_TRUE(builder.AddEdge(0, 2).ok());
+  EXPECT_TRUE(builder.AddEdge(0, 3).ok());
+  EXPECT_TRUE(builder.AddEdge(1, 4).ok());
+  EXPECT_TRUE(builder.AddEdge(2, 4).ok());
+  EXPECT_TRUE(builder.AddEdge(2, 5).ok());
+  return BuildOrDie(&builder);
+}
+
+// --- The paper's worked example (Figure 1(b)), exact values. ---
+
+TEST(TransitionFigure1Test, ConventionalPageRankIsUniform) {
+  CsrGraph graph = Figure1Graph();
+  TransitionMatrix t = BuildTransitionOrDie(graph, {.p = 0.0});
+  EXPECT_NEAR(t.Prob(graph, 0, 1), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(t.Prob(graph, 0, 2), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(t.Prob(graph, 0, 3), 1.0 / 3.0, 1e-12);
+}
+
+TEST(TransitionFigure1Test, PenalizationPEquals2) {
+  // deg^-2: B: 1/4, C: 1/9, D: 1. Sum = 49/36.
+  // P(A->B) = (1/4)/(49/36) = 9/49 ≈ 0.18
+  // P(A->C) = (1/9)/(49/36) = 4/49 ≈ 0.08
+  // P(A->D) = 1/(49/36)    = 36/49 ≈ 0.74
+  CsrGraph graph = Figure1Graph();
+  TransitionMatrix t = BuildTransitionOrDie(graph, {.p = 2.0});
+  EXPECT_NEAR(t.Prob(graph, 0, 1), 9.0 / 49.0, 1e-12);
+  EXPECT_NEAR(t.Prob(graph, 0, 2), 4.0 / 49.0, 1e-12);
+  EXPECT_NEAR(t.Prob(graph, 0, 3), 36.0 / 49.0, 1e-12);
+  // Paper reports these as 0.18 / 0.08 / 0.74 (0.7347 printed as 0.74).
+  EXPECT_NEAR(t.Prob(graph, 0, 1), 0.18, 0.01);
+  EXPECT_NEAR(t.Prob(graph, 0, 2), 0.08, 0.01);
+  EXPECT_NEAR(t.Prob(graph, 0, 3), 0.74, 0.01);
+}
+
+TEST(TransitionFigure1Test, BoostingPEqualsMinus2) {
+  // deg^2: B: 4, C: 9, D: 1. Sum = 14.
+  // Paper reports 0.29 / 0.64 / 0.07.
+  CsrGraph graph = Figure1Graph();
+  TransitionMatrix t = BuildTransitionOrDie(graph, {.p = -2.0});
+  EXPECT_NEAR(t.Prob(graph, 0, 1), 4.0 / 14.0, 1e-12);
+  EXPECT_NEAR(t.Prob(graph, 0, 2), 9.0 / 14.0, 1e-12);
+  EXPECT_NEAR(t.Prob(graph, 0, 3), 1.0 / 14.0, 1e-12);
+}
+
+// --- Desideratum limit cases (paper §3.1). ---
+
+TEST(TransitionDesideratumTest, LargePositivePGoesToLowestDegree) {
+  CsrGraph graph = Figure1Graph();
+  TransitionMatrix t = BuildTransitionOrDie(graph, {.p = 60.0});
+  // D has the lowest degree among A's neighbors: transition ~100% to D.
+  EXPECT_GT(t.Prob(graph, 0, 3), 0.999999);
+  EXPECT_LT(t.Prob(graph, 0, 1), 1e-6);
+  EXPECT_LT(t.Prob(graph, 0, 2), 1e-6);
+}
+
+TEST(TransitionDesideratumTest, LargeNegativePGoesToHighestDegree) {
+  CsrGraph graph = Figure1Graph();
+  TransitionMatrix t = BuildTransitionOrDie(graph, {.p = -60.0});
+  // C has the highest degree among A's neighbors.
+  EXPECT_GT(t.Prob(graph, 0, 2), 0.999999);
+}
+
+TEST(TransitionDesideratumTest, PEqualsMinus1IsProportionalToDegree) {
+  CsrGraph graph = Figure1Graph();
+  TransitionMatrix t = BuildTransitionOrDie(graph, {.p = -1.0});
+  EXPECT_NEAR(t.Prob(graph, 0, 1), 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(t.Prob(graph, 0, 2), 3.0 / 6.0, 1e-12);
+  EXPECT_NEAR(t.Prob(graph, 0, 3), 1.0 / 6.0, 1e-12);
+}
+
+TEST(TransitionDesideratumTest, PEquals1IsInverselyProportional) {
+  CsrGraph graph = Figure1Graph();
+  TransitionMatrix t = BuildTransitionOrDie(graph, {.p = 1.0});
+  const double total = 1.0 / 2.0 + 1.0 / 3.0 + 1.0;
+  EXPECT_NEAR(t.Prob(graph, 0, 1), (1.0 / 2.0) / total, 1e-12);
+  EXPECT_NEAR(t.Prob(graph, 0, 2), (1.0 / 3.0) / total, 1e-12);
+  EXPECT_NEAR(t.Prob(graph, 0, 3), 1.0 / total, 1e-12);
+}
+
+// --- Column-stochastic invariant across the whole p range (property). ---
+
+class TransitionStochasticTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TransitionStochasticTest, RowsOfEverySourceSumToOne) {
+  Rng rng(2016);
+  auto graph = BarabasiAlbert(300, 3, &rng);
+  ASSERT_TRUE(graph.ok());
+  TransitionMatrix t = BuildTransitionOrDie(*graph, {.p = GetParam()});
+  for (NodeId v = 0; v < graph->num_nodes(); ++v) {
+    double total = 0.0;
+    for (NodeId u : graph->OutNeighbors(v)) total += t.Prob(*graph, v, u);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "source " << v << " p " << GetParam();
+  }
+}
+
+TEST_P(TransitionStochasticTest, ProbabilitiesAreFiniteAndNonNegative) {
+  Rng rng(7);
+  auto graph = ErdosRenyi(150, 600, &rng);
+  ASSERT_TRUE(graph.ok());
+  TransitionMatrix t = BuildTransitionOrDie(*graph, {.p = GetParam()});
+  for (double prob : t.probs()) {
+    EXPECT_TRUE(std::isfinite(prob));
+    EXPECT_GE(prob, 0.0);
+    EXPECT_LE(prob, 1.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PGrid, TransitionStochasticTest,
+                         ::testing::Values(-50.0, -4.0, -2.0, -1.0, -0.5,
+                                           0.0, 0.5, 1.0, 2.0, 4.0, 50.0));
+
+// --- Weighted graphs and the beta blend (paper §3.2.3). ---
+
+CsrGraph WeightedTriangle() {
+  GraphBuilder builder(3, GraphKind::kDirected, /*weighted=*/true);
+  EXPECT_TRUE(builder.AddEdge(0, 1, 3.0).ok());
+  EXPECT_TRUE(builder.AddEdge(0, 2, 1.0).ok());
+  EXPECT_TRUE(builder.AddEdge(1, 2, 2.0).ok());
+  EXPECT_TRUE(builder.AddEdge(2, 0, 1.0).ok());
+  auto graph = builder.Build();
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(TransitionWeightedTest, BetaOneIsPureConnectionStrength) {
+  CsrGraph graph = WeightedTriangle();
+  TransitionMatrix t =
+      BuildTransitionOrDie(graph, {.p = 2.0, .beta = 1.0});
+  // beta = 1: T = T_conn regardless of p.
+  EXPECT_NEAR(t.Prob(graph, 0, 1), 3.0 / 4.0, 1e-12);
+  EXPECT_NEAR(t.Prob(graph, 0, 2), 1.0 / 4.0, 1e-12);
+}
+
+TEST(TransitionWeightedTest, BetaZeroUsesOutStrengthMetric) {
+  CsrGraph graph = WeightedTriangle();
+  // Θ(1) = 2, Θ(2) = 1. p = 1: weights Θ^-1 -> 1/2 and 1.
+  TransitionMatrix t =
+      BuildTransitionOrDie(graph, {.p = 1.0, .beta = 0.0});
+  EXPECT_NEAR(t.Prob(graph, 0, 1), (1.0 / 2.0) / (3.0 / 2.0), 1e-12);
+  EXPECT_NEAR(t.Prob(graph, 0, 2), 1.0 / (3.0 / 2.0), 1e-12);
+}
+
+TEST(TransitionWeightedTest, BetaBlendsLinearly) {
+  CsrGraph graph = WeightedTriangle();
+  const double beta = 0.25;
+  TransitionMatrix blend =
+      BuildTransitionOrDie(graph, {.p = 1.0, .beta = beta});
+  TransitionMatrix conn =
+      BuildTransitionOrDie(graph, {.p = 1.0, .beta = 1.0});
+  TransitionMatrix decoupled =
+      BuildTransitionOrDie(graph, {.p = 1.0, .beta = 0.0});
+  for (NodeId u : {0, 1, 2}) {
+    for (NodeId v : graph.OutNeighbors(u)) {
+      EXPECT_NEAR(blend.Prob(graph, u, v),
+                  beta * conn.Prob(graph, u, v) +
+                      (1 - beta) * decoupled.Prob(graph, u, v),
+                  1e-12);
+    }
+  }
+}
+
+TEST(TransitionWeightedTest, BetaIgnoredOnUnweightedGraphs) {
+  CsrGraph graph = Figure1Graph();
+  TransitionMatrix with_beta =
+      BuildTransitionOrDie(graph, {.p = 2.0, .beta = 0.75});
+  TransitionMatrix without =
+      BuildTransitionOrDie(graph, {.p = 2.0, .beta = 0.0});
+  for (size_t e = 0; e < with_beta.probs().size(); ++e) {
+    EXPECT_DOUBLE_EQ(with_beta.probs()[e], without.probs()[e]);
+  }
+}
+
+// --- Directed graphs: out-degree metric and sink semantics (§3.2.2). ---
+
+TEST(TransitionDirectedTest, UsesOutDegreeOfDestination) {
+  // 0 -> 1 (outdeg 2), 0 -> 2 (outdeg 1); 1 -> {0, 2}; 2 -> 0.
+  GraphBuilder builder(3, GraphKind::kDirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 0).ok());
+  CsrGraph graph = BuildOrDie(&builder);
+  TransitionMatrix t = BuildTransitionOrDie(graph, {.p = 1.0});
+  // outdeg(1) = 2, outdeg(2) = 1: weights 1/2 and 1.
+  EXPECT_NEAR(t.Prob(graph, 0, 1), (0.5) / 1.5, 1e-12);
+  EXPECT_NEAR(t.Prob(graph, 0, 2), 1.0 / 1.5, 1e-12);
+}
+
+TEST(TransitionDirectedTest, SinkCapturesRowWhenPenalizing) {
+  // 0 -> 1 (sink, outdeg 0) and 0 -> 2 (outdeg 1).
+  GraphBuilder builder(3, GraphKind::kDirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 0).ok());
+  CsrGraph graph = BuildOrDie(&builder);
+  // p > 0: 0^-p -> infinity: the sink dominates (limit semantics).
+  TransitionMatrix penal = BuildTransitionOrDie(graph, {.p = 1.0});
+  EXPECT_DOUBLE_EQ(penal.Prob(graph, 0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(penal.Prob(graph, 0, 2), 0.0);
+  // p < 0: 0^|p| -> 0: the sink is avoided entirely.
+  TransitionMatrix boost = BuildTransitionOrDie(graph, {.p = -1.0});
+  EXPECT_DOUBLE_EQ(boost.Prob(graph, 0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(boost.Prob(graph, 0, 2), 1.0);
+  // p = 0: conventional, uniform.
+  TransitionMatrix plain = BuildTransitionOrDie(graph, {.p = 0.0});
+  EXPECT_DOUBLE_EQ(plain.Prob(graph, 0, 1), 0.5);
+}
+
+TEST(TransitionDirectedTest, AllSinkNeighborsWithBoostFallBackToUniform) {
+  GraphBuilder builder(3, GraphKind::kDirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2).ok());
+  CsrGraph graph = BuildOrDie(&builder);
+  TransitionMatrix t = BuildTransitionOrDie(graph, {.p = -2.0});
+  EXPECT_DOUBLE_EQ(t.Prob(graph, 0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(t.Prob(graph, 0, 2), 0.5);
+}
+
+// --- Validation and structure. ---
+
+TEST(TransitionValidationTest, RejectsBadConfigs) {
+  CsrGraph graph = Figure1Graph();
+  EXPECT_FALSE(TransitionMatrix::Build(graph, {.p = 1.0, .beta = -0.1}).ok());
+  EXPECT_FALSE(TransitionMatrix::Build(graph, {.p = 1.0, .beta = 1.5}).ok());
+  EXPECT_FALSE(
+      TransitionMatrix::Build(graph, {.p = std::nan("")}).ok());
+  TransitionConfig strength_on_unweighted;
+  strength_on_unweighted.metric = DegreeMetric::kOutStrength;
+  EXPECT_FALSE(TransitionMatrix::Build(graph, strength_on_unweighted).ok());
+}
+
+TEST(TransitionValidationTest, DanglingNodesReported) {
+  GraphBuilder builder(3, GraphKind::kDirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  CsrGraph graph = BuildOrDie(&builder);
+  TransitionMatrix t = BuildTransitionOrDie(graph, {});
+  EXPECT_FALSE(t.IsDangling(0));
+  EXPECT_TRUE(t.IsDangling(1));
+  EXPECT_TRUE(t.IsDangling(2));
+  EXPECT_EQ(t.DanglingNodes(), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(TransitionValidationTest, InDegreeMetricExtension) {
+  GraphBuilder builder(3, GraphKind::kDirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 0).ok());
+  CsrGraph graph = BuildOrDie(&builder);
+  // indeg(1) = 1, indeg(2) = 2. p = 1: weights 1 and 1/2.
+  TransitionConfig config;
+  config.p = 1.0;
+  config.metric = DegreeMetric::kInDegree;
+  TransitionMatrix t = BuildTransitionOrDie(graph, config);
+  EXPECT_NEAR(t.Prob(graph, 0, 1), 1.0 / 1.5, 1e-12);
+  EXPECT_NEAR(t.Prob(graph, 0, 2), 0.5 / 1.5, 1e-12);
+}
+
+TEST(TransitionMultiplyTest, MatchesManualComputation) {
+  CsrGraph graph = Figure1Graph();
+  TransitionMatrix t = BuildTransitionOrDie(graph, {.p = 0.0});
+  std::vector<double> x{1.0, 0.0, 0.0, 0.0, 0.0, 0.0};  // all mass at A
+  std::vector<double> out(6, -1.0);
+  t.Multiply(graph, x, out);
+  EXPECT_NEAR(out[1], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(out[2], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(out[3], 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+}
+
+TEST(TransitionMultiplyTest, PreservesTotalMassWithoutDangling) {
+  Rng rng(55);
+  auto graph = BarabasiAlbert(100, 2, &rng);
+  ASSERT_TRUE(graph.ok());
+  TransitionMatrix t = BuildTransitionOrDie(*graph, {.p = 1.5});
+  std::vector<double> x(100, 0.01);
+  std::vector<double> out(100);
+  t.Multiply(*graph, x, out);
+  double total = 0.0;
+  for (double v : out) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(MetricValuesTest, AutoResolution) {
+  CsrGraph unweighted = Figure1Graph();
+  EXPECT_EQ(ResolveMetric(unweighted, DegreeMetric::kAuto),
+            DegreeMetric::kOutDegree);
+  CsrGraph weighted = WeightedTriangle();
+  EXPECT_EQ(ResolveMetric(weighted, DegreeMetric::kAuto),
+            DegreeMetric::kOutStrength);
+  const std::vector<double> values =
+      MetricValues(weighted, DegreeMetric::kAuto);
+  EXPECT_DOUBLE_EQ(values[0], 4.0);
+  EXPECT_DOUBLE_EQ(values[1], 2.0);
+  EXPECT_DOUBLE_EQ(values[2], 1.0);
+}
+
+}  // namespace
+}  // namespace d2pr

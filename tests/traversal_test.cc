@@ -1,0 +1,115 @@
+#include "graph/traversal.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace d2pr {
+namespace {
+
+CsrGraph TwoComponents() {
+  // Component {0,1,2} (triangle) and component {3,4} (edge); 5 isolated.
+  GraphBuilder builder(6, GraphKind::kUndirected);
+  EXPECT_TRUE(builder.AddEdge(0, 1).ok());
+  EXPECT_TRUE(builder.AddEdge(1, 2).ok());
+  EXPECT_TRUE(builder.AddEdge(2, 0).ok());
+  EXPECT_TRUE(builder.AddEdge(3, 4).ok());
+  auto graph = builder.Build();
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(BfsTest, DistancesOnPath) {
+  GraphBuilder builder(5, GraphKind::kUndirected);
+  for (NodeId v = 0; v + 1 < 5; ++v) {
+    ASSERT_TRUE(builder.AddEdge(v, v + 1).ok());
+  }
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  const std::vector<int64_t> dist = BfsDistances(*graph, 0);
+  EXPECT_EQ(dist, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(BfsTest, UnreachableIsMinusOne) {
+  const std::vector<int64_t> dist = BfsDistances(TwoComponents(), 0);
+  EXPECT_EQ(dist[3], -1);
+  EXPECT_EQ(dist[4], -1);
+  EXPECT_EQ(dist[5], -1);
+  EXPECT_EQ(dist[1], 1);
+}
+
+TEST(BfsTest, DirectedRespectsArcDirection) {
+  GraphBuilder builder(3, GraphKind::kDirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2).ok());
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(BfsDistances(*graph, 0), (std::vector<int64_t>{0, 1, 2}));
+  EXPECT_EQ(BfsDistances(*graph, 2), (std::vector<int64_t>{-1, -1, 0}));
+}
+
+TEST(ComponentsTest, CountsAndLargest) {
+  Components comps = ConnectedComponents(TwoComponents());
+  EXPECT_EQ(comps.count, 3);
+  EXPECT_EQ(comps.largest_size, 3);
+  EXPECT_EQ(comps.label[0], comps.label[1]);
+  EXPECT_EQ(comps.label[1], comps.label[2]);
+  EXPECT_EQ(comps.label[3], comps.label[4]);
+  EXPECT_NE(comps.label[0], comps.label[3]);
+  EXPECT_NE(comps.label[5], comps.label[0]);
+  EXPECT_NE(comps.label[5], comps.label[3]);
+}
+
+TEST(ComponentsTest, DirectedUsesWeakConnectivity) {
+  GraphBuilder builder(4, GraphKind::kDirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 1).ok());  // 2 reaches 1 but not vice versa
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  Components comps = ConnectedComponents(*graph);
+  EXPECT_EQ(comps.count, 2);  // {0,1,2} weakly connected, {3}
+  EXPECT_EQ(comps.label[0], comps.label[2]);
+}
+
+TEST(LargestComponentTest, ExtractsAndRemaps) {
+  Subgraph sub = LargestComponentSubgraph(TwoComponents());
+  EXPECT_EQ(sub.graph.num_nodes(), 3);
+  EXPECT_EQ(sub.graph.num_edges(), 3);  // the triangle
+  EXPECT_EQ(sub.original_id.size(), 3u);
+  // Ids 0, 1, 2 in some order, compacted.
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_LT(sub.original_id[static_cast<size_t>(v)], 3);
+    EXPECT_EQ(sub.graph.OutDegree(v), 2);
+  }
+}
+
+TEST(LargestComponentTest, PreservesWeights) {
+  GraphBuilder builder(4, GraphKind::kUndirected, /*weighted=*/true);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 5.0).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2, 7.0).ok());
+  // Node 3 isolated.
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  Subgraph sub = LargestComponentSubgraph(*graph);
+  EXPECT_EQ(sub.graph.num_nodes(), 3);
+  EXPECT_TRUE(sub.graph.weighted());
+  double total = 0.0;
+  for (NodeId v = 0; v < sub.graph.num_nodes(); ++v) {
+    total += sub.graph.OutStrength(v);
+  }
+  EXPECT_DOUBLE_EQ(total, 2 * (5.0 + 7.0));
+}
+
+TEST(LargestComponentTest, FullyConnectedGraphIsUnchanged) {
+  GraphBuilder builder(3, GraphKind::kUndirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2).ok());
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  Subgraph sub = LargestComponentSubgraph(*graph);
+  EXPECT_TRUE(sub.graph == *graph);
+  EXPECT_EQ(sub.original_id, (std::vector<NodeId>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace d2pr

@@ -1,0 +1,104 @@
+#include "core/tuner.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/classic_generators.h"
+#include "datagen/copula.h"
+#include "graph/graph_stats.h"
+
+namespace d2pr {
+namespace {
+
+TEST(TunerTest, FindsNegativePWhenSignificanceIsDegree) {
+  // If significance IS the degree, boosting degree can only help: the
+  // tuned p must be <= 0 and the correlation near 1.
+  Rng rng(55);
+  auto graph = BarabasiAlbert(400, 3, &rng);
+  ASSERT_TRUE(graph.ok());
+  const std::vector<double> significance = DegreesAsDoubles(*graph);
+  TuneOptions options;
+  options.base.tolerance = 1e-8;
+  auto tuned = TuneDecouplingWeight(*graph, significance, options);
+  ASSERT_TRUE(tuned.ok()) << tuned.status().ToString();
+  EXPECT_LE(tuned->best_p, 0.0);
+  EXPECT_GT(tuned->best_correlation, 0.9);
+}
+
+TEST(TunerTest, FindsPositivePWhenSignificanceIsInverseDegree) {
+  Rng rng(56);
+  auto graph = BarabasiAlbert(400, 3, &rng);
+  ASSERT_TRUE(graph.ok());
+  std::vector<double> significance = DegreesAsDoubles(*graph);
+  for (double& s : significance) s = 1.0 / s;
+  TuneOptions options;
+  options.base.tolerance = 1e-8;
+  auto tuned = TuneDecouplingWeight(*graph, significance, options);
+  ASSERT_TRUE(tuned.ok());
+  EXPECT_GT(tuned->best_p, 0.0);
+  // BA graphs have huge degree-tie groups, capping the achievable rank
+  // correlation with 1/deg well below 1.
+  EXPECT_GT(tuned->best_correlation, 0.15);
+}
+
+TEST(TunerTest, EvaluationLogCoversCoarseGrid) {
+  Rng rng(57);
+  auto graph = ErdosRenyi(150, 450, &rng);
+  ASSERT_TRUE(graph.ok());
+  Rng noise(58);
+  auto significance =
+      SpearmanCoupledVector(DegreesAsDoubles(*graph), 0.4, &noise);
+  ASSERT_TRUE(significance.ok());
+  TuneOptions options;
+  options.p_min = -2.0;
+  options.p_max = 2.0;
+  options.coarse_step = 1.0;
+  options.base.tolerance = 1e-7;
+  auto tuned = TuneDecouplingWeight(*graph, *significance, options);
+  ASSERT_TRUE(tuned.ok());
+  // 5 coarse points plus refinement evaluations.
+  EXPECT_GE(tuned->evaluated.size(), 7u);
+  // best_correlation must equal the max of everything evaluated.
+  double best = -2.0;
+  for (const auto& [p, corr] : tuned->evaluated) best = std::max(best, corr);
+  EXPECT_DOUBLE_EQ(tuned->best_correlation, best);
+}
+
+TEST(TunerTest, BestPWithinSearchRange) {
+  Rng rng(59);
+  auto graph = BarabasiAlbert(200, 2, &rng);
+  ASSERT_TRUE(graph.ok());
+  Rng noise(60);
+  auto significance =
+      SpearmanCoupledVector(DegreesAsDoubles(*graph), -0.3, &noise);
+  ASSERT_TRUE(significance.ok());
+  TuneOptions options;
+  options.p_min = -1.0;
+  options.p_max = 3.0;
+  options.base.tolerance = 1e-7;
+  auto tuned = TuneDecouplingWeight(*graph, *significance, options);
+  ASSERT_TRUE(tuned.ok());
+  EXPECT_GE(tuned->best_p, options.p_min);
+  EXPECT_LE(tuned->best_p, options.p_max);
+}
+
+TEST(TunerTest, ValidationErrors) {
+  Rng rng(61);
+  auto graph = ErdosRenyi(20, 40, &rng);
+  ASSERT_TRUE(graph.ok());
+  std::vector<double> wrong_size(5, 1.0);
+  EXPECT_FALSE(TuneDecouplingWeight(*graph, wrong_size, {}).ok());
+  std::vector<double> significance(20, 1.0);
+  TuneOptions bad_range;
+  bad_range.p_min = 2.0;
+  bad_range.p_max = -2.0;
+  EXPECT_FALSE(TuneDecouplingWeight(*graph, significance, bad_range).ok());
+  TuneOptions bad_step;
+  bad_step.coarse_step = 0.0;
+  EXPECT_FALSE(TuneDecouplingWeight(*graph, significance, bad_step).ok());
+}
+
+}  // namespace
+}  // namespace d2pr

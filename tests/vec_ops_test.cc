@@ -1,0 +1,85 @@
+#include "linalg/vec_ops.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace d2pr {
+namespace {
+
+TEST(VecOpsTest, Sum) {
+  std::vector<double> v{1.0, -2.0, 3.5};
+  EXPECT_DOUBLE_EQ(Sum(v), 2.5);
+  EXPECT_DOUBLE_EQ(Sum(std::vector<double>{}), 0.0);
+}
+
+TEST(VecOpsTest, Dot) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4.0 - 10.0 + 18.0);
+}
+
+TEST(VecOpsTest, Norms) {
+  std::vector<double> v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(NormL1(v), 7.0);
+  EXPECT_DOUBLE_EQ(NormL2(v), 5.0);
+  EXPECT_DOUBLE_EQ(NormLInf(v), 4.0);
+}
+
+TEST(VecOpsTest, Diffs) {
+  std::vector<double> a{1.0, 5.0, -1.0};
+  std::vector<double> b{2.0, 3.0, -1.0};
+  EXPECT_DOUBLE_EQ(DiffL1(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(DiffLInf(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(DiffL1(a, a), 0.0);
+}
+
+TEST(VecOpsTest, Axpy) {
+  std::vector<double> x{1.0, 2.0};
+  std::vector<double> out{10.0, 20.0};
+  Axpy(0.5, x, out);
+  EXPECT_DOUBLE_EQ(out[0], 10.5);
+  EXPECT_DOUBLE_EQ(out[1], 21.0);
+}
+
+TEST(VecOpsTest, ScaleAndFill) {
+  std::vector<double> v{1.0, -2.0};
+  Scale(3.0, v);
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], -6.0);
+  Fill(7.0, v);
+  EXPECT_DOUBLE_EQ(v[0], 7.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+}
+
+TEST(VecOpsTest, NormalizeL1MakesDistribution) {
+  std::vector<double> v{1.0, 3.0};
+  const double norm = NormalizeL1(v);
+  EXPECT_DOUBLE_EQ(norm, 4.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+}
+
+TEST(VecOpsTest, NormalizeL1ZeroVectorIsNoop) {
+  std::vector<double> v{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(NormalizeL1(v), 0.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+}
+
+TEST(VecOpsTest, UniformVector) {
+  const std::vector<double> u = UniformVector(4);
+  ASSERT_EQ(u.size(), 4u);
+  for (double x : u) EXPECT_DOUBLE_EQ(x, 0.25);
+  EXPECT_TRUE(UniformVector(0).empty());
+}
+
+TEST(VecOpsDeathTest, SizeMismatchAborts) {
+  std::vector<double> a{1.0};
+  std::vector<double> b{1.0, 2.0};
+  EXPECT_DEATH((void)Dot(a, b), "CHECK failed");
+  EXPECT_DEATH((void)DiffL1(a, b), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace d2pr
