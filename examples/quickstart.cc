@@ -1,5 +1,6 @@
-// Quickstart: build a small graph, compute conventional PageRank and
-// degree de-coupled PageRank (D2PR), and compare the rankings.
+// Quickstart: build a small graph, stand up a D2prEngine, and compare
+// conventional PageRank with degree de-coupled PageRank (D2PR) in one
+// batch of ranking queries.
 //
 //   $ ./build/examples/quickstart
 //
@@ -9,7 +10,7 @@
 
 #include <cstdio>
 
-#include "core/d2pr.h"
+#include "api/engine.h"
 #include "graph/graph_builder.h"
 #include "stats/ranking.h"
 
@@ -36,30 +37,39 @@ int main() {
     return 1;
   }
 
-  // Conventional PageRank is D2PR with p = 0.
-  auto conventional = ComputeConventionalPagerank(*graph, /*alpha=*/0.85);
-  // Degree de-coupled: penalize high-degree destinations.
-  auto decoupled = ComputeD2pr(*graph, {.p = 1.0, .alpha = 0.85});
-  if (!conventional.ok() || !decoupled.ok()) {
-    std::fprintf(stderr, "ranking failed\n");
+  // One engine per graph; every query goes through it and shares its
+  // transition cache.
+  D2prEngine engine(std::move(*graph));
+
+  // Conventional PageRank is D2PR with p = 0; the second request
+  // penalizes high-degree destinations.
+  const RankRequest requests[] = {
+      {.p = 0.0, .alpha = 0.85},
+      {.p = 1.0, .alpha = 0.85},
+  };
+  auto ranked = engine.RankBatch(requests);
+  if (!ranked.ok()) {
+    std::fprintf(stderr, "%s\n", ranked.status().ToString().c_str());
     return 1;
   }
+  const RankResponse& conventional = (*ranked)[0];
+  const RankResponse& decoupled = (*ranked)[1];
 
   std::printf("node  degree  PageRank(p=0)  rank   D2PR(p=1)  rank\n");
-  const auto rank0 = OrdinalRanks(conventional->scores);
-  const auto rank1 = OrdinalRanks(decoupled->scores);
-  for (NodeId v = 0; v < graph->num_nodes(); ++v) {
+  const auto rank0 = OrdinalRanks(conventional.scores);
+  const auto rank1 = OrdinalRanks(decoupled.scores);
+  for (NodeId v = 0; v < engine.graph().num_nodes(); ++v) {
     std::printf("  %s   %6lld   %12.4f  %4lld  %10.4f  %4lld\n", names[v],
-                static_cast<long long>(graph->OutDegree(v)),
-                conventional->scores[v], static_cast<long long>(rank0[v]),
-                decoupled->scores[v], static_cast<long long>(rank1[v]));
+                static_cast<long long>(engine.graph().OutDegree(v)),
+                conventional.scores[v], static_cast<long long>(rank0[v]),
+                decoupled.scores[v], static_cast<long long>(rank1[v]));
   }
   std::printf(
       "\nThe hub H tops conventional PageRank; with p = 1 the walk avoids\n"
       "high-degree destinations and H falls in the ranking.\n");
   std::printf("(solver: %d and %d iterations, converged: %s/%s)\n",
-              conventional->iterations, decoupled->iterations,
-              conventional->converged ? "yes" : "no",
-              decoupled->converged ? "yes" : "no");
+              conventional.iterations, decoupled.iterations,
+              conventional.converged ? "yes" : "no",
+              decoupled.converged ? "yes" : "no");
   return 0;
 }

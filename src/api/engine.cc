@@ -1,0 +1,320 @@
+#include "api/engine.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/string_util.h"
+#include "core/gauss_seidel.h"
+#include "core/pagerank.h"
+#include "core/push_ppr.h"
+#include "core/teleport.h"
+#include "linalg/vec_ops.h"
+
+namespace d2pr {
+
+namespace {
+
+// Extrapolation guardrail: a requested point farther than this many stored
+// trajectory steps falls back to a plain warm start.
+constexpr double kMaxExtrapolationFactor = 4.0;
+
+}  // namespace
+
+const char* SolverMethodName(SolverMethod method) {
+  switch (method) {
+    case SolverMethod::kPower:
+      return "power";
+    case SolverMethod::kGaussSeidel:
+      return "gauss-seidel";
+    case SolverMethod::kForwardPush:
+      return "forward-push";
+  }
+  return "unknown";
+}
+
+D2prEngine::D2prEngine(CsrGraph graph, const EngineOptions& options)
+    : D2prEngine(std::make_shared<const CsrGraph>(std::move(graph)),
+                 options) {}
+
+D2prEngine::D2prEngine(std::shared_ptr<const CsrGraph> graph,
+                       const EngineOptions& options)
+    : graph_(std::move(graph)),
+      options_(options),
+      transition_cache_(options.transition_cache_capacity) {}
+
+D2prEngine D2prEngine::Borrowing(const CsrGraph& graph,
+                                 const EngineOptions& options) {
+  return D2prEngine(
+      std::shared_ptr<const CsrGraph>(&graph, [](const CsrGraph*) {}),
+      options);
+}
+
+void D2prEngine::ClearCaches() {
+  transition_cache_.Clear();
+  warm_entries_.clear();
+}
+
+Result<std::shared_ptr<const TransitionMatrix>> D2prEngine::GetTransition(
+    const TransitionKey& key, bool* cache_hit) {
+  if (auto cached = transition_cache_.Lookup(key)) {
+    *cache_hit = true;
+    ++stats_.transition_cache_hits;
+    return cached;
+  }
+  *cache_hit = false;
+  TransitionConfig config;
+  config.p = key.p;
+  config.beta = key.beta;
+  config.metric = key.metric;
+  ++stats_.transition_builds;
+  D2PR_ASSIGN_OR_RETURN(TransitionMatrix built,
+                        TransitionMatrix::Build(*graph_, config));
+  auto shared = std::make_shared<const TransitionMatrix>(std::move(built));
+  transition_cache_.Insert(key, shared);
+  return shared;
+}
+
+Result<RankResponse> D2prEngine::Rank(const RankRequest& request) {
+  ++stats_.requests;
+  // Mirror the transition builder's parameter checks before touching the
+  // cache: the key folds beta to 0 on unweighted graphs, which must not
+  // let an out-of-range beta hit a cached matrix instead of erroring.
+  if (!std::isfinite(request.p)) {
+    return Status::InvalidArgument(
+        StrCat("de-coupling weight p must be finite, got ", request.p));
+  }
+  if (!(request.beta >= 0.0 && request.beta <= 1.0)) {  // rejects NaN too
+    return Status::InvalidArgument(
+        StrCat("beta must lie in [0, 1], got ", request.beta));
+  }
+  // Pre-check the solver knobs too (the solvers re-validate; messages
+  // mirror theirs): an invalid request must not pay an O(|E|) transition
+  // build nor insert an entry that evicts a hot one.
+  if (!(request.alpha >= 0.0) || request.alpha >= 1.0) {
+    return Status::InvalidArgument(
+        StrCat("alpha must lie in [0, 1), got ", request.alpha));
+  }
+  if (request.method == SolverMethod::kForwardPush) {
+    if (!(request.push_epsilon > 0.0)) {
+      return Status::InvalidArgument("epsilon must be positive");
+    }
+    if (request.dangling == DanglingPolicy::kSelfLoop) {
+      return Status::InvalidArgument(
+          "forward push does not support DanglingPolicy::kSelfLoop");
+    }
+  } else {
+    if (!(request.tolerance > 0.0)) {
+      return Status::InvalidArgument(
+          StrCat("tolerance must be positive, got ", request.tolerance));
+    }
+    if (request.max_iterations < 1) {
+      return Status::InvalidArgument(
+          StrCat("max_iterations must be >= 1, got ",
+                 request.max_iterations));
+    }
+  }
+
+  // The teleport vector is validated before the transition is fetched for
+  // the same reason as the parameter checks above: bad seeds must not pay
+  // a build or evict a cached matrix.
+  std::vector<double> seeded;
+  std::span<const double> teleport;
+  if (!request.seeds.empty()) {
+    D2PR_ASSIGN_OR_RETURN(seeded,
+                          SeededTeleport(graph_->num_nodes(), request.seeds));
+    teleport = seeded;
+  } else {
+    // Built on first unseeded query so purely personalized workloads never
+    // pay for it.
+    if (uniform_teleport_.empty()) {
+      uniform_teleport_ = UniformTeleport(graph_->num_nodes());
+    }
+    teleport = uniform_teleport_;
+  }
+
+  TransitionKey key;
+  key.p = request.p;
+  key.beta = graph_->weighted() ? request.beta : 0.0;
+  key.metric = ResolveMetric(*graph_, request.metric);
+
+  RankResponse response;
+  response.method = request.method;
+  bool cache_hit = false;
+  D2PR_ASSIGN_OR_RETURN(std::shared_ptr<const TransitionMatrix> transition,
+                        GetTransition(key, &cache_hit));
+  response.transition_cache_hit = cache_hit;
+
+  if (request.method == SolverMethod::kForwardPush) {
+    PushOptions push;
+    push.alpha = request.alpha;
+    push.epsilon = request.push_epsilon;
+    // kSelfLoop was rejected before the transition was fetched.
+    push.reinject_dangling = request.dangling == DanglingPolicy::kTeleport;
+    D2PR_ASSIGN_OR_RETURN(
+        PushResult pushed,
+        ForwardPushPpr(*graph_, *transition, teleport, push));
+    stats_.push_operations += pushed.pushes;
+    response.scores = std::move(pushed.scores);
+    response.pushes = pushed.pushes;
+    response.converged = pushed.completed;
+    return response;
+  }
+
+  PagerankOptions solver;
+  solver.alpha = request.alpha;
+  solver.tolerance = request.tolerance;
+  solver.max_iterations = request.max_iterations;
+  solver.dangling = request.dangling;
+
+  Result<PagerankResult> solved = [&]() -> Result<PagerankResult> {
+    if (request.method == SolverMethod::kGaussSeidel) {
+      return SolvePagerankGaussSeidel(*graph_, *transition, teleport, solver);
+    }
+    std::vector<double> start;
+    if (!request.warm_start_tag.empty()) {
+      start = WarmStartFor(request, key);
+    }
+    if (start.empty()) {
+      return SolvePagerank(*graph_, *transition, teleport, solver);
+    }
+    response.warm_start_hit = true;
+    ++stats_.warm_start_hits;
+    return SolvePagerankFrom(*graph_, *transition, teleport, start, solver);
+  }();
+  if (!solved.ok()) return solved.status();
+
+  stats_.solver_iterations += solved->iterations;
+  response.iterations = solved->iterations;
+  response.converged = solved->converged;
+  response.residual = solved->residual;
+  response.scores = std::move(solved->scores);
+  if (!request.warm_start_tag.empty()) {
+    StoreWarmStart(request, key, response.scores);
+  }
+  return response;
+}
+
+Result<std::vector<RankResponse>> D2prEngine::RankBatch(
+    std::span<const RankRequest> requests) {
+  std::vector<RankResponse> responses;
+  responses.reserve(requests.size());
+  for (const RankRequest& request : requests) {
+    D2PR_ASSIGN_OR_RETURN(RankResponse response, Rank(request));
+    responses.push_back(std::move(response));
+  }
+  return responses;
+}
+
+void D2prEngine::ForgetWarmStart(const std::string& tag) {
+  auto it = FindWarmEntry(tag);
+  if (it != warm_entries_.end()) warm_entries_.erase(it);
+}
+
+std::list<D2prEngine::WarmEntry>::iterator D2prEngine::FindWarmEntry(
+    const std::string& tag) {
+  for (auto it = warm_entries_.begin(); it != warm_entries_.end(); ++it) {
+    if (it->tag == tag) {
+      warm_entries_.splice(warm_entries_.begin(), warm_entries_, it);
+      return warm_entries_.begin();
+    }
+  }
+  return warm_entries_.end();
+}
+
+std::vector<double> D2prEngine::WarmStartFor(const RankRequest& request,
+                                             const TransitionKey& key) {
+  auto entry = FindWarmEntry(request.warm_start_tag);
+  if (entry == warm_entries_.end() || entry->snapshots.empty()) return {};
+  const WarmSnapshot& cur = entry->snapshots.front();
+  // A stored solution from a different metric, dangling policy, or seed
+  // set solves a different family of fixed points; starting from it is
+  // still correct (the fixed point is unique) but rarely closer than the
+  // teleport vector, so require an exact context match.
+  if (cur.metric != key.metric || cur.dangling != request.dangling ||
+      cur.seeds != request.seeds) {
+    return {};
+  }
+
+  if (entry->snapshots.size() == 2) {
+    const WarmSnapshot& prev = entry->snapshots[1];
+    if (prev.metric == cur.metric && prev.dangling == cur.dangling &&
+        prev.seeds == cur.seeds) {
+      // If exactly one of (p, beta, alpha) moves along prev -> cur ->
+      // request, extrapolate linearly along that coordinate: the solution
+      // curve is smooth in each parameter, so the predicted iterate lands
+      // closer than cur.scores alone.
+      const double steps[3] = {cur.p - prev.p, cur.beta - prev.beta,
+                               cur.alpha - prev.alpha};
+      const double wants[3] = {request.p - cur.p, key.beta - cur.beta,
+                               request.alpha - cur.alpha};
+      int moving = -1;
+      int moving_count = 0;
+      for (int i = 0; i < 3; ++i) {
+        if (steps[i] != 0.0 || wants[i] != 0.0) {
+          moving = i;
+          ++moving_count;
+        }
+      }
+      if (moving_count == 1 && steps[moving] != 0.0) {
+        const double t = wants[moving] / steps[moving];
+        if (std::isfinite(t) && std::abs(t) <= kMaxExtrapolationFactor) {
+          std::vector<double> guess(cur.scores.size());
+          for (size_t i = 0; i < guess.size(); ++i) {
+            const double extrapolated =
+                cur.scores[i] + t * (cur.scores[i] - prev.scores[i]);
+            guess[i] = extrapolated > 0.0 ? extrapolated : 0.0;
+          }
+          if (NormalizeL1(guess) > 0.0) return guess;
+        }
+      }
+    }
+  }
+  return cur.scores;
+}
+
+void D2prEngine::StoreWarmStart(const RankRequest& request,
+                                const TransitionKey& key,
+                                const std::vector<double>& scores) {
+  if (options_.warm_start_capacity == 0) return;
+  auto entry = FindWarmEntry(request.warm_start_tag);
+  if (entry == warm_entries_.end()) {
+    warm_entries_.push_front(WarmEntry{request.warm_start_tag, {}});
+    entry = warm_entries_.begin();
+    while (warm_entries_.size() > options_.warm_start_capacity) {
+      warm_entries_.pop_back();
+    }
+  }
+  WarmSnapshot snapshot;
+  snapshot.p = key.p;
+  snapshot.beta = key.beta;
+  snapshot.alpha = request.alpha;
+  snapshot.metric = key.metric;
+  snapshot.dangling = request.dangling;
+  snapshot.seeds = request.seeds;
+  snapshot.scores = scores;
+  entry->snapshots.insert(entry->snapshots.begin(), std::move(snapshot));
+  if (entry->snapshots.size() > 2) entry->snapshots.resize(2);
+}
+
+RankRequest ToRankRequest(const D2prOptions& options) {
+  RankRequest request;
+  request.p = options.p;
+  request.beta = options.beta;
+  request.metric = options.metric;
+  request.alpha = options.alpha;
+  request.tolerance = options.tolerance;
+  request.max_iterations = options.max_iterations;
+  request.dangling = options.dangling;
+  return request;
+}
+
+PagerankResult ToPagerankResult(RankResponse response) {
+  PagerankResult result;
+  result.scores = std::move(response.scores);
+  result.iterations = response.iterations;
+  result.converged = response.converged;
+  result.residual = response.residual;
+  return result;
+}
+
+}  // namespace d2pr

@@ -1,0 +1,164 @@
+// D2prEngine: the serving facade of the library.
+//
+// The paper's methodology — and any production deployment of it — is many
+// solves over one graph: sweeps of p, alpha, and beta, auto-tuning probes,
+// and per-user personalized queries. The engine is constructed once per
+// graph and amortizes everything that does not depend on the individual
+// query:
+//
+//   * the CsrGraph itself (owned or borrowed),
+//   * an LRU cache of TransitionMatrix instances keyed by (p, beta,
+//     metric) — the dominant per-query setup cost,
+//   * a warm-start store: previous solutions, keyed by caller-chosen tag,
+//     reused (with linear extrapolation along a parameter trajectory) as
+//     starting iterates for nearby queries,
+//   * the uniform teleportation vector.
+//
+// Queries go through one RankRequest / RankResponse pair regardless of
+// solver (power iteration, Gauss-Seidel, forward push) and personalization
+// (global or seeded). Cumulative EngineStats counters expose build/hit/
+// iteration accounting for telemetry and efficiency tests.
+//
+//   CsrGraph graph = ...;
+//   D2prEngine engine(std::move(graph));
+//   auto response = engine.Rank({.p = 0.5, .alpha = 0.85});
+//   if (response.ok()) use(response->scores);
+//
+// The legacy free functions (ComputeD2pr, SweepP, TuneDecouplingWeight,
+// ...) are thin wrappers over a borrowing engine, so all call sites share
+// one code path.
+//
+// Thread-safety: none yet — one engine per thread, or external locking.
+// The planned thread-pool RankBatch (ROADMAP) will internalize this.
+
+#ifndef D2PR_API_ENGINE_H_
+#define D2PR_API_ENGINE_H_
+
+#include <list>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/rank_request.h"
+#include "api/transition_cache.h"
+#include "common/result.h"
+#include "core/d2pr.h"
+#include "core/transition.h"
+#include "graph/csr_graph.h"
+
+namespace d2pr {
+
+/// \brief Engine construction knobs.
+struct EngineOptions {
+  /// Max TransitionMatrix instances kept alive. The default comfortably
+  /// holds the paper's p grid (17 points) plus tuner refinement probes.
+  size_t transition_cache_capacity = 32;
+  /// Max distinct warm-start tags retained (each holds the last two
+  /// solutions of its trajectory).
+  size_t warm_start_capacity = 8;
+};
+
+/// \brief One-per-graph ranking engine with cached transitions, warm
+/// starts, and pluggable solvers.
+class D2prEngine {
+ public:
+  /// Takes ownership of `graph`.
+  explicit D2prEngine(CsrGraph graph, const EngineOptions& options = {});
+
+  /// Shares ownership of an already-managed graph.
+  explicit D2prEngine(std::shared_ptr<const CsrGraph> graph,
+                      const EngineOptions& options = {});
+
+  /// Borrows `graph` without copying it. The caller must keep `graph`
+  /// alive for the engine's lifetime — the pattern the legacy free
+  /// functions use for their call-scoped engines.
+  static D2prEngine Borrowing(const CsrGraph& graph,
+                              const EngineOptions& options = {});
+
+  const CsrGraph& graph() const { return *graph_; }
+
+  /// Cumulative counters since construction or the last ResetStats().
+  const EngineStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = EngineStats{}; }
+
+  /// Drops cached transitions and warm-start solutions (counters are
+  /// kept; pair with ResetStats() for a full reset).
+  void ClearCaches();
+
+  /// \brief Executes one ranking query.
+  ///
+  /// Returns InvalidArgument for parameter errors (propagated from the
+  /// transition builder and solvers: beta outside [0, 1], alpha outside
+  /// [0, 1), bad seeds, ...).
+  Result<RankResponse> Rank(const RankRequest& request);
+
+  /// \brief Executes queries in order, failing fast on the first error.
+  ///
+  /// Requests within a batch see each other's cache and warm-start
+  /// effects, in order; a batch is deterministic and equivalent to the
+  /// same sequence of Rank() calls.
+  Result<std::vector<RankResponse>> RankBatch(
+      std::span<const RankRequest> requests);
+
+  /// \brief Drops the stored trajectory under `tag` (no-op when absent).
+  ///
+  /// Sweeps call this before their first point so a re-run does not
+  /// warm-start p = -4 from the far end (p = +4) of the previous run.
+  void ForgetWarmStart(const std::string& tag);
+
+ private:
+  /// The last two solutions of one warm-start trajectory, newest first.
+  struct WarmSnapshot {
+    double p = 0.0;
+    double beta = 0.0;
+    double alpha = 0.0;
+    DegreeMetric metric = DegreeMetric::kOutDegree;
+    DanglingPolicy dangling = DanglingPolicy::kTeleport;
+    std::vector<NodeId> seeds;
+    std::vector<double> scores;
+  };
+  struct WarmEntry {
+    std::string tag;
+    std::vector<WarmSnapshot> snapshots;  // size <= 2, newest first
+  };
+
+  Result<std::shared_ptr<const TransitionMatrix>> GetTransition(
+      const TransitionKey& key, bool* cache_hit);
+
+  /// Returns the starting iterate for a power solve under `request`, or an
+  /// empty vector when no compatible warm start exists. When two
+  /// compatible snapshots differ in exactly one of (p, beta, alpha), the
+  /// start is linearly extrapolated along that coordinate toward the
+  /// requested value, which typically saves further iterations over
+  /// restarting from the most recent solution alone.
+  std::vector<double> WarmStartFor(const RankRequest& request,
+                                   const TransitionKey& key);
+
+  /// Records `scores` as the newest snapshot under the request's tag.
+  void StoreWarmStart(const RankRequest& request, const TransitionKey& key,
+                      const std::vector<double>& scores);
+
+  /// Finds the trajectory stored under `tag`, refreshing its LRU recency;
+  /// warm_entries_.end() when absent.
+  std::list<WarmEntry>::iterator FindWarmEntry(const std::string& tag);
+
+  std::shared_ptr<const CsrGraph> graph_;
+  EngineOptions options_;
+  TransitionCache transition_cache_;
+  std::list<WarmEntry> warm_entries_;  // front = most recently used
+  std::vector<double> uniform_teleport_;
+  EngineStats stats_;
+};
+
+/// \brief Translates the legacy one-shot options into a RankRequest
+/// (uniform teleport, power iteration, no warm start).
+RankRequest ToRankRequest(const D2prOptions& options);
+
+/// \brief Converts an engine response into the legacy solver result type,
+/// dropping the engine-only diagnostics.
+PagerankResult ToPagerankResult(RankResponse response);
+
+}  // namespace d2pr
+
+#endif  // D2PR_API_ENGINE_H_

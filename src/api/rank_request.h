@@ -1,0 +1,94 @@
+// The serving vocabulary of the D2PR engine: one request struct in, one
+// response struct out, for every ranking variant the library implements.
+//
+// A RankRequest bundles the transition knobs (p, beta, metric), the solver
+// knobs (alpha, tolerance, iteration caps), the solver method, and the
+// query context (personalization seeds, warm-start tag). A RankResponse
+// carries the scores plus the convergence and cache diagnostics a serving
+// layer needs for observability.
+
+#ifndef D2PR_API_RANK_REQUEST_H_
+#define D2PR_API_RANK_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pagerank.h"
+#include "core/transition.h"
+#include "graph/types.h"
+
+namespace d2pr {
+
+/// \brief Which solver executes a RankRequest.
+enum class SolverMethod {
+  /// Jacobi-style power iteration (default; iterates stay distributions
+  /// and warm starts are supported).
+  kPower,
+  /// Gauss-Seidel sweeps: typically ~half the iterations of power
+  /// iteration at the same per-sweep cost.
+  kGaussSeidel,
+  /// Forward local push: approximate, output-sensitive; the right choice
+  /// for per-query personalized rankings on large graphs.
+  kForwardPush,
+};
+
+/// \brief Human-readable solver name ("power", "gauss-seidel",
+/// "forward-push").
+const char* SolverMethodName(SolverMethod method);
+
+/// \brief One ranking query against a D2prEngine.
+struct RankRequest {
+  // --- transition model (cache key) ---
+  /// Degree de-coupling weight (the paper's p).
+  double p = 0.0;
+  /// Connection-strength blend on weighted graphs (the paper's β).
+  double beta = 0.0;
+  /// Which destination quantity is raised to -p.
+  DegreeMetric metric = DegreeMetric::kAuto;
+
+  // --- solver ---
+  double alpha = 0.85;       ///< Residual probability (the paper's α).
+  double tolerance = 1e-10;  ///< L1 convergence threshold (power / GS).
+  int max_iterations = 200;  ///< Iteration cap (power / GS).
+  DanglingPolicy dangling = DanglingPolicy::kTeleport;
+  SolverMethod method = SolverMethod::kPower;
+  /// Per-node residual threshold for kForwardPush (ignored otherwise).
+  double push_epsilon = 1e-7;
+
+  // --- query context ---
+  /// Personalization seeds; empty = uniform teleportation (global rank).
+  std::vector<NodeId> seeds;
+  /// Non-empty: the engine warm-starts this solve from the previous
+  /// solution stored under the same tag (power iteration only) and stores
+  /// the new solution back. Sweeps and tuners use one tag per trajectory.
+  std::string warm_start_tag;
+};
+
+/// \brief Scores plus diagnostics for one RankRequest.
+struct RankResponse {
+  std::vector<double> scores;  ///< Stationary (or push-estimate) scores.
+  SolverMethod method = SolverMethod::kPower;  ///< Solver that ran.
+  int iterations = 0;      ///< Iterations performed (power / GS).
+  int64_t pushes = 0;      ///< Push operations performed (forward push).
+  bool converged = false;  ///< Tolerance reached / push completed.
+  double residual = 0.0;   ///< Final L1 change (power / GS).
+  bool transition_cache_hit = false;  ///< Transition served from cache.
+  bool warm_start_hit = false;        ///< Solve started from a stored
+                                      ///< (possibly extrapolated) iterate.
+};
+
+/// \brief Cumulative per-engine counters, exposed for serving telemetry
+/// and asserted on by efficiency tests.
+struct EngineStats {
+  int64_t requests = 0;           ///< RankRequests executed (ok or not).
+  int64_t transition_builds = 0;  ///< TransitionMatrix::Build invocations.
+  int64_t transition_cache_hits = 0;
+  int64_t warm_start_hits = 0;
+  int64_t solver_iterations = 0;  ///< Summed power / Gauss-Seidel iterations.
+  int64_t push_operations = 0;    ///< Summed forward-push operations.
+};
+
+}  // namespace d2pr
+
+#endif  // D2PR_API_RANK_REQUEST_H_

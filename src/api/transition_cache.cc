@@ -1,0 +1,32 @@
+#include "api/transition_cache.h"
+
+namespace d2pr {
+
+std::shared_ptr<const TransitionMatrix> TransitionCache::Lookup(
+    const TransitionKey& key) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first == key) {
+      ++hits_;
+      entries_.splice(entries_.begin(), entries_, it);
+      return entries_.front().second;
+    }
+  }
+  ++misses_;
+  return nullptr;
+}
+
+void TransitionCache::Insert(const TransitionKey& key,
+                             std::shared_ptr<const TransitionMatrix> transition) {
+  if (capacity_ == 0) return;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first == key) {
+      it->second = std::move(transition);
+      entries_.splice(entries_.begin(), entries_, it);
+      return;
+    }
+  }
+  entries_.emplace_front(key, std::move(transition));
+  while (entries_.size() > capacity_) entries_.pop_back();
+}
+
+}  // namespace d2pr

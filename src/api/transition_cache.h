@@ -1,0 +1,74 @@
+// LRU cache of TransitionMatrix instances, keyed by the transition model
+// parameters (p, beta, resolved metric).
+//
+// Building a transition matrix is O(|E|) with a log-space row
+// normalization — by far the dominant per-query setup cost once a graph is
+// loaded. Sweeps, tuners, and serving traffic revisit the same handful of
+// parameter points, so the engine keeps the most recent matrices alive and
+// shares them across queries via shared_ptr (a response can outlive an
+// eviction safely).
+
+#ifndef D2PR_API_TRANSITION_CACHE_H_
+#define D2PR_API_TRANSITION_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <utility>
+
+#include "core/transition.h"
+
+namespace d2pr {
+
+/// \brief Identity of a transition model on a fixed graph.
+///
+/// `metric` must be resolved (never kAuto) so that equivalent requests
+/// written differently hit the same entry; `beta` must be the effective
+/// value (0 on unweighted graphs). D2prEngine performs both
+/// normalizations before lookup.
+struct TransitionKey {
+  double p = 0.0;
+  double beta = 0.0;
+  DegreeMetric metric = DegreeMetric::kOutDegree;
+
+  bool operator==(const TransitionKey&) const = default;
+};
+
+/// \brief Least-recently-used cache mapping TransitionKey to a shared,
+/// immutable TransitionMatrix.
+///
+/// Capacity 0 disables caching (every Lookup misses, Insert is a no-op).
+/// Lookup is a linear scan: capacities are tens of entries, where a scan
+/// over a contiguous-ish list beats hashing doubles.
+class TransitionCache {
+ public:
+  explicit TransitionCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached matrix and refreshes its recency, or nullptr on
+  /// miss. Counts a hit or miss either way.
+  std::shared_ptr<const TransitionMatrix> Lookup(const TransitionKey& key);
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used
+  /// entry when over capacity.
+  void Insert(const TransitionKey& key,
+              std::shared_ptr<const TransitionMatrix> transition);
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+  void Clear() { entries_.clear(); }
+
+ private:
+  using Entry = std::pair<TransitionKey, std::shared_ptr<const TransitionMatrix>>;
+
+  std::list<Entry> entries_;  // front = most recently used
+  size_t capacity_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace d2pr
+
+#endif  // D2PR_API_TRANSITION_CACHE_H_

@@ -1,8 +1,11 @@
 #include "core/d2pr.h"
 
-#include "core/teleport.h"
-
 namespace d2pr {
+
+// The one-shot entry points declared here are implemented in
+// api/queries.cc as thin wrappers over a call-scoped D2prEngine, keeping
+// the core -> api dependency one-directional at the TU level. Only the
+// option converters live in core.
 
 TransitionConfig ToTransitionConfig(const D2prOptions& options) {
   TransitionConfig config;
@@ -19,35 +22,6 @@ PagerankOptions ToPagerankOptions(const D2prOptions& options) {
   pr.max_iterations = options.max_iterations;
   pr.dangling = options.dangling;
   return pr;
-}
-
-Result<PagerankResult> ComputeD2pr(const CsrGraph& graph,
-                                   const D2prOptions& options) {
-  D2PR_ASSIGN_OR_RETURN(
-      TransitionMatrix transition,
-      TransitionMatrix::Build(graph, ToTransitionConfig(options)));
-  return SolvePagerank(graph, transition, ToPagerankOptions(options));
-}
-
-Result<PagerankResult> ComputeConventionalPagerank(const CsrGraph& graph,
-                                                   double alpha) {
-  D2prOptions options;
-  options.p = 0.0;
-  options.beta = graph.weighted() ? 1.0 : 0.0;
-  options.alpha = alpha;
-  return ComputeD2pr(graph, options);
-}
-
-Result<PagerankResult> ComputePersonalizedD2pr(const CsrGraph& graph,
-                                               std::span<const NodeId> seeds,
-                                               const D2prOptions& options) {
-  D2PR_ASSIGN_OR_RETURN(
-      TransitionMatrix transition,
-      TransitionMatrix::Build(graph, ToTransitionConfig(options)));
-  D2PR_ASSIGN_OR_RETURN(std::vector<double> teleport,
-                        SeededTeleport(graph.num_nodes(), seeds));
-  return SolvePagerank(graph, transition, teleport,
-                       ToPagerankOptions(options));
 }
 
 }  // namespace d2pr

@@ -1,11 +1,13 @@
-// High-level D2PR API: one call from graph to scores.
-//
-// This is the facade most applications use. It wires TransitionMatrix,
-// teleport construction, and the power-iteration solver together.
+// High-level one-shot D2PR API: one call from graph to scores.
 //
 //   CsrGraph graph = ...;
 //   auto ranked = ComputeD2pr(graph, {.p = 0.5});
 //   if (ranked.ok()) use(ranked->scores);
+//
+// These free functions are thin wrappers over a call-scoped D2prEngine
+// (api/engine.h). Applications issuing many queries against one graph —
+// sweeps, tuning, personalized serving — should construct a D2prEngine
+// directly to reuse its transition cache and warm starts across calls.
 
 #ifndef D2PR_CORE_D2PR_H_
 #define D2PR_CORE_D2PR_H_

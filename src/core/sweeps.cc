@@ -2,9 +2,10 @@
 
 #include <cmath>
 
-#include "core/teleport.h"
-
 namespace d2pr {
+
+// The Sweep* functions declared here are implemented in api/queries.cc on
+// top of D2prEngine; only the grid helpers live in core.
 
 std::vector<double> LinearGrid(double lo, double hi, double step) {
   D2PR_CHECK_GT(step, 0.0);
@@ -29,61 +30,5 @@ std::vector<double> PaperPGrid() { return LinearGrid(-4.0, 4.0, 0.5); }
 std::vector<double> PaperAlphaGrid() { return {0.5, 0.7, 0.85, 0.9}; }
 
 std::vector<double> PaperBetaGrid() { return {0.0, 0.25, 0.5, 0.75, 1.0}; }
-
-Result<std::vector<SweepPoint>> SweepP(const CsrGraph& graph,
-                                       const std::vector<double>& p_values,
-                                       const D2prOptions& base) {
-  // Adjacent grid points have nearby stationary vectors, so each solve is
-  // warm-started from its predecessor; the fixed point is unique, so the
-  // results match a cold sweep (within tolerance) at a fraction of the
-  // iterations.
-  const std::vector<double> teleport = UniformTeleport(graph.num_nodes());
-  const PagerankOptions solver = ToPagerankOptions(base);
-  std::vector<SweepPoint> points;
-  points.reserve(p_values.size());
-  for (double p : p_values) {
-    D2prOptions options = base;
-    options.p = p;
-    D2PR_ASSIGN_OR_RETURN(
-        TransitionMatrix transition,
-        TransitionMatrix::Build(graph, ToTransitionConfig(options)));
-    Result<PagerankResult> result =
-        points.empty()
-            ? SolvePagerank(graph, transition, teleport, solver)
-            : SolvePagerankFrom(graph, transition, teleport,
-                                points.back().result.scores, solver);
-    if (!result.ok()) return result.status();
-    points.push_back({p, std::move(result).value()});
-  }
-  return points;
-}
-
-Result<std::vector<SweepPoint>> SweepAlpha(
-    const CsrGraph& graph, const std::vector<double>& alpha_values,
-    const D2prOptions& base) {
-  std::vector<SweepPoint> points;
-  points.reserve(alpha_values.size());
-  for (double alpha : alpha_values) {
-    D2prOptions options = base;
-    options.alpha = alpha;
-    D2PR_ASSIGN_OR_RETURN(PagerankResult result, ComputeD2pr(graph, options));
-    points.push_back({alpha, std::move(result)});
-  }
-  return points;
-}
-
-Result<std::vector<SweepPoint>> SweepBeta(
-    const CsrGraph& graph, const std::vector<double>& beta_values,
-    const D2prOptions& base) {
-  std::vector<SweepPoint> points;
-  points.reserve(beta_values.size());
-  for (double beta : beta_values) {
-    D2prOptions options = base;
-    options.beta = beta;
-    D2PR_ASSIGN_OR_RETURN(PagerankResult result, ComputeD2pr(graph, options));
-    points.push_back({beta, std::move(result)});
-  }
-  return points;
-}
 
 }  // namespace d2pr

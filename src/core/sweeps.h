@@ -16,6 +16,8 @@
 
 namespace d2pr {
 
+class D2prEngine;
+
 /// \brief Inclusive arithmetic grid lo, lo+step, ..., hi (hi included when
 /// it falls on the grid within 1e-9).
 std::vector<double> LinearGrid(double lo, double hi, double step);
@@ -49,6 +51,24 @@ Result<std::vector<SweepPoint>> SweepAlpha(
 /// \brief Sweeps beta with p fixed (weighted graphs).
 Result<std::vector<SweepPoint>> SweepBeta(
     const CsrGraph& graph, const std::vector<double>& beta_values,
+    const D2prOptions& base = {});
+
+// Engine-routed variants: reuse the engine's transition cache across calls
+// and warm-start each grid point from (an extrapolation of) its
+// predecessors. The free functions above are thin wrappers running these
+// on a call-scoped engine; pass a long-lived engine to amortize transition
+// builds across repeated sweeps and tuner probes on the same graph.
+
+Result<std::vector<SweepPoint>> SweepP(D2prEngine& engine,
+                                       const std::vector<double>& p_values,
+                                       const D2prOptions& base = {});
+
+Result<std::vector<SweepPoint>> SweepAlpha(
+    D2prEngine& engine, const std::vector<double>& alpha_values,
+    const D2prOptions& base = {});
+
+Result<std::vector<SweepPoint>> SweepBeta(
+    D2prEngine& engine, const std::vector<double>& beta_values,
     const D2prOptions& base = {});
 
 }  // namespace d2pr

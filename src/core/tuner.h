@@ -19,6 +19,8 @@
 
 namespace d2pr {
 
+class D2prEngine;
+
 /// \brief Tuning parameters.
 struct TuneOptions {
   double p_min = -4.0;
@@ -28,6 +30,11 @@ struct TuneOptions {
   int max_refine_iterations = 20;
   D2prOptions base;             ///< alpha, beta, solver knobs.
 };
+
+/// \brief Warm-start trajectory tag used by TuneDecouplingWeight. A
+/// post-tune solve on the same engine can pass it as its own
+/// warm_start_tag to start from the last probe's solution.
+inline constexpr char kTuneWarmStartTag[] = "tune:p";
 
 /// \brief Tuning output.
 struct TuneResult {
@@ -43,6 +50,14 @@ struct TuneResult {
 /// protects against local optima at grid resolution and the refinement
 /// only sharpens within one grid cell.
 Result<TuneResult> TuneDecouplingWeight(const CsrGraph& graph,
+                                        std::span<const double> significance,
+                                        const TuneOptions& options = {});
+
+/// \brief Engine-routed variant: every probe reuses the engine's
+/// transition cache and warm-starts from the previous probe's solution,
+/// so a tuning run costs a fraction of the seed's per-probe cold solves.
+/// The free function above wraps this on a call-scoped engine.
+Result<TuneResult> TuneDecouplingWeight(D2prEngine& engine,
                                         std::span<const double> significance,
                                         const TuneOptions& options = {});
 

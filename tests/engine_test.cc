@@ -1,0 +1,293 @@
+// D2prEngine behavior: transition-cache accounting, warm-started sweeps,
+// batch determinism, solver dispatch, and validation through the cache.
+
+#include "api/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/sweeps.h"
+#include "datagen/classic_generators.h"
+#include "graph/graph_builder.h"
+#include "linalg/vec_ops.h"
+
+namespace d2pr {
+namespace {
+
+Result<CsrGraph> TestGraph(uint64_t seed, NodeId nodes = 300,
+                           int64_t edges = 900) {
+  Rng rng(seed);
+  return ErdosRenyi(nodes, edges, &rng);
+}
+
+TEST(EngineTest, RepeatedRequestHitsTransitionCache) {
+  auto graph = TestGraph(1);
+  ASSERT_TRUE(graph.ok());
+  D2prEngine engine = D2prEngine::Borrowing(*graph);
+
+  auto first = engine.Rank({.p = 0.5});
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->transition_cache_hit);
+  EXPECT_EQ(engine.stats().transition_builds, 1);
+  EXPECT_EQ(engine.stats().transition_cache_hits, 0);
+
+  auto second = engine.Rank({.p = 0.5, .alpha = 0.7});
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->transition_cache_hit);
+  EXPECT_EQ(engine.stats().transition_builds, 1);
+  EXPECT_EQ(engine.stats().transition_cache_hits, 1);
+
+  auto third = engine.Rank({.p = 0.6});
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(third->transition_cache_hit);
+  EXPECT_EQ(engine.stats().transition_builds, 2);
+}
+
+TEST(EngineTest, AutoMetricSharesCacheWithResolvedMetric) {
+  auto graph = TestGraph(2);
+  ASSERT_TRUE(graph.ok());
+  D2prEngine engine = D2prEngine::Borrowing(*graph);
+  ASSERT_TRUE(engine.Rank({.p = 1.0, .metric = DegreeMetric::kAuto}).ok());
+  // On an unweighted graph kAuto resolves to kOutDegree: same cache entry.
+  auto resolved =
+      engine.Rank({.p = 1.0, .metric = DegreeMetric::kOutDegree});
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_TRUE(resolved->transition_cache_hit);
+  EXPECT_EQ(engine.stats().transition_builds, 1);
+}
+
+TEST(EngineTest, CacheEvictionTriggersRebuild) {
+  auto graph = TestGraph(3, 100, 300);
+  ASSERT_TRUE(graph.ok());
+  D2prEngine engine =
+      D2prEngine::Borrowing(*graph, {.transition_cache_capacity = 2});
+  ASSERT_TRUE(engine.Rank({.p = 0.0}).ok());
+  ASSERT_TRUE(engine.Rank({.p = 1.0}).ok());
+  ASSERT_TRUE(engine.Rank({.p = 2.0}).ok());  // evicts p = 0
+  auto again = engine.Rank({.p = 0.0});
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->transition_cache_hit);
+  EXPECT_EQ(engine.stats().transition_builds, 4);
+}
+
+TEST(EngineTest, InvalidBetaRejectedEvenWhenFoldedKeyIsCached) {
+  auto graph = TestGraph(4);
+  ASSERT_TRUE(graph.ok());
+  D2prEngine engine = D2prEngine::Borrowing(*graph);
+  // Unweighted graph: any valid beta folds to the beta = 0 cache entry...
+  ASSERT_TRUE(engine.Rank({.p = 0.5, .beta = 0.25}).ok());
+  ASSERT_TRUE(engine.Rank({.p = 0.5, .beta = 0.75}).ok());
+  EXPECT_EQ(engine.stats().transition_builds, 1);
+  // ...but an out-of-range beta must still error, not hit the cache.
+  EXPECT_FALSE(engine.Rank({.p = 0.5, .beta = 1.5}).ok());
+  EXPECT_FALSE(engine.Rank({.p = 0.5, .beta = -0.1}).ok());
+  // NaN would otherwise forge never-matchable cache keys on weighted
+  // graphs (NaN != NaN) and churn the LRU.
+  EXPECT_FALSE(
+      engine.Rank({.p = 0.5, .beta = std::nan("")}).ok());
+  EXPECT_FALSE(engine.Rank({.p = std::nan(""), .beta = 0.0}).ok());
+  EXPECT_EQ(engine.stats().transition_builds, 1);
+}
+
+TEST(EngineTest, WarmStartedSweepMatchesColdSweep) {
+  auto graph = TestGraph(5, 400, 1600);
+  ASSERT_TRUE(graph.ok());
+  D2prEngine engine = D2prEngine::Borrowing(*graph);
+  D2prOptions base;
+  base.tolerance = 1e-11;
+  const std::vector<double> grid = LinearGrid(-2.0, 2.0, 0.5);
+
+  auto warm = SweepP(engine, grid, base);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_GT(engine.stats().warm_start_hits, 0);
+
+  for (size_t i = 0; i < grid.size(); ++i) {
+    D2prOptions point = base;
+    point.p = grid[i];
+    auto cold =
+        SolvePagerank(*graph,
+                      TransitionMatrix::Build(*graph,
+                                              ToTransitionConfig(point))
+                          .value(),
+                      ToPagerankOptions(point));
+    ASSERT_TRUE(cold.ok());
+    EXPECT_LT(DiffLInf((*warm)[i].result.scores, cold->scores), 1e-7)
+        << "p = " << grid[i];
+  }
+}
+
+TEST(EngineTest, RankBatchIsDeterministicAndMatchesSequentialRanks) {
+  auto graph = TestGraph(6);
+  ASSERT_TRUE(graph.ok());
+  std::vector<RankRequest> requests;
+  for (double p : {-1.0, 0.0, 0.5, 0.5, 1.0}) {
+    RankRequest request;
+    request.p = p;
+    request.warm_start_tag = "batch";
+    requests.push_back(request);
+  }
+
+  D2prEngine a = D2prEngine::Borrowing(*graph);
+  D2prEngine b = D2prEngine::Borrowing(*graph);
+  auto batch_a = a.RankBatch(requests);
+  auto batch_b = b.RankBatch(requests);
+  ASSERT_TRUE(batch_a.ok());
+  ASSERT_TRUE(batch_b.ok());
+  ASSERT_EQ(batch_a->size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ((*batch_a)[i].scores, (*batch_b)[i].scores) << "request " << i;
+    EXPECT_EQ((*batch_a)[i].iterations, (*batch_b)[i].iterations);
+  }
+
+  D2prEngine c = D2prEngine::Borrowing(*graph);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto single = c.Rank(requests[i]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(single->scores, (*batch_a)[i].scores) << "request " << i;
+  }
+}
+
+TEST(EngineTest, BatchFailsFastOnFirstInvalidRequest) {
+  auto graph = TestGraph(7, 100, 300);
+  ASSERT_TRUE(graph.ok());
+  D2prEngine engine = D2prEngine::Borrowing(*graph);
+  std::vector<RankRequest> requests(3);
+  requests[1].alpha = 1.5;  // invalid
+  auto batch = engine.RankBatch(requests);
+  EXPECT_FALSE(batch.ok());
+}
+
+TEST(EngineTest, GaussSeidelAndPowerAgreeOnScores) {
+  auto graph = TestGraph(8);
+  ASSERT_TRUE(graph.ok());
+  D2prEngine engine = D2prEngine::Borrowing(*graph);
+  RankRequest request;
+  request.p = 0.75;
+  request.tolerance = 1e-12;
+  auto power = engine.Rank(request);
+  request.method = SolverMethod::kGaussSeidel;
+  auto gauss = engine.Rank(request);
+  ASSERT_TRUE(power.ok());
+  ASSERT_TRUE(gauss.ok());
+  EXPECT_TRUE(gauss->transition_cache_hit);  // same transition model
+  EXPECT_LT(DiffLInf(power->scores, gauss->scores), 1e-8);
+  EXPECT_LT(gauss->iterations, power->iterations);
+}
+
+TEST(EngineTest, ForwardPushApproximatesPersonalizedPower) {
+  auto graph = TestGraph(9);
+  ASSERT_TRUE(graph.ok());
+  D2prEngine engine = D2prEngine::Borrowing(*graph);
+  RankRequest request;
+  request.p = 0.5;
+  request.seeds = {7};
+  auto power = engine.Rank(request);
+  request.method = SolverMethod::kForwardPush;
+  request.push_epsilon = 1e-9;
+  auto push = engine.Rank(request);
+  ASSERT_TRUE(power.ok());
+  ASSERT_TRUE(push.ok());
+  EXPECT_TRUE(push->converged);
+  EXPECT_GT(push->pushes, 0);
+  EXPECT_GT(engine.stats().push_operations, 0);
+  EXPECT_LT(DiffLInf(power->scores, push->scores), 1e-5);
+}
+
+TEST(EngineTest, ForwardPushHonorsDanglingPolicy) {
+  // A graph with a dangling sink: 0 -> 1 -> 2, node 2 has no out-arcs.
+  GraphBuilder builder(3, GraphKind::kDirected);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2).ok());
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  D2prEngine engine = D2prEngine::Borrowing(*graph);
+
+  RankRequest request;
+  request.method = SolverMethod::kForwardPush;
+  request.seeds = {0};
+  request.push_epsilon = 1e-10;
+  auto reinjected = engine.Rank(request);
+  ASSERT_TRUE(reinjected.ok());
+  request.dangling = DanglingPolicy::kRenormalize;
+  auto dropped = engine.Rank(request);
+  ASSERT_TRUE(dropped.ok());
+  // Re-injection routes the sink's residual back to the seed; dropping it
+  // loses that mass, so the estimates must differ.
+  EXPECT_GT(Sum(reinjected->scores), Sum(dropped->scores) + 1e-6);
+  // kSelfLoop has no forward-push equivalent and is rejected.
+  request.dangling = DanglingPolicy::kSelfLoop;
+  EXPECT_FALSE(engine.Rank(request).ok());
+}
+
+TEST(EngineTest, SeededRequestMatchesLegacyPersonalized) {
+  auto graph = TestGraph(10);
+  ASSERT_TRUE(graph.ok());
+  D2prEngine engine = D2prEngine::Borrowing(*graph);
+  RankRequest request;
+  request.p = 1.0;
+  request.seeds = {3, 17, 42};
+  auto response = engine.Rank(request);
+  ASSERT_TRUE(response.ok());
+  auto legacy = ComputePersonalizedD2pr(*graph, request.seeds, {.p = 1.0});
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(response->scores, legacy->scores);
+  // Bad seeds propagate the teleport error.
+  request.seeds = {3, 3};
+  EXPECT_FALSE(engine.Rank(request).ok());
+  request.seeds = {-1};
+  EXPECT_FALSE(engine.Rank(request).ok());
+}
+
+TEST(EngineTest, OwningEngineKeepsGraphAlive) {
+  auto graph = TestGraph(11, 100, 300);
+  ASSERT_TRUE(graph.ok());
+  D2prEngine engine(std::move(*graph));
+  EXPECT_EQ(engine.graph().num_nodes(), 100);
+  auto response = engine.Rank({.p = 0.5});
+  ASSERT_TRUE(response.ok());
+  EXPECT_NEAR(Sum(response->scores), 1.0, 1e-9);
+}
+
+TEST(EngineTest, ForgetWarmStartColdStartsNextSolve) {
+  auto graph = TestGraph(12);
+  ASSERT_TRUE(graph.ok());
+  D2prEngine engine = D2prEngine::Borrowing(*graph);
+  RankRequest request;
+  request.p = 0.5;
+  request.warm_start_tag = "t";
+  ASSERT_TRUE(engine.Rank(request).ok());
+  auto warm = engine.Rank(request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->warm_start_hit);
+  engine.ForgetWarmStart("t");
+  auto cold = engine.Rank(request);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->warm_start_hit);
+}
+
+TEST(EngineTest, ResetStatsAndClearCaches) {
+  auto graph = TestGraph(13, 100, 300);
+  ASSERT_TRUE(graph.ok());
+  D2prEngine engine = D2prEngine::Borrowing(*graph);
+  ASSERT_TRUE(engine.Rank({.p = 0.5}).ok());
+  EXPECT_GT(engine.stats().transition_builds, 0);
+  engine.ResetStats();
+  EXPECT_EQ(engine.stats().transition_builds, 0);
+  EXPECT_EQ(engine.stats().requests, 0);
+  engine.ClearCaches();
+  auto rebuilt = engine.Rank({.p = 0.5});
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_FALSE(rebuilt->transition_cache_hit);
+}
+
+TEST(EngineTest, SolverMethodNames) {
+  EXPECT_STREQ(SolverMethodName(SolverMethod::kPower), "power");
+  EXPECT_STREQ(SolverMethodName(SolverMethod::kGaussSeidel), "gauss-seidel");
+  EXPECT_STREQ(SolverMethodName(SolverMethod::kForwardPush), "forward-push");
+}
+
+}  // namespace
+}  // namespace d2pr

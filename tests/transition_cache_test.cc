@@ -1,0 +1,112 @@
+#include "api/transition_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/classic_generators.h"
+
+namespace d2pr {
+namespace {
+
+std::shared_ptr<const TransitionMatrix> BuildShared(const CsrGraph& graph,
+                                                    double p) {
+  auto built = TransitionMatrix::Build(graph, {.p = p});
+  EXPECT_TRUE(built.ok());
+  return std::make_shared<const TransitionMatrix>(std::move(built).value());
+}
+
+TEST(TransitionCacheTest, HitAndMissAccounting) {
+  Rng rng(1);
+  auto graph = ErdosRenyi(50, 150, &rng);
+  ASSERT_TRUE(graph.ok());
+  TransitionCache cache(4);
+
+  const TransitionKey key{0.5, 0.0, DegreeMetric::kOutDegree};
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(), 0);
+
+  cache.Insert(key, BuildShared(*graph, 0.5));
+  auto found = cache.Lookup(key);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(TransitionCacheTest, DistinctKeysDoNotCollide) {
+  Rng rng(2);
+  auto graph = ErdosRenyi(50, 150, &rng);
+  ASSERT_TRUE(graph.ok());
+  TransitionCache cache(4);
+  cache.Insert({0.5, 0.0, DegreeMetric::kOutDegree}, BuildShared(*graph, 0.5));
+
+  EXPECT_EQ(cache.Lookup({0.6, 0.0, DegreeMetric::kOutDegree}), nullptr);
+  EXPECT_EQ(cache.Lookup({0.5, 0.5, DegreeMetric::kOutDegree}), nullptr);
+  EXPECT_EQ(cache.Lookup({0.5, 0.0, DegreeMetric::kInDegree}), nullptr);
+  EXPECT_NE(cache.Lookup({0.5, 0.0, DegreeMetric::kOutDegree}), nullptr);
+}
+
+TEST(TransitionCacheTest, EvictsLeastRecentlyUsed) {
+  Rng rng(3);
+  auto graph = ErdosRenyi(40, 120, &rng);
+  ASSERT_TRUE(graph.ok());
+  TransitionCache cache(2);
+  const TransitionKey a{1.0, 0.0, DegreeMetric::kOutDegree};
+  const TransitionKey b{2.0, 0.0, DegreeMetric::kOutDegree};
+  const TransitionKey c{3.0, 0.0, DegreeMetric::kOutDegree};
+  cache.Insert(a, BuildShared(*graph, 1.0));
+  cache.Insert(b, BuildShared(*graph, 2.0));
+  // Touch `a` so `b` becomes the eviction victim.
+  EXPECT_NE(cache.Lookup(a), nullptr);
+  cache.Insert(c, BuildShared(*graph, 3.0));
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Lookup(a), nullptr);
+  EXPECT_NE(cache.Lookup(c), nullptr);
+  EXPECT_EQ(cache.Lookup(b), nullptr);
+}
+
+TEST(TransitionCacheTest, SharedOwnershipSurvivesEviction) {
+  Rng rng(4);
+  auto graph = ErdosRenyi(40, 120, &rng);
+  ASSERT_TRUE(graph.ok());
+  TransitionCache cache(1);
+  const TransitionKey a{1.0, 0.0, DegreeMetric::kOutDegree};
+  cache.Insert(a, BuildShared(*graph, 1.0));
+  auto held = cache.Lookup(a);
+  ASSERT_NE(held, nullptr);
+  cache.Insert({2.0, 0.0, DegreeMetric::kOutDegree},
+               BuildShared(*graph, 2.0));  // evicts `a`
+  EXPECT_EQ(cache.Lookup(a), nullptr);
+  // The evicted matrix stays valid for holders of the shared_ptr.
+  EXPECT_EQ(held->num_nodes(), 40);
+  EXPECT_FALSE(held->probs().empty());
+}
+
+TEST(TransitionCacheTest, ZeroCapacityDisablesCaching) {
+  Rng rng(5);
+  auto graph = ErdosRenyi(40, 120, &rng);
+  ASSERT_TRUE(graph.ok());
+  TransitionCache cache(0);
+  const TransitionKey a{1.0, 0.0, DegreeMetric::kOutDegree};
+  cache.Insert(a, BuildShared(*graph, 1.0));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup(a), nullptr);
+}
+
+TEST(TransitionCacheTest, ReinsertRefreshesValueWithoutGrowth) {
+  Rng rng(6);
+  auto graph = ErdosRenyi(40, 120, &rng);
+  ASSERT_TRUE(graph.ok());
+  TransitionCache cache(4);
+  const TransitionKey a{1.0, 0.0, DegreeMetric::kOutDegree};
+  cache.Insert(a, BuildShared(*graph, 1.0));
+  auto replacement = BuildShared(*graph, 1.0);
+  cache.Insert(a, replacement);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Lookup(a), replacement);
+}
+
+}  // namespace
+}  // namespace d2pr

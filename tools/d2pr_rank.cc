@@ -1,8 +1,9 @@
-// d2pr_rank: command-line degree de-coupled PageRank.
+// d2pr_rank: command-line degree de-coupled PageRank over the D2prEngine.
 //
 // Rank the nodes of an edge-list graph:
 //   d2pr_rank --graph=edges.txt [--directed] [--weighted]
 //             [--p=0.5] [--alpha=0.85] [--beta=0] [--top=20]
+//             [--method=power|gauss-seidel|forward-push]
 //             [--seeds=3,17] [--scores-out=scores.txt]
 //
 // Auto-tune p against an external significance file (one value per line):
@@ -13,12 +14,13 @@
 
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "api/engine.h"
 #include "common/flags.h"
 #include "common/string_util.h"
-#include "core/d2pr.h"
 #include "core/tuner.h"
 #include "graph/graph_io.h"
 #include "graph/graph_metrics.h"
@@ -36,11 +38,19 @@ constexpr char kUsage[] =
     "  --alpha=FLOAT        residual probability (default 0.85)\n"
     "  --beta=FLOAT         connection-strength blend, weighted graphs\n"
     "  --top=N              print the N best nodes (default 20)\n"
+    "  --method=NAME        solver: power (default), gauss-seidel,\n"
+    "                       or forward-push\n"
     "  --seeds=a,b,...      personalized teleportation on these nodes\n"
+    "                       (not combinable with --tune)\n"
     "  --scores-out=FILE    write all scores, one per line\n"
     "  --tune               search p maximizing Spearman correlation\n"
-    "  --significance=FILE  per-node values for --tune (one per line)\n"
+    "  --significance=FILE  per-node values, required by --tune\n"
     "  --stats              print structural statistics and exit\n";
+
+int UsageError(const char* message) {
+  std::fprintf(stderr, "%s\n%s", message, kUsage);
+  return 2;
+}
 
 Result<std::vector<double>> ReadValuesFile(const std::string& path) {
   std::ifstream in(path);
@@ -71,18 +81,77 @@ Result<std::vector<NodeId>> ParseSeeds(const std::string& spec) {
   return seeds;
 }
 
+Result<SolverMethod> ParseMethod(const std::string& name) {
+  if (name.empty() || name == "power") return SolverMethod::kPower;
+  if (name == "gauss-seidel") return SolverMethod::kGaussSeidel;
+  if (name == "forward-push") return SolverMethod::kForwardPush;
+  return Status::InvalidArgument(StrCat("unknown --method '", name, "'"));
+}
+
+// Every flag the tool understands; anything else is a typo the user should
+// hear about instead of a silently ignored option.
+Status CheckKnownFlags(const Flags& flags) {
+  static const std::set<std::string> kKnown = {
+      "graph",  "directed", "weighted",   "p",
+      "alpha",  "beta",     "top",        "method",
+      "seeds",  "scores-out", "tune",     "significance",
+      "stats",
+  };
+  for (const std::string& name : flags.FlagNames()) {
+    if (!kKnown.contains(name)) {
+      return Status::InvalidArgument(StrCat("unknown flag --", name));
+    }
+  }
+  if (!flags.positional().empty()) {
+    return Status::InvalidArgument(
+        StrCat("unexpected argument '", flags.positional().front(), "'"));
+  }
+  return Status::OK();
+}
+
 int RunOrDie(const Flags& flags) {
+  const Status known = CheckKnownFlags(flags);
+  if (!known.ok()) return UsageError(known.ToString().c_str());
+
   const std::string graph_path = flags.GetString("graph");
   if (graph_path.empty()) {
     std::fputs(kUsage, stderr);
     return 2;
   }
+  if (flags.Has("tune") && flags.GetString("significance").empty()) {
+    return UsageError("--tune requires --significance=FILE");
+  }
+  if (flags.Has("significance") && !flags.Has("tune")) {
+    return UsageError("--significance is only meaningful with --tune");
+  }
+  if (flags.Has("tune") && flags.Has("seeds")) {
+    return UsageError(
+        "--seeds cannot be combined with --tune (tuning maximizes a "
+        "global ranking's correlation; personalize after tuning)");
+  }
+
   auto directed = flags.GetBool("directed", false);
   auto weighted = flags.GetBool("weighted", false);
-  if (!directed.ok() || !weighted.ok()) {
-    std::fprintf(stderr, "%s\n", directed.status().ToString().c_str());
-    return 2;
+  if (!directed.ok()) return UsageError(directed.status().ToString().c_str());
+  if (!weighted.ok()) return UsageError(weighted.status().ToString().c_str());
+  // Validate the remaining flags before the (potentially large) graph load
+  // so a typo'd invocation fails in microseconds, not minutes.
+  auto p = flags.GetDouble("p", 0.0);
+  auto alpha = flags.GetDouble("alpha", 0.85);
+  auto beta = flags.GetDouble("beta", 0.0);
+  auto top = flags.GetInt("top", 20);
+  if (!p.ok() || !alpha.ok() || !beta.ok() || !top.ok()) {
+    return UsageError("bad numeric flag");
   }
+  auto method = ParseMethod(flags.GetString("method"));
+  if (!method.ok()) return UsageError(method.status().ToString().c_str());
+  std::vector<NodeId> seeds;
+  if (flags.Has("seeds")) {
+    auto parsed = ParseSeeds(flags.GetString("seeds"));
+    if (!parsed.ok()) return UsageError(parsed.status().ToString().c_str());
+    seeds = std::move(parsed).value();
+  }
+
   auto graph = ReadEdgeListText(
       graph_path, *directed ? GraphKind::kDirected : GraphKind::kUndirected,
       *weighted);
@@ -113,34 +182,28 @@ int RunOrDie(const Flags& flags) {
     return 0;
   }
 
-  D2prOptions options;
-  auto p = flags.GetDouble("p", 0.0);
-  auto alpha = flags.GetDouble("alpha", 0.85);
-  auto beta = flags.GetDouble("beta", 0.0);
-  auto top = flags.GetInt("top", 20);
-  if (!p.ok() || !alpha.ok() || !beta.ok() || !top.ok()) {
-    std::fprintf(stderr, "bad numeric flag\n%s", kUsage);
-    return 2;
-  }
-  options.p = *p;
-  options.alpha = *alpha;
-  options.beta = *beta;
+  RankRequest request;
+  request.p = *p;
+  request.alpha = *alpha;
+  request.beta = *beta;
+  request.method = *method;
+
+  // One engine serves the whole invocation: when --tune runs first, the
+  // final ranking's transition matrix is typically already cached from
+  // the best probe.
+  D2prEngine engine = D2prEngine::Borrowing(*graph);
 
   if (flags.Has("tune")) {
-    const std::string sig_path = flags.GetString("significance");
-    if (sig_path.empty()) {
-      std::fprintf(stderr, "--tune requires --significance=FILE\n");
-      return 2;
-    }
-    auto significance = ReadValuesFile(sig_path);
+    auto significance = ReadValuesFile(flags.GetString("significance"));
     if (!significance.ok()) {
       std::fprintf(stderr, "%s\n",
                    significance.status().ToString().c_str());
       return 1;
     }
     TuneOptions tune_options;
-    tune_options.base = options;
-    auto tuned = TuneDecouplingWeight(*graph, *significance, tune_options);
+    tune_options.base.alpha = request.alpha;
+    tune_options.base.beta = request.beta;
+    auto tuned = TuneDecouplingWeight(engine, *significance, tune_options);
     if (!tuned.ok()) {
       std::fprintf(stderr, "%s\n", tuned.status().ToString().c_str());
       return 1;
@@ -148,23 +211,34 @@ int RunOrDie(const Flags& flags) {
     std::printf("tuned p = %+.3f  (Spearman %.4f over %zu evaluations)\n",
                 tuned->best_p, tuned->best_correlation,
                 tuned->evaluated.size());
-    options.p = tuned->best_p;
+    request.p = tuned->best_p;
+    // The tuner's last probe converged at (or within a grid cell of)
+    // best_p under this tag; the final solve starts from it.
+    request.warm_start_tag = kTuneWarmStartTag;
   }
 
-  Result<PagerankResult> ranked = [&]() -> Result<PagerankResult> {
-    if (flags.Has("seeds")) {
-      D2PR_ASSIGN_OR_RETURN(std::vector<NodeId> seeds,
-                            ParseSeeds(flags.GetString("seeds")));
-      return ComputePersonalizedD2pr(*graph, seeds, options);
-    }
-    return ComputeD2pr(*graph, options);
-  }();
+  request.seeds = std::move(seeds);
+
+  auto ranked = engine.Rank(request);
   if (!ranked.ok()) {
     std::fprintf(stderr, "%s\n", ranked.status().ToString().c_str());
     return 1;
   }
-  std::fprintf(stderr, "solved in %d iterations (converged: %s)\n",
-               ranked->iterations, ranked->converged ? "yes" : "no");
+  if (ranked->method == SolverMethod::kForwardPush) {
+    std::fprintf(stderr,
+                 "solved with %s in %lld pushes (completed: %s)\n",
+                 SolverMethodName(ranked->method),
+                 static_cast<long long>(ranked->pushes),
+                 ranked->converged ? "yes" : "no");
+  } else {
+    std::fprintf(
+        stderr,
+        "solved with %s in %d iterations (converged: %s, cached "
+        "transition: %s)\n",
+        SolverMethodName(ranked->method), ranked->iterations,
+        ranked->converged ? "yes" : "no",
+        ranked->transition_cache_hit ? "yes" : "no");
+  }
 
   const std::string out_path = flags.GetString("scores-out");
   if (!out_path.empty()) {
