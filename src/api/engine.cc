@@ -1,6 +1,8 @@
 #include "api/engine.h"
 
+#include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <utility>
 
 #include "common/string_util.h"
@@ -51,26 +53,76 @@ D2prEngine D2prEngine::Borrowing(const CsrGraph& graph,
 
 void D2prEngine::ClearCaches() {
   transition_cache_.Clear();
+  std::lock_guard<std::mutex> lock(warm_mu_);
   warm_entries_.clear();
+}
+
+TransitionKey D2prEngine::ResolveKey(const RankRequest& request) const {
+  TransitionKey key;
+  key.p = request.p;
+  key.beta = graph_->weighted() ? request.beta : 0.0;
+  key.metric = ResolveMetric(*graph_, request.metric);
+  return key;
+}
+
+std::span<const double> D2prEngine::UniformTeleportVector() {
+  // Built on first unseeded query so purely personalized workloads never
+  // pay for it; immutable afterwards, so readers need no lock.
+  std::call_once(uniform_teleport_once_, [this] {
+    uniform_teleport_ = UniformTeleport(graph_->num_nodes());
+  });
+  return uniform_teleport_;
 }
 
 Result<std::shared_ptr<const TransitionMatrix>> D2prEngine::GetTransition(
     const TransitionKey& key, bool* cache_hit) {
-  if (auto cached = transition_cache_.Lookup(key)) {
-    *cache_hit = true;
-    ++stats_.transition_cache_hits;
-    return cached;
+  // Single-flight only pays off when the finished matrix lands in the
+  // cache for the waiters; with caching disabled, waiting would turn N
+  // independent builds into N serialized ones.
+  const bool single_flight = transition_cache_.capacity() > 0;
+  if (single_flight) {
+    std::unique_lock<std::mutex> lock(build_mu_);
+    for (;;) {
+      if (auto cached = transition_cache_.Lookup(key)) {
+        *cache_hit = true;
+        ++stats_.transition_cache_hits;
+        return cached;
+      }
+      // Someone else is building this key: wait for them instead of
+      // paying the O(|E|) build twice, then re-check the cache.
+      if (std::find(building_keys_.begin(), building_keys_.end(), key) ==
+          building_keys_.end()) {
+        break;
+      }
+      build_cv_.wait(lock);
+    }
+    building_keys_.push_back(key);
   }
+
   *cache_hit = false;
   TransitionConfig config;
   config.p = key.p;
   config.beta = key.beta;
   config.metric = key.metric;
   ++stats_.transition_builds;
-  D2PR_ASSIGN_OR_RETURN(TransitionMatrix built,
-                        TransitionMatrix::Build(*graph_, config));
-  auto shared = std::make_shared<const TransitionMatrix>(std::move(built));
-  transition_cache_.Insert(key, shared);
+  Result<TransitionMatrix> built = TransitionMatrix::Build(*graph_, config);
+
+  std::shared_ptr<const TransitionMatrix> shared;
+  if (built.ok()) {
+    shared =
+        std::make_shared<const TransitionMatrix>(std::move(built).value());
+  }
+  if (single_flight) {
+    {
+      std::lock_guard<std::mutex> lock(build_mu_);
+      std::erase(building_keys_, key);
+      if (shared != nullptr) transition_cache_.Insert(key, shared);
+    }
+    // Wake waiters whether the build succeeded (they will hit the cache)
+    // or failed (one of them retries and reports the same error).
+    build_cv_.notify_all();
+  }
+  if (!built.ok()) return built.status();
   return shared;
 }
 
@@ -124,18 +176,10 @@ Result<RankResponse> D2prEngine::Rank(const RankRequest& request) {
                           SeededTeleport(graph_->num_nodes(), request.seeds));
     teleport = seeded;
   } else {
-    // Built on first unseeded query so purely personalized workloads never
-    // pay for it.
-    if (uniform_teleport_.empty()) {
-      uniform_teleport_ = UniformTeleport(graph_->num_nodes());
-    }
-    teleport = uniform_teleport_;
+    teleport = UniformTeleportVector();
   }
 
-  TransitionKey key;
-  key.p = request.p;
-  key.beta = graph_->weighted() ? request.beta : 0.0;
-  key.metric = ResolveMetric(*graph_, request.metric);
+  const TransitionKey key = ResolveKey(request);
 
   RankResponse response;
   response.method = request.method;
@@ -206,6 +250,7 @@ Result<std::vector<RankResponse>> D2prEngine::RankBatch(
 }
 
 void D2prEngine::ForgetWarmStart(const std::string& tag) {
+  std::lock_guard<std::mutex> lock(warm_mu_);
   auto it = FindWarmEntry(tag);
   if (it != warm_entries_.end()) warm_entries_.erase(it);
 }
@@ -223,6 +268,7 @@ std::list<D2prEngine::WarmEntry>::iterator D2prEngine::FindWarmEntry(
 
 std::vector<double> D2prEngine::WarmStartFor(const RankRequest& request,
                                              const TransitionKey& key) {
+  std::lock_guard<std::mutex> lock(warm_mu_);
   auto entry = FindWarmEntry(request.warm_start_tag);
   if (entry == warm_entries_.end() || entry->snapshots.empty()) return {};
   const WarmSnapshot& cur = entry->snapshots.front();
@@ -276,6 +322,7 @@ void D2prEngine::StoreWarmStart(const RankRequest& request,
                                 const TransitionKey& key,
                                 const std::vector<double>& scores) {
   if (options_.warm_start_capacity == 0) return;
+  std::lock_guard<std::mutex> lock(warm_mu_);
   auto entry = FindWarmEntry(request.warm_start_tag);
   if (entry == warm_entries_.end()) {
     warm_entries_.push_front(WarmEntry{request.warm_start_tag, {}});

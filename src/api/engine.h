@@ -28,14 +28,32 @@
 // ...) are thin wrappers over a borrowing engine, so all call sites share
 // one code path.
 //
-// Thread-safety: none yet — one engine per thread, or external locking.
-// The planned thread-pool RankBatch (ROADMAP) will internalize this.
+// Thread-safety: a single engine instance can back any number of threads
+// calling Rank / RankBatch / stats() concurrently.
+//
+//   * The transition cache is mutex-guarded, and concurrent misses on the
+//     same key are single-flighted: one thread builds the O(|E|) matrix
+//     while the others wait on it, so a key is never built twice.
+//   * The warm-start store is mutex-guarded. Lookups and stores are
+//     atomic per call, but the *ordering* of a trajectory is defined by
+//     call order: callers who share a tag across threads must serialize
+//     those calls themselves (ServingRuntime chains a batch's tagged
+//     requests onto one worker for exactly this reason).
+//   * EngineStats counters are atomic — each counter is exact under
+//     concurrency; copy the struct for a point-in-time snapshot.
+//
+// Rank() itself never blocks on other queries except when waiting for a
+// shared transition build. For a multi-threaded batch runtime with
+// futures and a response memo on top of this engine, see
+// serve/serving_runtime.h.
 
 #ifndef D2PR_API_ENGINE_H_
 #define D2PR_API_ENGINE_H_
 
+#include <condition_variable>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -77,8 +95,10 @@ class D2prEngine {
                               const EngineOptions& options = {});
 
   const CsrGraph& graph() const { return *graph_; }
+  const EngineOptions& options() const { return options_; }
 
   /// Cumulative counters since construction or the last ResetStats().
+  /// Individual counters read atomically; copy for a consistent snapshot.
   const EngineStats& stats() const { return stats_; }
   void ResetStats() { stats_ = EngineStats{}; }
 
@@ -107,6 +127,19 @@ class D2prEngine {
   /// warm-start p = -4 from the far end (p = +4) of the previous run.
   void ForgetWarmStart(const std::string& tag);
 
+  /// \brief The resolved transition-cache key `request` maps to: beta
+  /// folded to 0 on unweighted graphs, kAuto metric resolved.
+  ///
+  /// Exposed so ServingRuntime can replay the sequential LRU trace of a
+  /// batch (deterministic cache-hit diagnostics) without executing it.
+  TransitionKey ResolveKey(const RankRequest& request) const;
+
+  /// \brief Snapshot of resident transition keys, most recently used
+  /// first (see TransitionCache::Keys).
+  std::vector<TransitionKey> CachedTransitionKeys() const {
+    return transition_cache_.Keys();
+  }
+
  private:
   /// The last two solutions of one warm-start trajectory, newest first.
   struct WarmSnapshot {
@@ -123,6 +156,9 @@ class D2prEngine {
     std::vector<WarmSnapshot> snapshots;  // size <= 2, newest first
   };
 
+  /// Returns the transition for `key`, building it on a miss. Concurrent
+  /// misses on one key are single-flighted: the first caller builds, the
+  /// rest wait on build_cv_ and then take the cache hit.
   Result<std::shared_ptr<const TransitionMatrix>> GetTransition(
       const TransitionKey& key, bool* cache_hit);
 
@@ -140,14 +176,27 @@ class D2prEngine {
                       const std::vector<double>& scores);
 
   /// Finds the trajectory stored under `tag`, refreshing its LRU recency;
-  /// warm_entries_.end() when absent.
+  /// warm_entries_.end() when absent. Caller must hold warm_mu_.
   std::list<WarmEntry>::iterator FindWarmEntry(const std::string& tag);
+
+  /// The uniform teleport vector, built on first use (immutable after).
+  std::span<const double> UniformTeleportVector();
 
   std::shared_ptr<const CsrGraph> graph_;
   EngineOptions options_;
   TransitionCache transition_cache_;
+
+  /// Guards building_keys_: the keys with a transition build in flight.
+  std::mutex build_mu_;
+  std::condition_variable build_cv_;
+  std::vector<TransitionKey> building_keys_;
+
+  std::mutex warm_mu_;                 ///< Guards warm_entries_.
   std::list<WarmEntry> warm_entries_;  // front = most recently used
+
+  std::once_flag uniform_teleport_once_;
   std::vector<double> uniform_teleport_;
+
   EngineStats stats_;
 };
 

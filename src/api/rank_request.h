@@ -10,6 +10,7 @@
 #ifndef D2PR_API_RANK_REQUEST_H_
 #define D2PR_API_RANK_REQUEST_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -80,13 +81,45 @@ struct RankResponse {
 
 /// \brief Cumulative per-engine counters, exposed for serving telemetry
 /// and asserted on by efficiency tests.
+///
+/// Counters are atomic so one engine can back many worker threads without
+/// losing increments; each counter is individually exact under concurrent
+/// Rank calls. Reading several counters is not one consistent snapshot —
+/// copy the struct (an atomic-load per field) when a point-in-time view
+/// matters.
 struct EngineStats {
-  int64_t requests = 0;           ///< RankRequests executed (ok or not).
-  int64_t transition_builds = 0;  ///< TransitionMatrix::Build invocations.
-  int64_t transition_cache_hits = 0;
-  int64_t warm_start_hits = 0;
-  int64_t solver_iterations = 0;  ///< Summed power / Gauss-Seidel iterations.
-  int64_t push_operations = 0;    ///< Summed forward-push operations.
+  std::atomic<int64_t> requests{0};  ///< RankRequests executed (ok or not).
+  std::atomic<int64_t> transition_builds{
+      0};  ///< TransitionMatrix::Build invocations.
+  std::atomic<int64_t> transition_cache_hits{0};
+  std::atomic<int64_t> warm_start_hits{0};
+  std::atomic<int64_t> solver_iterations{
+      0};  ///< Summed power / Gauss-Seidel iterations.
+  std::atomic<int64_t> push_operations{
+      0};  ///< Summed forward-push operations.
+
+  EngineStats() = default;
+  // Atomics are not copyable; snapshot semantics (field-wise loads) keep
+  // `EngineStats stats = engine.stats();` working for telemetry readers.
+  EngineStats(const EngineStats& other) { *this = other; }
+  EngineStats& operator=(const EngineStats& other) {
+    requests.store(other.requests.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    transition_builds.store(
+        other.transition_builds.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    transition_cache_hits.store(
+        other.transition_cache_hits.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    warm_start_hits.store(other.warm_start_hits.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    solver_iterations.store(
+        other.solver_iterations.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    push_operations.store(other.push_operations.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    return *this;
+  }
 };
 
 }  // namespace d2pr

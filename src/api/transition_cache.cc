@@ -4,6 +4,7 @@ namespace d2pr {
 
 std::shared_ptr<const TransitionMatrix> TransitionCache::Lookup(
     const TransitionKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (it->first == key) {
       ++hits_;
@@ -18,6 +19,7 @@ std::shared_ptr<const TransitionMatrix> TransitionCache::Lookup(
 void TransitionCache::Insert(const TransitionKey& key,
                              std::shared_ptr<const TransitionMatrix> transition) {
   if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (it->first == key) {
       it->second = std::move(transition);
@@ -27,6 +29,14 @@ void TransitionCache::Insert(const TransitionKey& key,
   }
   entries_.emplace_front(key, std::move(transition));
   while (entries_.size() > capacity_) entries_.pop_back();
+}
+
+std::vector<TransitionKey> TransitionCache::Keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TransitionKey> keys;
+  keys.reserve(entries_.size());
+  for (const Entry& entry : entries_) keys.push_back(entry.first);
+  return keys;
 }
 
 }  // namespace d2pr

@@ -14,7 +14,9 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <utility>
+#include <vector>
 
 #include "core/transition.h"
 
@@ -40,6 +42,12 @@ struct TransitionKey {
 /// Capacity 0 disables caching (every Lookup misses, Insert is a no-op).
 /// Lookup is a linear scan: capacities are tens of entries, where a scan
 /// over a contiguous-ish list beats hashing doubles.
+///
+/// Thread-safe: every operation (including the recency splice inside
+/// Lookup and the hit/miss counters) runs under an internal mutex, so one
+/// cache can serve many engine workers. Single-flight deduplication of
+/// concurrent builds for the same key is the engine's job — the cache only
+/// stores finished matrices.
 class TransitionCache {
  public:
   explicit TransitionCache(size_t capacity) : capacity_(capacity) {}
@@ -53,18 +61,35 @@ class TransitionCache {
   void Insert(const TransitionKey& key,
               std::shared_ptr<const TransitionMatrix> transition);
 
-  size_t size() const { return entries_.size(); }
-  size_t capacity() const { return capacity_; }
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
+  /// Resident keys, most recently used first. A consistent snapshot —
+  /// ServingRuntime uses it to replay the reference LRU trace for a batch.
+  std::vector<TransitionKey> Keys() const;
 
-  void Clear() { entries_.clear(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  size_t capacity() const { return capacity_; }
+  int64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  int64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+  }
 
  private:
   using Entry = std::pair<TransitionKey, std::shared_ptr<const TransitionMatrix>>;
 
+  mutable std::mutex mu_;
   std::list<Entry> entries_;  // front = most recently used
-  size_t capacity_;
+  const size_t capacity_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
 };

@@ -1,0 +1,126 @@
+#include "serve/score_cache.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace d2pr {
+
+ScoreCache::ScoreCache(const ScoreCacheOptions& options) : options_(options) {
+  if (!options_.now) {
+    options_.now = [] { return std::chrono::steady_clock::now(); };
+  }
+}
+
+std::string ScoreCache::KeyFor(const RankRequest& request) {
+  // '|' separates fields, ',' separates seeds; doubles are serialized at
+  // full precision so distinct parameters never collide.
+  std::string key = StrCat(
+      FormatGeneral(request.p, 17), "|", FormatGeneral(request.beta, 17), "|",
+      static_cast<int>(request.metric), "|",
+      FormatGeneral(request.alpha, 17), "|",
+      FormatGeneral(request.tolerance, 17), "|", request.max_iterations, "|",
+      static_cast<int>(request.dangling), "|",
+      static_cast<int>(request.method), "|",
+      FormatGeneral(request.push_epsilon, 17), "|");
+  for (NodeId seed : request.seeds) key += StrCat(seed, ",");
+  return key;
+}
+
+bool ScoreCache::Expired(const Entry& entry,
+                         std::chrono::steady_clock::time_point now) const {
+  return options_.ttl.count() > 0 && now - entry.inserted_at > options_.ttl;
+}
+
+void ScoreCache::DropExpired(std::chrono::steady_clock::time_point now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (Expired(it->second, now)) {
+      it = entries_.erase(it);
+      ++stats_.expirations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<RankResponse> ScoreCache::Lookup(const std::string& key) {
+  std::shared_ptr<const RankResponse> found;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    if (Expired(it->second, options_.now())) {
+      entries_.erase(it);
+      ++stats_.expirations;
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    ++it->second.uses;
+    ++stats_.hits;
+    found = it->second.response;
+  }
+  // The O(num_nodes) score copy happens outside the mutex.
+  return *found;
+}
+
+void ScoreCache::Insert(const std::string& key, RankResponse response) {
+  if (options_.capacity == 0) return;
+  auto shared = std::make_shared<const RankResponse>(std::move(response));
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto now = options_.now();
+  DropExpired(now);
+
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Refresh: new payload, new TTL window; use count carries over so a
+    // hot entry does not become an eviction candidate on refresh.
+    it->second.response = std::move(shared);
+    it->second.inserted_at = now;
+    ++stats_.insertions;
+    return;
+  }
+
+  while (entries_.size() >= options_.capacity) {
+    // LFU scan: capacities are small (hundreds) and insertions are
+    // amortized behind full solves, so O(n) beats maintaining a
+    // frequency-ordered index.
+    auto victim = entries_.begin();
+    for (auto candidate = std::next(entries_.begin());
+         candidate != entries_.end(); ++candidate) {
+      const Entry& c = candidate->second;
+      const Entry& v = victim->second;
+      if (c.uses < v.uses || (c.uses == v.uses && c.sequence < v.sequence)) {
+        victim = candidate;
+      }
+    }
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+
+  Entry entry;
+  entry.response = std::move(shared);
+  entry.sequence = next_sequence_++;
+  entry.inserted_at = now;
+  entries_.emplace(key, std::move(entry));
+  ++stats_.insertions;
+}
+
+ScoreCacheStats ScoreCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t ScoreCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void ScoreCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace d2pr

@@ -1,0 +1,110 @@
+// ScoreCache: a request-keyed memo of full RankResponses with TTL
+// expiry and LFU eviction.
+//
+// Serving traffic is heavily repetitive — dashboards re-request the same
+// global ranking, recommenders re-rank the same hot users — and a D2PR
+// solve is deterministic given the graph and the request, so an identical
+// request can be answered from memory without touching a solver. The
+// cache stores the complete response (scores plus diagnostics) keyed by a
+// canonical serialization of every response-affecting request field.
+//
+// Eviction is two-tiered, matching how ranking results age:
+//   * TTL: entries older than `ttl` are dropped at lookup/insert time —
+//     a bound on staleness for deployments that mutate the graph by
+//     swapping engines.
+//   * LFU: when over capacity, the least-frequently-used entry goes
+//     first (ties broken by oldest insertion), keeping the hot head of a
+//     skewed query distribution resident.
+//
+// Thread-safe; the clock is injectable so TTL behavior is testable
+// without sleeping.
+
+#ifndef D2PR_SERVE_SCORE_CACHE_H_
+#define D2PR_SERVE_SCORE_CACHE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "api/rank_request.h"
+
+namespace d2pr {
+
+/// \brief ScoreCache construction knobs.
+struct ScoreCacheOptions {
+  /// Max resident responses. 0 disables the cache entirely (every Lookup
+  /// misses, Insert is a no-op).
+  size_t capacity = 256;
+  /// Entries older than this are expired; zero (the default) means no
+  /// time-based expiry.
+  std::chrono::nanoseconds ttl{0};
+  /// Time source; defaults to steady_clock. Tests inject a fake to drive
+  /// TTL expiry deterministically.
+  std::function<std::chrono::steady_clock::time_point()> now;
+};
+
+/// \brief Cumulative ScoreCache counters (snapshot by value).
+struct ScoreCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t insertions = 0;
+  int64_t evictions = 0;    ///< LFU capacity evictions.
+  int64_t expirations = 0;  ///< TTL expiries.
+};
+
+/// \brief TTL + LFU memo of RankResponses keyed by canonical request.
+class ScoreCache {
+ public:
+  explicit ScoreCache(const ScoreCacheOptions& options = {});
+
+  /// Canonical serialization of every field of `request` that affects its
+  /// response. Requests that are semantically identical map to one key.
+  /// The warm-start tag is deliberately excluded: warm-started responses
+  /// depend on engine trajectory state and must not be memoized —
+  /// ServingRuntime bypasses the cache for them.
+  static std::string KeyFor(const RankRequest& request);
+
+  /// Returns a copy of the stored response, bumping the entry's use
+  /// count; nullopt on miss or TTL expiry (which erases the entry).
+  std::optional<RankResponse> Lookup(const std::string& key);
+
+  /// Stores (or refreshes) `response` under `key`, first dropping expired
+  /// entries, then LFU-evicting down to capacity.
+  void Insert(const std::string& key, RankResponse response);
+
+  ScoreCacheStats stats() const;
+  size_t size() const;
+  size_t capacity() const { return options_.capacity; }
+  void Clear();
+
+ private:
+  struct Entry {
+    /// Shared + immutable so Lookup can copy the (O(num_nodes)) payload
+    /// outside the mutex instead of serializing workers behind it.
+    std::shared_ptr<const RankResponse> response;
+    int64_t uses = 0;  ///< Lookups served since insertion.
+    int64_t sequence = 0;  ///< Insertion order, LFU tie-break.
+    std::chrono::steady_clock::time_point inserted_at;
+  };
+
+  bool Expired(const Entry& entry,
+               std::chrono::steady_clock::time_point now) const;
+  /// Erases every expired entry; caller holds mu_.
+  void DropExpired(std::chrono::steady_clock::time_point now);
+
+  ScoreCacheOptions options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  int64_t next_sequence_ = 0;
+  ScoreCacheStats stats_;
+};
+
+}  // namespace d2pr
+
+#endif  // D2PR_SERVE_SCORE_CACHE_H_

@@ -1,0 +1,198 @@
+#include "serve/serving_runtime.h"
+
+#include <algorithm>
+#include <latch>
+#include <list>
+#include <mutex>
+#include <utility>
+
+namespace d2pr {
+
+namespace {
+
+ScoreCacheOptions ToScoreCacheOptions(const ServingOptions& options) {
+  ScoreCacheOptions cache;
+  cache.capacity = options.score_cache_capacity;
+  cache.ttl = options.score_cache_ttl;
+  cache.now = options.clock;
+  return cache;
+}
+
+}  // namespace
+
+ServingRuntime::ServingRuntime(std::shared_ptr<D2prEngine> engine,
+                               const ServingOptions& options)
+    : engine_(std::move(engine)),
+      score_cache_(ToScoreCacheOptions(options)),
+      pool_(options.num_threads) {}
+
+ServingRuntime ServingRuntime::Borrowing(D2prEngine& engine,
+                                         const ServingOptions& options) {
+  return ServingRuntime(
+      std::shared_ptr<D2prEngine>(&engine, [](D2prEngine*) {}), options);
+}
+
+Result<RankResponse> ServingRuntime::Rank(const RankRequest& request) {
+  return Execute(request, std::nullopt);
+}
+
+Result<RankResponse> ServingRuntime::Execute(
+    const RankRequest& request, std::optional<bool> expected_cache_hit) {
+  // Warm-started requests depend on (and advance) per-tag trajectory
+  // state, so their responses are not memoizable.
+  const bool cacheable =
+      score_cache_.capacity() > 0 && request.warm_start_tag.empty();
+  std::string key;
+  if (cacheable) {
+    key = ScoreCache::KeyFor(request);
+    auto from_memo =
+        [&expected_cache_hit](RankResponse memo) -> RankResponse {
+      if (expected_cache_hit) {
+        memo.transition_cache_hit = *expected_cache_hit;
+      }
+      return memo;
+    };
+    // Single-flight: if an identical query is already solving, wait for
+    // it and take the memo hit instead of duplicating the full solve.
+    // The in-flight check comes BEFORE the memo probe so a waiter logs
+    // one stats event (its post-wake hit), and the O(num_nodes) memo
+    // copy always happens with inflight_mu_ released.
+    std::unique_lock<std::mutex> lock(inflight_mu_);
+    for (;;) {
+      if (std::find(inflight_keys_.begin(), inflight_keys_.end(), key) !=
+          inflight_keys_.end()) {
+        inflight_cv_.wait(lock);
+        continue;
+      }
+      lock.unlock();
+      // The solver inserts before deregistering, so waiters hit here; a
+      // miss means no solver, a failed solve, or TTL expiry — solve.
+      if (std::optional<RankResponse> memo = score_cache_.Lookup(key)) {
+        return from_memo(std::move(*memo));
+      }
+      lock.lock();
+      if (std::find(inflight_keys_.begin(), inflight_keys_.end(), key) ==
+          inflight_keys_.end()) {
+        inflight_keys_.push_back(key);
+        break;
+      }
+      // Raced with a thread that registered during our probe: wait.
+    }
+  }
+
+  Result<RankResponse> response = engine_->Rank(request);
+
+  if (cacheable) {
+    // The memo stores the response as the engine produced it; the
+    // normalized diagnostic below applies only to this batch's copy.
+    if (response.ok()) score_cache_.Insert(key, *response);
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      std::erase(inflight_keys_, key);
+    }
+    inflight_cv_.notify_all();
+  }
+  if (!response.ok()) return response;
+  if (expected_cache_hit) {
+    response->transition_cache_hit = *expected_cache_hit;
+  }
+  return response;
+}
+
+std::vector<bool> ServingRuntime::SimulateSequentialCacheHits(
+    std::span<const RankRequest> requests) const {
+  // Concurrent execution makes the engine's real hit/miss interleaving a
+  // race outcome; replaying the reference LRU trace over the resolved
+  // keys (cheap: keys, not matrices) pins every response's
+  // transition_cache_hit flag to the deterministic sequential value.
+  std::list<TransitionKey> lru;
+  for (const TransitionKey& key : engine_->CachedTransitionKeys()) {
+    lru.push_back(key);  // Keys() is MRU-first, matching list order.
+  }
+  const size_t capacity = engine_->options().transition_cache_capacity;
+
+  std::vector<bool> hits(requests.size(), false);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const TransitionKey key = engine_->ResolveKey(requests[i]);
+    auto it = std::find(lru.begin(), lru.end(), key);
+    if (it != lru.end()) {
+      hits[i] = true;
+      lru.splice(lru.begin(), lru, it);
+    } else {
+      lru.push_front(key);
+      while (lru.size() > capacity) lru.pop_back();
+    }
+  }
+  return hits;
+}
+
+Result<std::vector<RankResponse>> ServingRuntime::RankBatch(
+    std::span<const RankRequest> requests) {
+  std::vector<RankResponse> responses(requests.size());
+  if (requests.empty()) return responses;
+
+  const std::vector<bool> expected_hits =
+      SimulateSequentialCacheHits(requests);
+
+  // Group request indices into execution chains: every untagged request
+  // is its own chain; ALL tagged requests form one chain in submission
+  // order. One chain per tag would keep each trajectory ordered, but the
+  // warm store is a shared LRU — with more tags than warm_start_capacity
+  // the eviction order across concurrent chains would be a race, and a
+  // trajectory the sequential path keeps could get dropped mid-batch.
+  std::vector<std::vector<size_t>> chains;
+  std::vector<size_t> tagged;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].warm_start_tag.empty()) {
+      chains.push_back({i});
+    } else {
+      tagged.push_back(i);
+    }
+  }
+  if (!tagged.empty()) chains.push_back(std::move(tagged));
+
+  std::mutex error_mu;
+  size_t first_error_index = requests.size();
+  Status first_error = Status::OK();
+
+  std::latch done(static_cast<ptrdiff_t>(chains.size()));
+  for (std::vector<size_t>& chain : chains) {
+    pool_.Submit([this, &requests, &responses, &expected_hits, &error_mu,
+                  &first_error_index, &first_error, &done,
+                  chain = std::move(chain)] {
+      for (size_t index : chain) {
+        Result<RankResponse> response =
+            Execute(requests[index], expected_hits[index]);
+        if (!response.ok()) {
+          // Mirror the sequential fail-fast error: of all failing
+          // requests, the lowest index wins; the rest of this chain
+          // would never have run, so stop it.
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (index < first_error_index) {
+            first_error_index = index;
+            first_error = response.status();
+          }
+          break;
+        }
+        responses[index] = std::move(response).value();
+      }
+      done.count_down();
+    });
+  }
+  done.wait();
+
+  if (first_error_index < requests.size()) return first_error;
+  return responses;
+}
+
+std::future<Result<RankResponse>> ServingRuntime::RankAsync(
+    RankRequest request) {
+  auto promise = std::make_shared<std::promise<Result<RankResponse>>>();
+  std::future<Result<RankResponse>> future = promise->get_future();
+  pool_.Submit([this, promise, request = std::move(request)] {
+    promise->set_value(Execute(request, std::nullopt));
+  });
+  return future;
+}
+
+}  // namespace d2pr

@@ -1,0 +1,59 @@
+// ThreadPool: a fixed set of worker threads draining one FIFO task queue.
+//
+// The serving runtime's only scheduling primitive. Deliberately minimal —
+// no priorities, no work stealing, no task handles: ServingRuntime layers
+// futures and completion latches on top of bare Submit(). The pool is
+// created once per runtime and lives as long as it does; destruction is a
+// clean shutdown that finishes every task already submitted (so a batch
+// in flight always completes) before joining the workers.
+
+#ifndef D2PR_SERVE_THREAD_POOL_H_
+#define D2PR_SERVE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace d2pr {
+
+/// \brief Fixed-size worker pool with a FIFO work queue.
+///
+/// Submit() is thread-safe and never blocks on task execution. Tasks run
+/// in submission order relative to queue pop, on whichever worker frees
+/// up first; callers needing ordering between tasks must chain them into
+/// one task (as ServingRuntime does for warm-start trajectories).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (a requested 0 is clamped to 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue — every submitted task runs — then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker. Must not be called
+  /// during or after destruction.
+  void Submit(std::function<void()> task);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace d2pr
+
+#endif  // D2PR_SERVE_THREAD_POOL_H_

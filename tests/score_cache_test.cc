@@ -1,0 +1,199 @@
+// ScoreCache behavior: canonical request keys, TTL expiry on an
+// injected clock, LFU eviction with insertion-order tie-breaks, and
+// hit/miss/eviction accounting.
+
+#include "serve/score_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+
+namespace d2pr {
+namespace {
+
+using std::chrono::seconds;
+using TimePoint = std::chrono::steady_clock::time_point;
+
+RankResponse MakeResponse(double tag) {
+  RankResponse response;
+  response.scores = {tag, tag + 1.0, tag + 2.0};
+  response.iterations = 7;
+  response.converged = true;
+  response.residual = 1e-11;
+  return response;
+}
+
+/// A cache on a hand-cranked clock starting at the epoch.
+struct CacheOnFakeClock {
+  explicit CacheOnFakeClock(size_t capacity, seconds ttl)
+      : now(std::make_shared<TimePoint>()),
+        cache([&] {
+          ScoreCacheOptions options;
+          options.capacity = capacity;
+          options.ttl = ttl;
+          options.now = [now = now] { return *now; };
+          return options;
+        }()) {}
+
+  void Advance(seconds by) { *now += by; }
+
+  std::shared_ptr<TimePoint> now;
+  ScoreCache cache;
+};
+
+TEST(ScoreCacheTest, KeyCanonicalizesIdenticalRequests) {
+  RankRequest a;
+  a.p = 0.5;
+  a.seeds = {3, 17};
+  RankRequest b = a;
+  EXPECT_EQ(ScoreCache::KeyFor(a), ScoreCache::KeyFor(b));
+  // The warm-start tag never reaches the key: tagged requests bypass the
+  // cache entirely, so the tag must not fragment it for anyone else.
+  b.warm_start_tag = "sweep";
+  EXPECT_EQ(ScoreCache::KeyFor(a), ScoreCache::KeyFor(b));
+}
+
+TEST(ScoreCacheTest, KeySeparatesEveryResponseAffectingField) {
+  const RankRequest base;
+  const std::string base_key = ScoreCache::KeyFor(base);
+
+  RankRequest changed = base;
+  changed.p = 0.25;
+  EXPECT_NE(ScoreCache::KeyFor(changed), base_key);
+  changed = base;
+  changed.alpha = 0.9;
+  EXPECT_NE(ScoreCache::KeyFor(changed), base_key);
+  changed = base;
+  changed.tolerance = 1e-8;
+  EXPECT_NE(ScoreCache::KeyFor(changed), base_key);
+  changed = base;
+  changed.max_iterations = 50;
+  EXPECT_NE(ScoreCache::KeyFor(changed), base_key);
+  changed = base;
+  changed.method = SolverMethod::kGaussSeidel;
+  EXPECT_NE(ScoreCache::KeyFor(changed), base_key);
+  changed = base;
+  changed.dangling = DanglingPolicy::kRenormalize;
+  EXPECT_NE(ScoreCache::KeyFor(changed), base_key);
+  changed = base;
+  changed.seeds = {5};
+  EXPECT_NE(ScoreCache::KeyFor(changed), base_key);
+  changed = base;
+  changed.seeds = {5, 6};
+  EXPECT_NE(ScoreCache::KeyFor(changed), ScoreCache::KeyFor([&] {
+              RankRequest two = base;
+              two.seeds = {56};
+              return two;
+            }()));
+}
+
+TEST(ScoreCacheTest, LookupReturnsInsertedResponse) {
+  ScoreCache cache;
+  EXPECT_FALSE(cache.Lookup("k").has_value());
+  cache.Insert("k", MakeResponse(4.0));
+  auto hit = cache.Lookup("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->scores, MakeResponse(4.0).scores);
+  EXPECT_EQ(hit->iterations, 7);
+  EXPECT_TRUE(hit->converged);
+
+  const ScoreCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.insertions, 1);
+  EXPECT_EQ(stats.evictions, 0);
+}
+
+TEST(ScoreCacheTest, TtlExpiresEntries) {
+  CacheOnFakeClock fixture(8, seconds(10));
+  fixture.cache.Insert("k", MakeResponse(1.0));
+  fixture.Advance(seconds(9));
+  EXPECT_TRUE(fixture.cache.Lookup("k").has_value());
+
+  fixture.Advance(seconds(2));  // 11s since insert: past the 10s TTL
+  EXPECT_FALSE(fixture.cache.Lookup("k").has_value());
+  EXPECT_EQ(fixture.cache.size(), 0u);
+
+  const ScoreCacheStats stats = fixture.cache.stats();
+  EXPECT_EQ(stats.expirations, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+}
+
+TEST(ScoreCacheTest, ReinsertRestartsTtlWindow) {
+  CacheOnFakeClock fixture(8, seconds(10));
+  fixture.cache.Insert("k", MakeResponse(1.0));
+  fixture.Advance(seconds(8));
+  fixture.cache.Insert("k", MakeResponse(2.0));  // refresh
+  fixture.Advance(seconds(8));                   // 16s after first insert
+  auto hit = fixture.cache.Lookup("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->scores.front(), 2.0);
+}
+
+TEST(ScoreCacheTest, ZeroTtlNeverExpires) {
+  CacheOnFakeClock fixture(8, seconds(0));
+  fixture.cache.Insert("k", MakeResponse(1.0));
+  fixture.Advance(seconds(1000000));
+  EXPECT_TRUE(fixture.cache.Lookup("k").has_value());
+}
+
+TEST(ScoreCacheTest, LfuEvictsLeastFrequentlyUsed) {
+  ScoreCacheOptions options;
+  options.capacity = 2;
+  ScoreCache cache(options);
+  cache.Insert("a", MakeResponse(1.0));
+  cache.Insert("b", MakeResponse(2.0));
+  // Make "a" the hot entry.
+  EXPECT_TRUE(cache.Lookup("a").has_value());
+  EXPECT_TRUE(cache.Lookup("a").has_value());
+
+  cache.Insert("c", MakeResponse(3.0));  // over capacity: "b" (0 uses) goes
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Lookup("b").has_value());
+  EXPECT_TRUE(cache.Lookup("a").has_value());
+  EXPECT_TRUE(cache.Lookup("c").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(ScoreCacheTest, LfuTieBreaksByOldestInsertion) {
+  ScoreCacheOptions options;
+  options.capacity = 2;
+  ScoreCache cache(options);
+  cache.Insert("old", MakeResponse(1.0));
+  cache.Insert("new", MakeResponse(2.0));
+  cache.Insert("c", MakeResponse(3.0));  // both have 0 uses: "old" goes
+  EXPECT_FALSE(cache.Lookup("old").has_value());
+  EXPECT_TRUE(cache.Lookup("new").has_value());
+  EXPECT_TRUE(cache.Lookup("c").has_value());
+}
+
+TEST(ScoreCacheTest, ExpiredEntriesGoBeforeLfuVictims) {
+  CacheOnFakeClock fixture(2, seconds(10));
+  fixture.cache.Insert("stale", MakeResponse(1.0));
+  // "stale" is the hot entry, but it is past TTL at the next insert.
+  EXPECT_TRUE(fixture.cache.Lookup("stale").has_value());
+  fixture.Advance(seconds(5));
+  fixture.cache.Insert("fresh", MakeResponse(2.0));
+  fixture.Advance(seconds(6));  // "stale" 11s old, "fresh" 6s old
+  fixture.cache.Insert("c", MakeResponse(3.0));
+  EXPECT_FALSE(fixture.cache.Lookup("stale").has_value());
+  EXPECT_TRUE(fixture.cache.Lookup("fresh").has_value());
+  EXPECT_TRUE(fixture.cache.Lookup("c").has_value());
+  EXPECT_EQ(fixture.cache.stats().expirations, 1);
+  EXPECT_EQ(fixture.cache.stats().evictions, 0);
+}
+
+TEST(ScoreCacheTest, ZeroCapacityDisablesCaching) {
+  ScoreCacheOptions options;
+  options.capacity = 0;
+  ScoreCache cache(options);
+  cache.Insert("k", MakeResponse(1.0));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup("k").has_value());
+  EXPECT_EQ(cache.stats().insertions, 0);
+}
+
+}  // namespace
+}  // namespace d2pr

@@ -1,0 +1,80 @@
+// ThreadPool behavior: every submitted task runs, work executes on
+// worker threads (not the caller), and shutdown drains the backlog.
+
+#include "serve/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <latch>
+#include <mutex>
+#include <set>
+#include <thread>
+
+namespace d2pr {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }  // destruction waits for every task
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, ZeroThreadRequestClampsToOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::latch done(1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&] {
+    ran = true;
+    done.count_down();
+  });
+  done.wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, TasksRunOffTheCallingThread) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::set<std::thread::id> worker_ids;
+  std::latch done(64);
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&] {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        worker_ids.insert(std::this_thread::get_id());
+      }
+      done.count_down();
+    });
+  }
+  done.wait();
+  EXPECT_FALSE(worker_ids.contains(std::this_thread::get_id()));
+  EXPECT_GE(worker_ids.size(), 1u);
+  EXPECT_LE(worker_ids.size(), 2u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedBacklog) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    // Park the lone worker so the remaining submissions pile up in the
+    // queue, then destroy the pool: the backlog must still run.
+    pool.Submit([&count] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      count.fetch_add(1);
+    });
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 21);
+}
+
+}  // namespace
+}  // namespace d2pr
