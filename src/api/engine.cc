@@ -128,6 +128,14 @@ Result<std::shared_ptr<const TransitionMatrix>> D2prEngine::GetTransition(
 
 Result<RankResponse> D2prEngine::Rank(const RankRequest& request) {
   ++stats_.requests;
+  // Gauge for least-loaded routing (EngineRouter): held for the whole
+  // call, including validation failures, so a router sees every in-flight
+  // request it dispatched.
+  ++stats_.requests_inflight;
+  struct InflightGuard {
+    std::atomic<int64_t>& gauge;
+    ~InflightGuard() { --gauge; }
+  } inflight_guard{stats_.requests_inflight};
   // Mirror the transition builder's parameter checks before touching the
   // cache: the key folds beta to 0 on unweighted graphs, which must not
   // let an out-of-range beta hit a cached matrix instead of erroring.

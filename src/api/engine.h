@@ -95,6 +95,12 @@ class D2prEngine {
                               const EngineOptions& options = {});
 
   const CsrGraph& graph() const { return *graph_; }
+  /// The shared handle to the graph, for standing up further engines (or
+  /// an EngineRouter shard fleet, as tools/d2pr_rank does) over this
+  /// engine's graph without copying it. For a borrowing engine the handle
+  /// carries a no-op deleter: it is only valid while the borrowed graph
+  /// lives.
+  std::shared_ptr<const CsrGraph> graph_ptr() const { return graph_; }
   const EngineOptions& options() const { return options_; }
 
   /// Cumulative counters since construction or the last ResetStats().

@@ -89,6 +89,9 @@ struct RankResponse {
 /// matters.
 struct EngineStats {
   std::atomic<int64_t> requests{0};  ///< RankRequests executed (ok or not).
+  /// Rank calls currently executing (a gauge, not a cumulative counter).
+  /// EngineRouter's least-loaded policy routes on a snapshot of this.
+  std::atomic<int64_t> requests_inflight{0};
   std::atomic<int64_t> transition_builds{
       0};  ///< TransitionMatrix::Build invocations.
   std::atomic<int64_t> transition_cache_hits{0};
@@ -105,6 +108,9 @@ struct EngineStats {
   EngineStats& operator=(const EngineStats& other) {
     requests.store(other.requests.load(std::memory_order_relaxed),
                    std::memory_order_relaxed);
+    requests_inflight.store(
+        other.requests_inflight.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
     transition_builds.store(
         other.transition_builds.load(std::memory_order_relaxed),
         std::memory_order_relaxed);

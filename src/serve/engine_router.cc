@@ -1,0 +1,371 @@
+#include "serve/engine_router.h"
+
+#include <algorithm>
+#include <latch>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+
+#include "linalg/vec_ops.h"
+
+namespace d2pr {
+
+namespace {
+
+ScoreCacheOptions ToScoreCacheOptions(const RouterOptions& options) {
+  ScoreCacheOptions cache;
+  cache.capacity = options.score_cache_capacity;
+  cache.ttl = options.score_cache_ttl;
+  cache.now = options.clock;
+  return cache;
+}
+
+}  // namespace
+
+EngineRouter::EngineRouter(std::shared_ptr<const CsrGraph> graph,
+                           const RouterOptions& options)
+    : graph_(std::move(graph)),
+      options_(options),
+      shard_map_(options.shard_map ? options.shard_map
+                                   : std::make_shared<ModuloShardMap>()),
+      score_cache_(ToScoreCacheOptions(options)),
+      pool_(options.worker_threads > 0
+                ? options.worker_threads
+                : std::max<size_t>(size_t{1}, options.num_shards)) {
+  const size_t num_shards = std::max<size_t>(size_t{1}, options.num_shards);
+  shards_.reserve(num_shards);
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    shards_.push_back(
+        std::make_unique<D2prEngine>(graph_, options.engine_options));
+  }
+  for (NodeId node = 0; node < graph_->num_nodes(); ++node) {
+    if (graph_->OutDegree(node) == 0) dangling_nodes_.push_back(node);
+  }
+}
+
+EngineRouter::EngineRouter(CsrGraph graph, const RouterOptions& options)
+    : EngineRouter(std::make_shared<const CsrGraph>(std::move(graph)),
+                   options) {}
+
+EngineRouter EngineRouter::Borrowing(const CsrGraph& graph,
+                                     const RouterOptions& options) {
+  return EngineRouter(
+      std::shared_ptr<const CsrGraph>(&graph, [](const CsrGraph*) {}),
+      options);
+}
+
+size_t EngineRouter::ShardForTag(const std::string& tag) const {
+  return std::hash<std::string>{}(tag) % shards_.size();
+}
+
+size_t EngineRouter::OwnerShardOf(NodeId node) const {
+  return shard_map_->OwnerOf(node, shards_.size());
+}
+
+bool EngineRouter::AdvanceReferenceLruLocked(const TransitionKey& key) {
+  auto it = std::find(reference_lru_.begin(), reference_lru_.end(), key);
+  if (it != reference_lru_.end()) {
+    reference_lru_.splice(reference_lru_.begin(), reference_lru_, it);
+    return true;
+  }
+  const size_t capacity = options_.engine_options.transition_cache_capacity;
+  if (capacity > 0) {
+    reference_lru_.push_front(key);
+    while (reference_lru_.size() > capacity) reference_lru_.pop_back();
+  }
+  return false;
+}
+
+std::vector<EngineRouter::Unit> EngineRouter::RouteLocked(
+    const RankRequest& request, size_t request_index,
+    std::vector<size_t>& planned_load) {
+  std::vector<Unit> units;
+  // Warm-tag affinity first: a trajectory must see its whole request
+  // subsequence on one engine regardless of policy, or warm state (and
+  // with it the bit-exact scores) would scatter.
+  if (!request.warm_start_tag.empty()) {
+    Unit unit;
+    unit.request_index = request_index;
+    unit.shard = ShardForTag(request.warm_start_tag);
+    unit.request = request;
+    ++planned_load[unit.shard];
+    units.push_back(std::move(unit));
+    return units;
+  }
+
+  if (options_.policy == RoutingPolicy::kPartitionedTeleport &&
+      !request.seeds.empty() &&
+      request.dangling != DanglingPolicy::kRenormalize) {
+    // Seed ownership split. kRenormalize is excluded: its fixed point is
+    // not linear in the teleport vector, so those requests route whole.
+    std::vector<std::vector<NodeId>> owned(shards_.size());
+    for (NodeId seed : request.seeds) {
+      owned[shard_map_->OwnerOf(seed, shards_.size())].push_back(seed);
+    }
+    size_t slot = 0;
+    for (size_t shard = 0; shard < shards_.size(); ++shard) {
+      if (owned[shard].empty()) continue;
+      Unit unit;
+      unit.request_index = request_index;
+      unit.shard = shard;
+      unit.slot = slot++;
+      unit.weight = static_cast<double>(owned[shard].size()) /
+                    static_cast<double>(request.seeds.size());
+      unit.request = request;
+      unit.request.seeds = std::move(owned[shard]);
+      ++planned_load[shard];
+      units.push_back(std::move(unit));
+    }
+    if (!units.empty()) return units;
+    // Unreachable (non-empty seeds always have owners); fall through to
+    // the strategy path for safety.
+  }
+
+  Unit unit;
+  unit.request_index = request_index;
+  unit.request = request;
+  switch (options_.strategy) {
+    case ReplicaStrategy::kRoundRobin:
+      unit.shard = round_robin_next_++ % shards_.size();
+      break;
+    case ReplicaStrategy::kLeastLoaded: {
+      size_t best = 0;
+      int64_t best_load = std::numeric_limits<int64_t>::max();
+      for (size_t shard = 0; shard < shards_.size(); ++shard) {
+        const int64_t load =
+            shards_[shard]->stats().requests_inflight.load(
+                std::memory_order_relaxed) +
+            static_cast<int64_t>(planned_load[shard]);
+        if (load < best_load) {
+          best_load = load;
+          best = shard;
+        }
+      }
+      unit.shard = best;
+      break;
+    }
+  }
+  ++planned_load[unit.shard];
+  units.push_back(std::move(unit));
+  return units;
+}
+
+RankResponse EngineRouter::MergeParts(const RankRequest& request,
+                                      std::vector<Part> parts) const {
+  RankResponse merged;
+  merged.method = request.method;
+  merged.converged = true;
+  merged.scores.assign(static_cast<size_t>(graph_->num_nodes()), 0.0);
+  for (Part& part : parts) {
+    double scale = part.weight;
+    if (request.dangling == DanglingPolicy::kTeleport &&
+        !dangling_nodes_.empty()) {
+      // Un-normalize: x_s = ((1-a) + a*m_s) * (I - aP)^-1 v_s, where m_s
+      // is the dangling mass of x_s itself. Dividing by that factor
+      // recovers the linear-in-teleport quantity the weighted sum of
+      // sub-teleports actually combines.
+      double dangling_mass = 0.0;
+      for (NodeId node : dangling_nodes_) {
+        dangling_mass += part.response.scores[static_cast<size_t>(node)];
+      }
+      scale /= (1.0 - request.alpha) + request.alpha * dangling_mass;
+    }
+    for (size_t i = 0; i < merged.scores.size(); ++i) {
+      merged.scores[i] += scale * part.response.scores[i];
+    }
+    merged.iterations = std::max(merged.iterations, part.response.iterations);
+    merged.pushes += part.response.pushes;
+    merged.converged = merged.converged && part.response.converged;
+    merged.residual = std::max(merged.residual, part.response.residual);
+  }
+  NormalizeL1(merged.scores);
+  return merged;
+}
+
+Result<RankResponse> EngineRouter::ExecuteUnits(const RankRequest& request,
+                                                std::vector<Unit> units) {
+  std::vector<Part> parts;
+  parts.reserve(units.size());
+  for (Unit& unit : units) {
+    Result<RankResponse> response = shards_[unit.shard]->Rank(unit.request);
+    if (!response.ok()) return response.status();
+    parts.push_back(Part{unit.weight, std::move(response).value()});
+  }
+  if (parts.size() == 1 && parts[0].weight == 1.0) {
+    return std::move(parts[0].response);
+  }
+  return MergeParts(request, std::move(parts));
+}
+
+Result<RankResponse> EngineRouter::Rank(const RankRequest& request) {
+  const bool cacheable =
+      score_cache_.capacity() > 0 && request.warm_start_tag.empty();
+  std::string key;
+  std::optional<RankResponse> memo;
+  if (cacheable) {
+    key = ScoreCache::KeyFor(request);
+    memo = score_cache_.Lookup(key);
+  }
+
+  // The virtual reference LRU advances only for requests that succeed —
+  // memo hits included — because the sequential engine validates before
+  // touching its cache: a failing request must not leave a key (or, for
+  // NaN parameters, an unmatchable junk key) in the reference trace.
+  auto advance_reference = [this, &request] {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    return AdvanceReferenceLruLocked(shards_[0]->ResolveKey(request));
+  };
+
+  if (memo) {
+    memo->transition_cache_hit = advance_reference();
+    return std::move(*memo);
+  }
+
+  std::vector<Unit> units;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    std::vector<size_t> planned_load(shards_.size(), 0);
+    units = RouteLocked(request, 0, planned_load);
+  }
+
+  Result<RankResponse> response = ExecuteUnits(request, std::move(units));
+  if (!response.ok()) return response;
+  if (cacheable) score_cache_.Insert(key, *response);
+  response->transition_cache_hit = advance_reference();
+  return response;
+}
+
+Result<std::vector<RankResponse>> EngineRouter::RankBatch(
+    std::span<const RankRequest> requests) {
+  std::vector<RankResponse> responses(requests.size());
+  if (requests.empty()) return responses;
+
+  // Memo probes run before planning so the O(num_nodes) response copies
+  // happen outside route_mu_. Duplicate memoizable requests within one
+  // batch solve once: only the first occurrence of a cache key is probed
+  // and routed, the rest alias to its response afterwards (the batched
+  // analogue of ServingRuntime's single-flight).
+  constexpr size_t kNoAlias = std::numeric_limits<size_t>::max();
+  const bool cache_on = score_cache_.capacity() > 0;
+  std::vector<char> memoized(requests.size(), 0);
+  std::vector<size_t> alias_of(requests.size(), kNoAlias);
+  std::vector<std::string> keys(requests.size());
+  if (cache_on) {
+    std::unordered_map<std::string, size_t> first_key_index;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      if (!requests[i].warm_start_tag.empty()) continue;
+      keys[i] = ScoreCache::KeyFor(requests[i]);
+      auto [it, inserted] = first_key_index.try_emplace(keys[i], i);
+      if (!inserted) {
+        alias_of[i] = it->second;
+        continue;
+      }
+      if (std::optional<RankResponse> memo = score_cache_.Lookup(keys[i])) {
+        responses[i] = std::move(*memo);
+        memoized[i] = 1;
+      }
+    }
+  }
+
+  // Plan the whole batch atomically: shard assignment happens in
+  // submission order.
+  std::vector<std::vector<Part>> parts(requests.size());
+  std::vector<std::vector<Unit>> chains(shards_.size());
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    std::vector<size_t> planned_load(shards_.size(), 0);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      if (memoized[i] || alias_of[i] != kNoAlias) continue;
+      std::vector<Unit> units = RouteLocked(requests[i], i, planned_load);
+      parts[i].resize(units.size());
+      for (Unit& unit : units) {
+        parts[i][unit.slot].weight = unit.weight;
+        chains[unit.shard].push_back(std::move(unit));
+      }
+    }
+  }
+
+  std::mutex error_mu;
+  size_t first_error_index = requests.size();
+  Status first_error = Status::OK();
+
+  ptrdiff_t active_chains = 0;
+  for (const std::vector<Unit>& chain : chains) {
+    if (!chain.empty()) ++active_chains;
+  }
+  std::latch done(active_chains);
+  for (std::vector<Unit>& chain : chains) {
+    if (chain.empty()) continue;
+    pool_.Submit([this, &parts, &error_mu, &first_error_index, &first_error,
+                  &done, chain = std::move(chain)] {
+      for (const Unit& unit : chain) {
+        Result<RankResponse> response =
+            shards_[unit.shard]->Rank(unit.request);
+        if (!response.ok()) {
+          // Mirror the sequential fail-fast error: of all failing
+          // requests, the lowest index wins; the rest of this shard's
+          // chain would never have run, so stop it.
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (unit.request_index < first_error_index) {
+            first_error_index = unit.request_index;
+            first_error = response.status();
+          }
+          break;
+        }
+        // Distinct (request_index, slot) per unit: writes never collide.
+        parts[unit.request_index][unit.slot].response =
+            std::move(response).value();
+      }
+      done.count_down();
+    });
+  }
+  done.wait();
+
+  // The reference LRU advances for exactly the successful prefix — the
+  // requests whose transitions the sequential single-engine reference
+  // would have fetched before failing fast (a failing request validates
+  // before touching the cache, so it never advances it).
+  const size_t replayed =
+      first_error_index < requests.size() ? first_error_index
+                                          : requests.size();
+  std::vector<bool> expected_hits(requests.size(), false);
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    for (size_t i = 0; i < replayed; ++i) {
+      expected_hits[i] =
+          AdvanceReferenceLruLocked(shards_[0]->ResolveKey(requests[i]));
+    }
+  }
+  if (first_error_index < requests.size()) return first_error;
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (memoized[i] || alias_of[i] != kNoAlias) continue;
+    if (parts[i].size() == 1 && parts[i][0].weight == 1.0) {
+      responses[i] = std::move(parts[i][0].response);
+    } else {
+      responses[i] = MergeParts(requests[i], std::move(parts[i]));
+    }
+    if (cache_on && requests[i].warm_start_tag.empty()) {
+      score_cache_.Insert(keys[i], responses[i]);
+    }
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (alias_of[i] != kNoAlias) responses[i] = responses[alias_of[i]];
+    responses[i].transition_cache_hit = expected_hits[i];
+  }
+  return responses;
+}
+
+std::future<Result<RankResponse>> EngineRouter::RankAsync(
+    RankRequest request) {
+  auto promise = std::make_shared<std::promise<Result<RankResponse>>>();
+  std::future<Result<RankResponse>> future = promise->get_future();
+  // Rank() executes entirely inline (no nested pool submits), so async
+  // tasks can never deadlock the fixed-size pool.
+  pool_.Submit([this, promise, request = std::move(request)] {
+    promise->set_value(Rank(request));
+  });
+  return future;
+}
+
+}  // namespace d2pr

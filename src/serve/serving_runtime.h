@@ -24,6 +24,9 @@
 //     so repeated identical queries skip the solve outright. Warm-started
 //     requests bypass it (their responses depend on trajectory state).
 //
+// For multi-engine sharding behind this same query surface (replicated
+// or seed-partitioned fleets), see serve/engine_router.h.
+//
 // One runtime per engine per process is the intended shape:
 //
 //   D2prEngine engine(std::move(graph));

@@ -1,0 +1,198 @@
+// Seeded randomized property tests for the partitioned-teleport router:
+// over ~50 random graphs (power-law preferential attachment and bipartite
+// member projections, weighted and unweighted) and random request mixes
+// (uniform/personalized teleports, mixed p/alpha/beta, power and
+// Gauss-Seidel solvers), the partitioned router's responses must agree
+// with the single-engine reference within solver tolerance — top-k
+// ranking included — and every merged score vector must carry total
+// probability mass 1.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "common/rng.h"
+#include "datagen/bipartite_world.h"
+#include "datagen/classic_generators.h"
+#include "datagen/projection.h"
+#include "linalg/vec_ops.h"
+#include "serve/engine_router.h"
+#include "stats/ranking.h"
+
+namespace d2pr {
+namespace {
+
+constexpr int kNumCases = 50;
+constexpr int kRequestsPerCase = 8;
+constexpr size_t kTopK = 10;
+// Solves run to tolerance 1e-11; the merge adds one rescale and one
+// weighted sum per part, so agreement within 1e-7 leaves two orders of
+// magnitude of slack over the analytic error bound.
+constexpr double kScoreTolerance = 1e-7;
+constexpr double kMassTolerance = 1e-9;
+
+/// Alternates between a power-law (preferential attachment) graph and a
+/// bipartite member-member projection; every fourth case is weighted.
+Result<CsrGraph> FuzzGraph(int case_id) {
+  const auto seed = static_cast<uint64_t>(case_id);
+  if (case_id % 2 == 0) {
+    Rng rng(1000 + seed);
+    return BarabasiAlbert(
+        static_cast<NodeId>(120 + (case_id * 13) % 120),
+        2 + case_id % 3, &rng);
+  }
+  BipartiteWorldConfig config;
+  config.num_members = static_cast<NodeId>(90 + (case_id * 7) % 60);
+  config.num_venues = static_cast<NodeId>(30 + case_id % 20);
+  config.venue_size_max = 12;
+  config.seed = 2000 + seed;
+  auto world = GenerateBipartiteWorld(config);
+  if (!world.ok()) return world.status();
+  ProjectionConfig projection;
+  projection.weighted = case_id % 4 == 1;
+  return ProjectMembers(*world, projection);
+}
+
+RankRequest RandomRequest(Rng& rng, const CsrGraph& graph) {
+  RankRequest request;
+  request.p = rng.Uniform(-1.5, 2.0);
+  request.alpha = rng.Uniform(0.5, 0.9);
+  request.beta = graph.weighted() ? rng.Uniform() : 0.0;
+  request.method =
+      rng.Bernoulli(0.5) ? SolverMethod::kPower : SolverMethod::kGaussSeidel;
+  request.tolerance = 1e-11;
+  request.max_iterations = 3000;  // always converge: parity needs it
+  if (rng.Bernoulli(0.6)) {
+    const auto num_seeds = static_cast<size_t>(rng.UniformInt(1, 5));
+    while (request.seeds.size() < num_seeds) {
+      const auto seed = static_cast<NodeId>(
+          rng.UniformInt(0, graph.num_nodes() - 1));
+      if (std::find(request.seeds.begin(), request.seeds.end(), seed) ==
+          request.seeds.end()) {
+        request.seeds.push_back(seed);
+      }
+    }
+  }
+  return request;
+}
+
+/// Top-k agreement modulo near-ties: position j may differ only between
+/// nodes whose reference scores are within tolerance of each other.
+void ExpectTopKAgreement(const std::vector<double>& reference,
+                         const std::vector<double>& routed) {
+  const std::vector<NodeId> expected = TopK(reference, kTopK);
+  const std::vector<NodeId> actual = TopK(routed, kTopK);
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t j = 0; j < expected.size(); ++j) {
+    if (expected[j] == actual[j]) continue;
+    const double score_gap =
+        std::abs(reference[static_cast<size_t>(expected[j])] -
+                 reference[static_cast<size_t>(actual[j])]);
+    EXPECT_LE(score_gap, kScoreTolerance)
+        << "top-" << j << " disagrees beyond a near-tie: node "
+        << expected[j] << " vs " << actual[j];
+  }
+}
+
+TEST(RouterFuzzTest, PartitionedAgreesWithSingleEngineReference) {
+  int split_requests_seen = 0;
+  for (int case_id = 0; case_id < kNumCases; ++case_id) {
+    SCOPED_TRACE("case " + std::to_string(case_id));
+    auto graph = FuzzGraph(case_id);
+    ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+    ASSERT_GT(graph->num_nodes(), 0);
+
+    Rng rng(9000 + static_cast<uint64_t>(case_id));
+    std::vector<RankRequest> requests;
+    for (int i = 0; i < kRequestsPerCase; ++i) {
+      requests.push_back(RandomRequest(rng, *graph));
+    }
+
+    D2prEngine reference = D2prEngine::Borrowing(*graph);
+    auto sequential = reference.RankBatch(requests);
+    ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+
+    const size_t num_shards = 2 + static_cast<size_t>(case_id % 4);
+    EngineRouter router = EngineRouter::Borrowing(
+        *graph, {.num_shards = num_shards,
+                 .policy = RoutingPolicy::kPartitionedTeleport});
+    auto routed = router.RankBatch(requests);
+    ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+    ASSERT_EQ(routed->size(), sequential->size());
+
+    for (size_t i = 0; i < requests.size(); ++i) {
+      SCOPED_TRACE("request " + std::to_string(i));
+      const RankResponse& expected = (*sequential)[i];
+      const RankResponse& actual = (*routed)[i];
+      ASSERT_TRUE(expected.converged);
+      EXPECT_TRUE(actual.converged);
+
+      // Power/Gauss-Seidel under kTeleport preserve total mass exactly;
+      // merged responses are renormalized to mass 1 by contract.
+      EXPECT_NEAR(Sum(actual.scores), 1.0, kMassTolerance);
+
+      ASSERT_EQ(actual.scores.size(), expected.scores.size());
+      double max_diff = 0.0;
+      for (size_t n = 0; n < actual.scores.size(); ++n) {
+        max_diff = std::max(
+            max_diff, std::abs(actual.scores[n] - expected.scores[n]));
+      }
+      EXPECT_LE(max_diff, kScoreTolerance);
+      ExpectTopKAgreement(expected.scores, actual.scores);
+
+      bool spans_shards = false;
+      if (requests[i].seeds.size() > 1) {
+        const size_t owner = router.OwnerShardOf(requests[i].seeds[0]);
+        for (NodeId seed : requests[i].seeds) {
+          if (router.OwnerShardOf(seed) != owner) spans_shards = true;
+        }
+      }
+      if (spans_shards) ++split_requests_seen;
+    }
+  }
+  // The property is only meaningful if the mix actually exercised the
+  // split-and-merge path a substantial number of times.
+  EXPECT_GT(split_requests_seen, 25);
+}
+
+TEST(RouterFuzzTest, ReplicatedIsBitIdenticalOnRandomMixes) {
+  // The replicated policy claims more than tolerance agreement: on the
+  // same random mixes (untagged, so routing freedom is maximal), every
+  // response must be bit-identical to the sequential reference.
+  for (int case_id = 0; case_id < 10; ++case_id) {
+    SCOPED_TRACE("case " + std::to_string(case_id));
+    auto graph = FuzzGraph(case_id);
+    ASSERT_TRUE(graph.ok());
+
+    Rng rng(7000 + static_cast<uint64_t>(case_id));
+    std::vector<RankRequest> requests;
+    for (int i = 0; i < kRequestsPerCase; ++i) {
+      requests.push_back(RandomRequest(rng, *graph));
+    }
+
+    D2prEngine reference = D2prEngine::Borrowing(*graph);
+    auto sequential = reference.RankBatch(requests);
+    ASSERT_TRUE(sequential.ok());
+
+    EngineRouter router = EngineRouter::Borrowing(
+        *graph, {.num_shards = 1 + static_cast<size_t>(case_id % 4)});
+    auto routed = router.RankBatch(requests);
+    ASSERT_TRUE(routed.ok());
+    ASSERT_EQ(routed->size(), sequential->size());
+    for (size_t i = 0; i < routed->size(); ++i) {
+      SCOPED_TRACE("request " + std::to_string(i));
+      EXPECT_EQ((*routed)[i].scores, (*sequential)[i].scores);
+      EXPECT_EQ((*routed)[i].iterations, (*sequential)[i].iterations);
+      EXPECT_EQ((*routed)[i].transition_cache_hit,
+                (*sequential)[i].transition_cache_hit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace d2pr

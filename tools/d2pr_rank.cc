@@ -12,6 +12,10 @@
 // Exercise the serving runtime (repeat the query on a worker pool):
 //   d2pr_rank --graph=edges.txt --threads=4 --repeat=64
 //
+// Shard the engine behind a router (replicated round-robin by default;
+// --route=partitioned splits personalized queries by seed ownership):
+//   d2pr_rank --graph=edges.txt --shards=4 --threads=4 --repeat=64
+//
 // Print structural statistics:
 //   d2pr_rank --graph=edges.txt --stats
 
@@ -29,6 +33,7 @@
 #include "graph/graph_io.h"
 #include "graph/graph_metrics.h"
 #include "graph/graph_stats.h"
+#include "serve/engine_router.h"
 #include "serve/serving_runtime.h"
 #include "stats/ranking.h"
 
@@ -52,7 +57,12 @@ constexpr char kUsage[] =
     "  --significance=FILE  per-node values, required by --tune\n"
     "  --threads=N          serve the query on an N-worker runtime\n"
     "  --repeat=K           execute the final query K times (with\n"
-    "                       --threads: as one parallel batch)\n"
+    "                       --threads/--shards: as one parallel batch)\n"
+    "  --shards=N           serve through an N-shard engine router\n"
+    "                       (not combinable with --tune)\n"
+    "  --route=NAME         routing policy, requires --shards:\n"
+    "                       replicated (default), least-loaded,\n"
+    "                       or partitioned\n"
     "  --stats              print structural statistics and exit\n";
 
 int UsageError(const char* message) {
@@ -96,6 +106,25 @@ Result<SolverMethod> ParseMethod(const std::string& name) {
   return Status::InvalidArgument(StrCat("unknown --method '", name, "'"));
 }
 
+struct RouteSpec {
+  RoutingPolicy policy = RoutingPolicy::kReplicated;
+  ReplicaStrategy strategy = ReplicaStrategy::kRoundRobin;
+};
+
+Result<RouteSpec> ParseRoute(const std::string& name) {
+  RouteSpec spec;
+  if (name.empty() || name == "replicated") return spec;
+  if (name == "least-loaded") {
+    spec.strategy = ReplicaStrategy::kLeastLoaded;
+    return spec;
+  }
+  if (name == "partitioned") {
+    spec.policy = RoutingPolicy::kPartitionedTeleport;
+    return spec;
+  }
+  return Status::InvalidArgument(StrCat("unknown --route '", name, "'"));
+}
+
 // Every flag the tool understands; anything else is a typo the user should
 // hear about instead of a silently ignored option.
 Status CheckKnownFlags(const Flags& flags) {
@@ -103,7 +132,8 @@ Status CheckKnownFlags(const Flags& flags) {
       "graph",  "directed", "weighted",   "p",
       "alpha",  "beta",     "top",        "method",
       "seeds",  "scores-out", "tune",     "significance",
-      "stats",  "threads",  "repeat",
+      "stats",  "threads",  "repeat",     "shards",
+      "route",
   };
   for (const std::string& name : flags.FlagNames()) {
     if (!kKnown.contains(name)) {
@@ -150,8 +180,9 @@ int RunOrDie(const Flags& flags) {
   auto top = flags.GetInt("top", 20);
   auto threads = flags.GetInt("threads", 1);
   auto repeat = flags.GetInt("repeat", 1);
+  auto shards = flags.GetInt("shards", 1);
   if (!p.ok() || !alpha.ok() || !beta.ok() || !top.ok() || !threads.ok() ||
-      !repeat.ok()) {
+      !repeat.ok() || !shards.ok()) {
     return UsageError("bad numeric flag");
   }
   if (*threads < 1) {
@@ -160,6 +191,19 @@ int RunOrDie(const Flags& flags) {
   if (*repeat < 1) {
     return UsageError("--repeat must be >= 1");
   }
+  if (*shards < 1) {
+    return UsageError("--shards must be >= 1");
+  }
+  if (flags.Has("shards") && flags.Has("tune")) {
+    return UsageError(
+        "--shards cannot be combined with --tune (tuning is one warm "
+        "trajectory on one engine; shard after tuning)");
+  }
+  if (flags.Has("route") && !flags.Has("shards")) {
+    return UsageError("--route requires --shards");
+  }
+  auto route = ParseRoute(flags.GetString("route"));
+  if (!route.ok()) return UsageError(route.status().ToString().c_str());
   auto method = ParseMethod(flags.GetString("method"));
   if (!method.ok()) return UsageError(method.status().ToString().c_str());
   std::vector<NodeId> seeds;
@@ -236,30 +280,63 @@ int RunOrDie(const Flags& flags) {
 
   request.seeds = std::move(seeds);
 
+  // One throughput report for every serving configuration: shards and
+  // threads compose, and the single-runtime path reports as one shard.
+  auto report_throughput = [](size_t served, size_t num_shards,
+                              size_t num_threads, double elapsed_ms,
+                              const ScoreCacheStats& cache) {
+    std::fprintf(
+        stderr,
+        "served %zu request(s) on %zu shard(s) x %zu thread(s) in "
+        "%.1f ms (%.0f req/s, score-cache hits %lld/%lld lookups)\n",
+        served, num_shards, num_threads, elapsed_ms,
+        elapsed_ms > 0.0 ? served / (elapsed_ms / 1e3) : 0.0,
+        static_cast<long long>(cache.hits),
+        static_cast<long long>(cache.hits + cache.misses));
+  };
+
   Result<RankResponse> ranked = [&]() -> Result<RankResponse> {
-    if (*threads == 1 && *repeat == 1) return engine.Rank(request);
-    // Serving path: K identical queries as one parallel batch on an
-    // N-worker runtime. The warm-start tag is dropped — repeats are
-    // independent queries, not one trajectory — so the batch exercises
-    // the pool and the score cache the way serving traffic would.
-    ServingOptions serve_options;
-    serve_options.num_threads = static_cast<size_t>(*threads);
-    ServingRuntime runtime = ServingRuntime::Borrowing(engine, serve_options);
+    if (*threads == 1 && *repeat == 1 && *shards == 1) {
+      return engine.Rank(request);
+    }
+    // Serving path: K identical queries as one parallel batch. The
+    // warm-start tag is dropped — repeats are independent queries, not
+    // one trajectory — so the batch exercises the pool, the router, and
+    // the score cache the way serving traffic would.
     RankRequest query = request;
     query.warm_start_tag.clear();
     std::vector<RankRequest> batch(static_cast<size_t>(*repeat), query);
+
+    if (*shards > 1) {
+      RouterOptions router_options;
+      router_options.num_shards = static_cast<size_t>(*shards);
+      router_options.policy = route->policy;
+      router_options.strategy = route->strategy;
+      router_options.score_cache_capacity = 256;
+      // An explicit --threads (even 1: a single-threaded sharding
+      // baseline) sizes the pool; unset defaults to one worker per shard.
+      if (flags.Has("threads")) {
+        router_options.worker_threads = static_cast<size_t>(*threads);
+      }
+      // The shards share the engine's already-loaded graph handle.
+      EngineRouter router(engine.graph_ptr(), router_options);
+      Timer timer;
+      auto responses = router.RankBatch(batch);
+      if (!responses.ok()) return responses.status();
+      report_throughput(batch.size(), router.num_shards(),
+                        router.num_worker_threads(), timer.ElapsedMillis(),
+                        router.score_cache().stats());
+      return std::move(responses->front());
+    }
+
+    ServingOptions serve_options;
+    serve_options.num_threads = static_cast<size_t>(*threads);
+    ServingRuntime runtime = ServingRuntime::Borrowing(engine, serve_options);
     Timer timer;
     auto responses = runtime.RankBatch(batch);
     if (!responses.ok()) return responses.status();
-    const double elapsed_ms = timer.ElapsedMillis();
-    const ScoreCacheStats cache = runtime.score_cache().stats();
-    std::fprintf(stderr,
-                 "served %zu request(s) on %zu thread(s) in %.1f ms "
-                 "(%.0f req/s, score-cache hits %lld/%lld lookups)\n",
-                 batch.size(), runtime.num_threads(), elapsed_ms,
-                 elapsed_ms > 0.0 ? batch.size() / (elapsed_ms / 1e3) : 0.0,
-                 static_cast<long long>(cache.hits),
-                 static_cast<long long>(cache.hits + cache.misses));
+    report_throughput(batch.size(), 1, runtime.num_threads(),
+                      timer.ElapsedMillis(), runtime.score_cache().stats());
     return std::move(responses->front());
   }();
   if (!ranked.ok()) {
