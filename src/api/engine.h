@@ -9,6 +9,10 @@
 //   * the CsrGraph itself (owned or borrowed),
 //   * an LRU cache of TransitionMatrix instances keyed by (p, beta,
 //     metric) — the dominant per-query setup cost,
+//   * optionally, a persistent transition store (EngineOptions::cache_dir):
+//     built matrices spill to disk in a versioned, checksummed format and
+//     a restarted engine maps them back instead of rebuilding — see
+//     api/transition_store.h,
 //   * a warm-start store: previous solutions, keyed by caller-chosen tag,
 //     reused (with linear extrapolation along a parameter trajectory) as
 //     starting iterates for nearby queries,
@@ -60,12 +64,38 @@
 
 #include "api/rank_request.h"
 #include "api/transition_cache.h"
+#include "api/transition_store.h"
 #include "common/result.h"
 #include "core/d2pr.h"
 #include "core/transition.h"
 #include "graph/csr_graph.h"
 
 namespace d2pr {
+
+/// \brief What the engine may do with the persistent transition store
+/// rooted at EngineOptions::cache_dir.
+enum class PersistMode {
+  kOff,        ///< Never touch the store, even when cache_dir is set.
+  kReadOnly,   ///< Map persisted matrices; never write files.
+  kWriteOnly,  ///< Spill built matrices; never read (store (re)builder).
+  kReadWrite,  ///< Both (the serving default).
+};
+
+/// \brief When a writable engine spills newly built matrices.
+enum class PersistPolicy {
+  /// Persist each matrix right after its build, on the building thread.
+  /// Restart-safe by construction; adds one file write to each cold
+  /// build.
+  kWriteThrough,
+  /// Persist only on PersistCachedTransitions() and at engine
+  /// destruction. Keeps the serving path free of writes, at two costs:
+  /// matrices built since the last flush are lost on a crash, and a
+  /// matrix evicted from the in-memory LRU before a flush is never
+  /// spilled at all (only resident matrices can be). Size
+  /// transition_cache_capacity to the working set, or use
+  /// kWriteThrough.
+  kLazy,
+};
 
 /// \brief Engine construction knobs.
 struct EngineOptions {
@@ -75,6 +105,23 @@ struct EngineOptions {
   /// Max distinct warm-start tags retained (each holds the last two
   /// solutions of its trajectory).
   size_t warm_start_capacity = 8;
+  /// Directory of the persistent transition store (see
+  /// api/transition_store.h). Empty (the default) disables persistence
+  /// entirely; engines sharing one graph may share one directory.
+  std::string cache_dir;
+  /// Store permissions; ignored while cache_dir is empty.
+  PersistMode persist_mode = PersistMode::kReadWrite;
+  /// Spill timing for writable modes.
+  PersistPolicy persist_policy = PersistPolicy::kWriteThrough;
+  /// Verify store payload checksums on load (forwarded to the store).
+  bool persist_verify_checksums = true;
+  /// Precomputed GraphFingerprint of *this engine's* graph; 0 = compute
+  /// at construction when a store is attached. EngineRouter sets it so a
+  /// shard fleet over one shared graph hashes the edge arrays once, not
+  /// once per shard. Trusted in release builds — passing another graph's
+  /// fingerprint would defeat the store's cross-graph replay gate —
+  /// so debug builds verify it against the graph.
+  uint64_t precomputed_graph_fingerprint = 0;
 };
 
 /// \brief One-per-graph ranking engine with cached transitions, warm
@@ -108,9 +155,29 @@ class D2prEngine {
   const EngineStats& stats() const { return stats_; }
   void ResetStats() { stats_ = EngineStats{}; }
 
+  /// Flushes unspilled transitions under PersistPolicy::kLazy (spill
+  /// failures are logged, never fatal — the store is an optimization).
+  ~D2prEngine();
+
   /// Drops cached transitions and warm-start solutions (counters are
-  /// kept; pair with ResetStats() for a full reset).
+  /// kept; pair with ResetStats() for a full reset). Under
+  /// PersistPolicy::kLazy, dropped matrices not yet spilled are lost.
   void ClearCaches();
+
+  /// True when a persistent transition store is attached (cache_dir set
+  /// and persist_mode != kOff).
+  bool persistent_store_enabled() const { return store_ != nullptr; }
+
+  /// The graph's store fingerprint; 0 when no store is attached.
+  uint64_t graph_fingerprint() const { return graph_fingerprint_; }
+
+  /// \brief Spills every currently cached transition to the store
+  /// (skipping keys already persisted).
+  ///
+  /// The explicit flush for PersistPolicy::kLazy; harmless (idempotent)
+  /// under write-through. FailedPrecondition when no writable store is
+  /// attached; otherwise the first spill error, or OK.
+  Status PersistCachedTransitions();
 
   /// \brief Executes one ranking query.
   ///
@@ -146,6 +213,16 @@ class D2prEngine {
     return transition_cache_.Keys();
   }
 
+  /// Raw transition-cache lookup counters (the cache's own accounting;
+  /// unlike EngineStats these count every Lookup, including re-checks
+  /// while waiting on a single-flight build).
+  int64_t transition_cache_lookup_hits() const {
+    return transition_cache_.hits();
+  }
+  int64_t transition_cache_lookup_misses() const {
+    return transition_cache_.misses();
+  }
+
  private:
   /// The last two solutions of one warm-start trajectory, newest first.
   struct WarmSnapshot {
@@ -162,11 +239,24 @@ class D2prEngine {
     std::vector<WarmSnapshot> snapshots;  // size <= 2, newest first
   };
 
-  /// Returns the transition for `key`, building it on a miss. Concurrent
-  /// misses on one key are single-flighted: the first caller builds, the
-  /// rest wait on build_cv_ and then take the cache hit.
+  /// Returns the transition for `key`: from the in-memory cache, else
+  /// mapped from the persistent store (readable modes), else built — and
+  /// spilled back under write-through. Concurrent misses on one key are
+  /// single-flighted: the first caller loads/builds, the rest wait on
+  /// build_cv_ and then take the cache hit.
   Result<std::shared_ptr<const TransitionMatrix>> GetTransition(
-      const TransitionKey& key, bool* cache_hit);
+      const TransitionKey& key, bool* cache_hit, bool* store_hit);
+
+  bool StoreReadable() const {
+    return store_ != nullptr &&
+           (options_.persist_mode == PersistMode::kReadOnly ||
+            options_.persist_mode == PersistMode::kReadWrite);
+  }
+  bool StoreWritable() const {
+    return store_ != nullptr &&
+           (options_.persist_mode == PersistMode::kWriteOnly ||
+            options_.persist_mode == PersistMode::kReadWrite);
+  }
 
   /// Returns the starting iterate for a power solve under `request`, or an
   /// empty vector when no compatible warm start exists. When two
@@ -191,6 +281,18 @@ class D2prEngine {
   std::shared_ptr<const CsrGraph> graph_;
   EngineOptions options_;
   TransitionCache transition_cache_;
+
+  /// Persistent spill layer; null unless cache_dir names a directory and
+  /// persist_mode allows any access.
+  std::unique_ptr<TransitionStore> store_;
+  uint64_t graph_fingerprint_ = 0;  ///< Computed once when store_ is set.
+
+  std::mutex persist_mu_;  ///< Guards unspilled_keys_.
+  /// Keys built (not loaded) under PersistPolicy::kLazy and not yet
+  /// flushed. PersistCachedTransitions saves these even when a store
+  /// file already exists, so a rebuilt-after-rejection matrix replaces
+  /// its corrupt file instead of being skipped.
+  std::vector<TransitionKey> unspilled_keys_;
 
   /// Guards building_keys_: the keys with a transition build in flight.
   std::mutex build_mu_;

@@ -75,6 +75,13 @@ struct RankResponse {
   bool converged = false;  ///< Tolerance reached / push completed.
   double residual = 0.0;   ///< Final L1 change (power / GS).
   bool transition_cache_hit = false;  ///< Transition served from cache.
+  /// Transition mapped from the persistent store (a build was skipped).
+  /// As reported by D2prEngine this is mutually exclusive with
+  /// transition_cache_hit; the serve layers (ServingRuntime,
+  /// EngineRouter) normalize transition_cache_hit to the sequential
+  /// reference trace but leave this flag as executed, so a normalized
+  /// response can carry both.
+  bool transition_store_hit = false;
   bool warm_start_hit = false;        ///< Solve started from a stored
                                       ///< (possibly extrapolated) iterate.
 };
@@ -95,6 +102,11 @@ struct EngineStats {
   std::atomic<int64_t> transition_builds{
       0};  ///< TransitionMatrix::Build invocations.
   std::atomic<int64_t> transition_cache_hits{0};
+  /// Matrices mapped in from the persistent store (each replaced a
+  /// transition_builds increment).
+  std::atomic<int64_t> transition_store_loads{0};
+  /// Matrices successfully spilled to the persistent store.
+  std::atomic<int64_t> transition_store_saves{0};
   std::atomic<int64_t> warm_start_hits{0};
   std::atomic<int64_t> solver_iterations{
       0};  ///< Summed power / Gauss-Seidel iterations.
@@ -116,6 +128,12 @@ struct EngineStats {
         std::memory_order_relaxed);
     transition_cache_hits.store(
         other.transition_cache_hits.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    transition_store_loads.store(
+        other.transition_store_loads.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    transition_store_saves.store(
+        other.transition_store_saves.load(std::memory_order_relaxed),
         std::memory_order_relaxed);
     warm_start_hits.store(other.warm_start_hits.load(std::memory_order_relaxed),
                           std::memory_order_relaxed);

@@ -31,6 +31,12 @@ void TransitionCache::Insert(const TransitionKey& key,
   while (entries_.size() > capacity_) entries_.pop_back();
 }
 
+std::vector<std::pair<TransitionKey, std::shared_ptr<const TransitionMatrix>>>
+TransitionCache::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {entries_.begin(), entries_.end()};
+}
+
 std::vector<TransitionKey> TransitionCache::Keys() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<TransitionKey> keys;

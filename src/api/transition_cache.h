@@ -65,6 +65,13 @@ class TransitionCache {
   /// ServingRuntime uses it to replay the reference LRU trace for a batch.
   std::vector<TransitionKey> Keys() const;
 
+  /// Resident entries (key + matrix), most recently used first, without
+  /// perturbing recency or the hit/miss counters. The engine's lazy
+  /// persistence policy spills from this snapshot.
+  std::vector<std::pair<TransitionKey,
+                        std::shared_ptr<const TransitionMatrix>>>
+  Snapshot() const;
+
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return entries_.size();

@@ -1,0 +1,274 @@
+#include "api/transition_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/string_util.h"
+
+namespace d2pr {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', '2', 'P', 'R', 'T', 'M', 'T', 'X'};
+constexpr uint32_t kHeaderBytes = 96;
+constexpr size_t kHeaderChecksumOffset = 80;  // checksum covers [0, 80)
+
+// Header field offsets (see the layout table in transition_store.h).
+constexpr size_t kVersionOffset = 8;
+constexpr size_t kHeaderBytesOffset = 12;
+constexpr size_t kFingerprintOffset = 16;
+constexpr size_t kNumNodesOffset = 24;
+constexpr size_t kNumArcsOffset = 32;
+constexpr size_t kKeyPOffset = 40;
+constexpr size_t kKeyBetaOffset = 48;
+constexpr size_t kKeyMetricOffset = 56;
+constexpr size_t kProbsChecksumOffset = 64;
+constexpr size_t kDanglingChecksumOffset = 72;
+
+std::string Hex16(uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+}  // namespace
+
+TransitionStore::TransitionStore(std::string dir,
+                                 const TransitionStoreOptions& options)
+    : dir_(std::move(dir)), options_(options) {
+  // Best-effort sweep of temp files orphaned by crashed writers, so a
+  // long-lived shared cache_dir does not accumulate matrix-sized junk.
+  // Only temps old enough that no live writer can own them are removed —
+  // a freshly started concurrent process must not lose its in-flight
+  // write.
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir_, ec)) return;
+  const auto now = std::filesystem::file_time_type::clock::now();
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (entry.path().filename().string().find(".d2ptm.tmp.") ==
+        std::string::npos) {
+      continue;
+    }
+    const auto written = std::filesystem::last_write_time(entry.path(), ec);
+    if (!ec && now - written > std::chrono::hours(1)) {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+}
+
+std::string TransitionStore::FileNameFor(uint64_t graph_fingerprint,
+                                         const TransitionKey& key) {
+  return StrCat("tm-", Hex16(graph_fingerprint), "-p",
+                Hex16(std::bit_cast<uint64_t>(key.p)), "-b",
+                Hex16(std::bit_cast<uint64_t>(key.beta)), "-m",
+                static_cast<uint32_t>(key.metric), ".d2ptm");
+}
+
+std::string TransitionStore::PathFor(uint64_t graph_fingerprint,
+                                     const TransitionKey& key) const {
+  return StrCat(dir_, "/", FileNameFor(graph_fingerprint, key));
+}
+
+bool TransitionStore::Contains(uint64_t graph_fingerprint,
+                               const TransitionKey& key) const {
+  std::error_code ec;
+  return std::filesystem::exists(PathFor(graph_fingerprint, key), ec);
+}
+
+Status TransitionStore::Save(uint64_t graph_fingerprint,
+                             const TransitionKey& key,
+                             const TransitionMatrix& matrix) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return Status::IoError(
+        StrCat("cannot create store directory ", dir_, ": ", ec.message()));
+  }
+
+  const std::span<const double> probs = matrix.probs_;
+  const std::span<const uint8_t> dangling = matrix.dangling_;
+
+  std::vector<uint8_t> header;
+  header.reserve(kHeaderBytes);
+  header.insert(header.end(), kMagic, kMagic + sizeof(kMagic));
+  AppendU32(header, kFormatVersion);
+  AppendU32(header, kHeaderBytes);
+  AppendU64(header, graph_fingerprint);
+  AppendI64(header, static_cast<int64_t>(matrix.num_nodes()));
+  AppendI64(header, static_cast<int64_t>(probs.size()));
+  AppendF64(header, key.p);
+  AppendF64(header, key.beta);
+  AppendU32(header, static_cast<uint32_t>(key.metric));
+  AppendU32(header, 0);  // flags, reserved
+  AppendU64(header, Checksum64(probs.data(), probs.size_bytes()));
+  AppendU64(header, Checksum64(dangling.data(), dangling.size_bytes()));
+  AppendU64(header, Checksum64(header.data(), kHeaderChecksumOffset));
+  AppendU64(header, 0);  // padding: probs start 8-byte aligned
+  D2PR_CHECK_EQ(header.size(), static_cast<size_t>(kHeaderBytes));
+
+  // Unique temp name so concurrent writers (router shards sharing one
+  // cache_dir) never interleave into one file; rename is atomic on POSIX.
+  static std::atomic<uint64_t> temp_counter{0};
+  const std::string path = PathFor(graph_fingerprint, key);
+  const std::string temp_path =
+      StrCat(path, ".tmp.", static_cast<int64_t>(::getpid()), ".",
+             static_cast<int64_t>(temp_counter.fetch_add(1)));
+
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError(StrCat("cannot open for write: ", temp_path));
+    }
+    auto put = [&out](const void* data, size_t bytes) {
+      out.write(static_cast<const char*>(data),
+                static_cast<std::streamsize>(bytes));
+    };
+    put(header.data(), header.size());
+    put(probs.data(), probs.size_bytes());
+    put(dangling.data(), dangling.size_bytes());
+    out.flush();
+    if (!out) {
+      std::filesystem::remove(temp_path, ec);
+      return Status::IoError(StrCat("write failed: ", temp_path));
+    }
+  }
+  // Push the data to stable storage before the rename commits the name:
+  // otherwise a power cut can publish an empty/partial file and the warm
+  // store write-through promises is silently gone after the next boot.
+  {
+    const int fd = ::open(temp_path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0 || ::fsync(fd) != 0) {
+      if (fd >= 0) ::close(fd);
+      std::filesystem::remove(temp_path, ec);
+      return Status::IoError(StrCat("cannot fsync: ", temp_path));
+    }
+    ::close(fd);
+  }
+  std::error_code rename_ec;
+  std::filesystem::rename(temp_path, path, rename_ec);
+  if (rename_ec) {
+    const std::string reason = rename_ec.message();  // before remove resets ec
+    std::filesystem::remove(temp_path, ec);
+    return Status::IoError(
+        StrCat("cannot rename ", temp_path, " -> ", path, ": ", reason));
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const TransitionMatrix>> TransitionStore::Load(
+    uint64_t graph_fingerprint, const TransitionKey& key,
+    NodeId expected_num_nodes, EdgeIndex expected_num_arcs) const {
+  const std::string path = PathFor(graph_fingerprint, key);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    return Status::NotFound(StrCat("no persisted transition at ", path));
+  }
+  D2PR_ASSIGN_OR_RETURN(MmapFile file, MmapFile::Open(path));
+  const uint8_t* bytes = file.data();
+
+  // Gate order matters for error quality: identify the file kind first
+  // (magic, version), then prove the header trustworthy (checksum), and
+  // only then interpret its fields.
+  if (file.size() < kHeaderBytes ||
+      std::memcmp(bytes, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError(
+        StrCat(path, ": not a d2pr transition store file (bad magic)"));
+  }
+  const uint32_t version = ReadU32(bytes + kVersionOffset);
+  if (version != kFormatVersion) {
+    return Status::FailedPrecondition(
+        StrCat(path, ": format version ", version, ", this reader supports ",
+               kFormatVersion));
+  }
+  if (ReadU32(bytes + kHeaderBytesOffset) != kHeaderBytes ||
+      ReadU64(bytes + kHeaderChecksumOffset) !=
+          Checksum64(bytes, kHeaderChecksumOffset)) {
+    return Status::IoError(
+        StrCat(path, ": header checksum mismatch (corrupt store file)"));
+  }
+
+  const uint64_t stored_fingerprint = ReadU64(bytes + kFingerprintOffset);
+  if (stored_fingerprint != graph_fingerprint) {
+    return Status::FailedPrecondition(
+        StrCat(path, ": graph fingerprint mismatch (store ",
+               Hex16(stored_fingerprint), ", serving graph ",
+               Hex16(graph_fingerprint),
+               "); the store was built for a different graph"));
+  }
+  const double stored_p = ReadF64(bytes + kKeyPOffset);
+  const double stored_beta = ReadF64(bytes + kKeyBetaOffset);
+  const uint32_t stored_metric = ReadU32(bytes + kKeyMetricOffset);
+  if (std::bit_cast<uint64_t>(stored_p) != std::bit_cast<uint64_t>(key.p) ||
+      std::bit_cast<uint64_t>(stored_beta) !=
+          std::bit_cast<uint64_t>(key.beta) ||
+      stored_metric != static_cast<uint32_t>(key.metric)) {
+    return Status::FailedPrecondition(
+        StrCat(path, ": stored key (p=", stored_p, ", beta=", stored_beta,
+               ", metric=", stored_metric,
+               ") does not match the requested key"));
+  }
+
+  const int64_t num_nodes = ReadI64(bytes + kNumNodesOffset);
+  const int64_t num_arcs = ReadI64(bytes + kNumArcsOffset);
+  // Exact count match against the serving graph — the documented gate
+  // backing up the fingerprint, and what makes every size expression
+  // below safe: from here on the counts are the caller's sane values,
+  // not header-controlled integers that could overflow the arithmetic.
+  if (num_nodes != static_cast<int64_t>(expected_num_nodes) ||
+      num_arcs != static_cast<int64_t>(expected_num_arcs)) {
+    return Status::FailedPrecondition(
+        StrCat(path, ": stored sections (", num_nodes, " nodes, ", num_arcs,
+               " arcs) do not match the serving graph (", expected_num_nodes,
+               " nodes, ", expected_num_arcs,
+               " arcs); the store was built for a different graph"));
+  }
+  const uint64_t expected_size = kHeaderBytes +
+                                 static_cast<uint64_t>(num_arcs) * 8 +
+                                 static_cast<uint64_t>(num_nodes);
+  if (file.size() != expected_size) {
+    return Status::IoError(
+        StrCat(path, ": truncated or oversized store file (", file.size(),
+               " bytes, header advertises ", expected_size, ")"));
+  }
+
+  const uint8_t* probs_bytes = bytes + kHeaderBytes;
+  const uint8_t* dangling_bytes = probs_bytes + num_arcs * 8;
+  if (options_.verify_payload_checksums) {
+    if (ReadU64(bytes + kProbsChecksumOffset) !=
+        Checksum64(probs_bytes, static_cast<size_t>(num_arcs) * 8)) {
+      return Status::IoError(
+          StrCat(path, ": probs section checksum mismatch (corrupt store "
+                       "file)"));
+    }
+    if (ReadU64(bytes + kDanglingChecksumOffset) !=
+        Checksum64(dangling_bytes, static_cast<size_t>(num_nodes))) {
+      return Status::IoError(
+          StrCat(path, ": dangling section checksum mismatch (corrupt "
+                       "store file)"));
+    }
+  }
+
+  auto backing = std::make_shared<const MmapFile>(std::move(file));
+  const std::span<const double> probs{
+      reinterpret_cast<const double*>(probs_bytes),
+      static_cast<size_t>(num_arcs)};
+  const std::span<const uint8_t> dangling{dangling_bytes,
+                                          static_cast<size_t>(num_nodes)};
+  return std::shared_ptr<const TransitionMatrix>(
+      new TransitionMatrix(static_cast<NodeId>(num_nodes), probs, dangling,
+                           std::move(backing)));
+}
+
+}  // namespace d2pr

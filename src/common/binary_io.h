@@ -1,0 +1,92 @@
+// Little-endian binary I/O primitives shared by the persistent file
+// formats (the transition store, and any future on-disk cache).
+//
+// Three pieces:
+//   * fixed-width append/read helpers over raw byte buffers, so a file
+//     format can assemble its header in memory, checksum it, and write it
+//     in one shot;
+//   * Checksum64, the checksum used for per-section corruption detection —
+//     not cryptographic, but deterministic, dependency-free, and reliable
+//     against the truncation and bit-flip failures disks actually produce;
+//   * MmapFile, a read-only memory mapping with RAII unmap, so a reader
+//     can hand out spans into file pages instead of copying payloads.
+
+#ifndef D2PR_COMMON_BINARY_IO_H_
+#define D2PR_COMMON_BINARY_IO_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace d2pr {
+
+// The formats are defined as little-endian; on a big-endian target the
+// helpers would need byte swaps that nothing here implements yet.
+static_assert(std::endian::native == std::endian::little,
+              "d2pr binary formats require a little-endian target");
+
+/// \brief 64-bit FNV-1a-style checksum over `bytes` bytes, continuing
+/// from `seed` so multiple sections can be chained into one running
+/// checksum.
+///
+/// Word-at-a-time variant of FNV-1a (each 8-byte lane is one symbol, the
+/// tail is folded byte-wise): ~8x the throughput of canonical FNV, which
+/// matters because the store verifies multi-megabyte payloads on every
+/// load. Any single-bit flip changes the result (xor then multiply by an
+/// odd prime is bijective per step); truncations are caught by the
+/// explicit size fields, not the checksum.
+uint64_t Checksum64(const void* data, size_t bytes,
+                    uint64_t seed = 14695981039346656037ull);
+
+/// \brief Appends a fixed-width little-endian value to `out`.
+void AppendU32(std::vector<uint8_t>& out, uint32_t value);
+void AppendU64(std::vector<uint8_t>& out, uint64_t value);
+void AppendI64(std::vector<uint8_t>& out, int64_t value);
+/// Appends the IEEE-754 bit pattern, so round-trips are bit-exact
+/// (including NaN payloads and signed zeros).
+void AppendF64(std::vector<uint8_t>& out, double value);
+
+/// \brief Reads a fixed-width little-endian value at `p` (caller has
+/// bounds-checked).
+uint32_t ReadU32(const uint8_t* p);
+uint64_t ReadU64(const uint8_t* p);
+int64_t ReadI64(const uint8_t* p);
+double ReadF64(const uint8_t* p);
+
+/// \brief Read-only memory mapping of a whole file.
+///
+/// Move-only RAII: the mapping lives until destruction, so readers can
+/// share spans into the pages by keeping the MmapFile alive (typically
+/// inside a shared_ptr next to the spans). An empty file maps to an empty
+/// span.
+class MmapFile {
+ public:
+  /// Maps `path` read-only. IoError when the file cannot be opened,
+  /// stat-ed, or mapped.
+  static Result<MmapFile> Open(const std::string& path);
+
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::span<const uint8_t> bytes() const { return {data_, size_}; }
+
+ private:
+  MmapFile(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace d2pr
+
+#endif  // D2PR_COMMON_BINARY_IO_H_

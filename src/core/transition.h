@@ -21,6 +21,7 @@
 #ifndef D2PR_CORE_TRANSITION_H_
 #define D2PR_CORE_TRANSITION_H_
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -28,6 +29,8 @@
 #include "graph/csr_graph.h"
 
 namespace d2pr {
+
+class TransitionStore;
 
 /// \brief Which destination quantity is raised to the power -p.
 enum class DegreeMetric {
@@ -72,6 +75,16 @@ class TransitionMatrix {
   static Result<TransitionMatrix> Build(const CsrGraph& graph,
                                         const TransitionConfig& config);
 
+  // Storage is either owned vectors (Build) or spans into an external
+  // backing such as the persistent store's mmap pages (TransitionStore).
+  // Moves keep the spans valid (vector buffers survive moves); copies
+  // would not, and nothing needs them — matrices are shared via
+  // shared_ptr<const TransitionMatrix>.
+  TransitionMatrix(TransitionMatrix&&) noexcept = default;
+  TransitionMatrix& operator=(TransitionMatrix&&) noexcept = default;
+  TransitionMatrix(const TransitionMatrix&) = delete;
+  TransitionMatrix& operator=(const TransitionMatrix&) = delete;
+
   /// Number of nodes of the underlying graph.
   NodeId num_nodes() const { return num_nodes_; }
 
@@ -95,15 +108,34 @@ class TransitionMatrix {
   double Prob(const CsrGraph& graph, NodeId u, NodeId v) const;
 
  private:
+  /// The store constructs mmap-backed instances via the span constructor
+  /// and serializes the private sections byte-exactly.
+  friend class TransitionStore;
+
   TransitionMatrix(NodeId num_nodes, std::vector<double> probs,
                    std::vector<uint8_t> dangling)
       : num_nodes_(num_nodes),
-        probs_(std::move(probs)),
-        dangling_(std::move(dangling)) {}
+        owned_probs_(std::move(probs)),
+        owned_dangling_(std::move(dangling)),
+        probs_(owned_probs_),
+        dangling_(owned_dangling_) {}
+
+  /// Wraps externally owned storage; `backing` keeps the spans alive for
+  /// the matrix's lifetime (the store passes the mmap-ed file).
+  TransitionMatrix(NodeId num_nodes, std::span<const double> probs,
+                   std::span<const uint8_t> dangling,
+                   std::shared_ptr<const void> backing)
+      : num_nodes_(num_nodes),
+        probs_(probs),
+        dangling_(dangling),
+        backing_(std::move(backing)) {}
 
   NodeId num_nodes_;
-  std::vector<double> probs_;
-  std::vector<uint8_t> dangling_;
+  std::vector<double> owned_probs_;      // empty when externally backed
+  std::vector<uint8_t> owned_dangling_;  // empty when externally backed
+  std::span<const double> probs_;
+  std::span<const uint8_t> dangling_;
+  std::shared_ptr<const void> backing_;  // null when self-owned
 };
 
 /// \brief Resolves DegreeMetric::kAuto for a graph; other values pass

@@ -1,0 +1,30 @@
+#include "graph/graph_fingerprint.h"
+
+#include "common/binary_io.h"
+
+namespace d2pr {
+
+uint64_t GraphFingerprint(const CsrGraph& graph) {
+  // Chain the sections through one running FNV-1a state; the scalar
+  // prefix keeps (kind, weighted) from ever being confused with array
+  // bytes of a graph that happens to share the arrays.
+  const uint32_t header[2] = {
+      static_cast<uint32_t>(graph.kind()),
+      graph.weighted() ? 1u : 0u,
+  };
+  const int64_t counts[2] = {
+      static_cast<int64_t>(graph.num_nodes()),
+      static_cast<int64_t>(graph.num_arcs()),
+  };
+  uint64_t hash = Checksum64(header, sizeof(header));
+  hash = Checksum64(counts, sizeof(counts), hash);
+  hash = Checksum64(graph.offsets().data(),
+                    graph.offsets().size() * sizeof(EdgeIndex), hash);
+  hash = Checksum64(graph.targets().data(),
+                    graph.targets().size() * sizeof(NodeId), hash);
+  hash = Checksum64(graph.weights().data(),
+                    graph.weights().size() * sizeof(double), hash);
+  return hash;
+}
+
+}  // namespace d2pr

@@ -1,0 +1,31 @@
+// GraphFingerprint: a 64-bit identity hash of a graph's exact CSR
+// representation.
+//
+// The persistent transition store keys its files by this fingerprint so a
+// matrix spilled for one graph can never be replayed against another: a
+// TransitionMatrix is only meaningful relative to the arc layout it was
+// built from, and two graphs that differ in a single arc, weight, or
+// direction produce different fingerprints (modulo 64-bit collisions).
+
+#ifndef D2PR_GRAPH_GRAPH_FINGERPRINT_H_
+#define D2PR_GRAPH_GRAPH_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+
+namespace d2pr {
+
+/// \brief Order-sensitive FNV-1a hash over (kind, weightedness,
+/// num_nodes, num_arcs, offsets, targets, weights).
+///
+/// Graphs comparing equal under CsrGraph::operator== share a fingerprint;
+/// the converse holds up to hash collisions, which the store treats as
+/// good enough — a collision only ever substitutes a matrix of another
+/// graph with identical dimensions, and the store additionally matches
+/// node and arc counts before trusting a file.
+uint64_t GraphFingerprint(const CsrGraph& graph);
+
+}  // namespace d2pr
+
+#endif  // D2PR_GRAPH_GRAPH_FINGERPRINT_H_

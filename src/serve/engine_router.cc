@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "graph/graph_fingerprint.h"
 #include "linalg/vec_ops.h"
 
 namespace d2pr {
@@ -33,10 +34,18 @@ EngineRouter::EngineRouter(std::shared_ptr<const CsrGraph> graph,
                 ? options.worker_threads
                 : std::max<size_t>(size_t{1}, options.num_shards)) {
   const size_t num_shards = std::max<size_t>(size_t{1}, options.num_shards);
+  // Shards sharing a persistent store all need the same graph
+  // fingerprint; hash the edge arrays once here instead of once per
+  // shard engine.
+  EngineOptions shard_options = options.engine_options;
+  if (!shard_options.cache_dir.empty() &&
+      shard_options.persist_mode != PersistMode::kOff &&
+      shard_options.precomputed_graph_fingerprint == 0) {
+    shard_options.precomputed_graph_fingerprint = GraphFingerprint(*graph_);
+  }
   shards_.reserve(num_shards);
   for (size_t shard = 0; shard < num_shards; ++shard) {
-    shards_.push_back(
-        std::make_unique<D2prEngine>(graph_, options.engine_options));
+    shards_.push_back(std::make_unique<D2prEngine>(graph_, shard_options));
   }
   for (NodeId node = 0; node < graph_->num_nodes(); ++node) {
     if (graph_->OutDegree(node) == 0) dangling_nodes_.push_back(node);
@@ -177,6 +186,10 @@ RankResponse EngineRouter::MergeParts(const RankRequest& request,
     merged.pushes += part.response.pushes;
     merged.converged = merged.converged && part.response.converged;
     merged.residual = std::max(merged.residual, part.response.residual);
+    // "As executed" store diagnostics survive the merge: any sub-solve
+    // whose transition was mapped from the persistent store reports it.
+    merged.transition_store_hit =
+        merged.transition_store_hit || part.response.transition_store_hit;
   }
   NormalizeL1(merged.scores);
   return merged;

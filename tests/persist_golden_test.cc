@@ -1,0 +1,106 @@
+// Golden-file pin of the transition store's on-disk format.
+//
+// tests/testdata/golden_transition_v1.d2ptm is a version-1 store file for
+// a small, fully deterministic weighted graph, committed to the repo.
+// Today's reader must keep loading it byte-exactly: if this test fails,
+// the format changed in a way that breaks every store already on disk —
+// bump TransitionStore::kFormatVersion (and decide the migration story)
+// instead of silently invalidating old stores.
+//
+// Regenerate the fixture (only when *introducing* a new format version,
+// alongside a new golden file — never to paper over a red run):
+//   D2PR_REGENERATE_GOLDEN=1 ./d2pr_tests --gtest_filter='PersistGolden*'
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "api/transition_store.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_fingerprint.h"
+
+namespace d2pr {
+namespace {
+
+#ifndef D2PR_TEST_DATA_DIR
+#error "tests/CMakeLists.txt must define D2PR_TEST_DATA_DIR"
+#endif
+
+constexpr char kGoldenFixture[] = "/golden_transition_v1.d2ptm";
+
+// The fixture graph, rebuilt from literals so the golden bytes depend on
+// nothing but the format and the transition math.
+CsrGraph GoldenGraph() {
+  GraphBuilder builder(5, GraphKind::kDirected, /*weighted=*/true);
+  EXPECT_TRUE(builder.AddEdge(0, 1, 2.0).ok());
+  EXPECT_TRUE(builder.AddEdge(0, 2, 1.0).ok());
+  EXPECT_TRUE(builder.AddEdge(1, 2, 3.0).ok());
+  EXPECT_TRUE(builder.AddEdge(2, 0, 1.0).ok());
+  EXPECT_TRUE(builder.AddEdge(2, 3, 5.0).ok());
+  EXPECT_TRUE(builder.AddEdge(3, 0, 0.5).ok());
+  auto graph = builder.Build();  // node 4 stays dangling
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+constexpr TransitionKey kGoldenKey{0.75, 0.25, DegreeMetric::kOutStrength};
+
+TEST(PersistGoldenTest, VersionOneFixtureLoadsByteExactly) {
+  const CsrGraph graph = GoldenGraph();
+  const uint64_t fingerprint = GraphFingerprint(graph);
+  const std::string fixture_path =
+      std::string(D2PR_TEST_DATA_DIR) + kGoldenFixture;
+
+  if (std::getenv("D2PR_REGENERATE_GOLDEN") != nullptr) {
+    TransitionStore writer(D2PR_TEST_DATA_DIR);
+    auto built = TransitionMatrix::Build(graph, {.p = kGoldenKey.p,
+                                                 .beta = kGoldenKey.beta,
+                                                 .metric = kGoldenKey.metric});
+    ASSERT_TRUE(built.ok());
+    ASSERT_TRUE(writer.Save(fingerprint, kGoldenKey, *built).ok());
+    std::filesystem::rename(writer.PathFor(fingerprint, kGoldenKey),
+                            fixture_path);
+    GTEST_SKIP() << "regenerated " << fixture_path;
+  }
+
+  ASSERT_TRUE(std::filesystem::exists(fixture_path))
+      << fixture_path
+      << " missing; see the regeneration note in this file";
+
+  // Stage the committed fixture into a store directory under the name
+  // FileNameFor computes today — which also pins the name scheme: if the
+  // scheme changes, existing stores stop resolving and this fails.
+  const std::string store_dir = testing::TempDir() + "/d2pr_golden_store";
+  std::filesystem::remove_all(store_dir);
+  std::filesystem::create_directories(store_dir);
+  TransitionStore store(store_dir);
+  std::filesystem::copy_file(fixture_path,
+                             store.PathFor(fingerprint, kGoldenKey));
+
+  auto loaded = store.Load(fingerprint, kGoldenKey, graph.num_nodes(),
+                           graph.num_arcs());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString()
+                           << "\nThe version-1 format no longer loads. Bump "
+                              "TransitionStore::kFormatVersion instead of "
+                              "changing the v1 layout.";
+
+  auto built = TransitionMatrix::Build(graph, {.p = kGoldenKey.p,
+                                               .beta = kGoldenKey.beta,
+                                               .metric = kGoldenKey.metric});
+  ASSERT_TRUE(built.ok());
+  ASSERT_EQ((*loaded)->num_nodes(), built->num_nodes());
+  ASSERT_EQ((*loaded)->probs().size(), built->probs().size());
+  EXPECT_EQ(std::memcmp((*loaded)->probs().data(), built->probs().data(),
+                        built->probs().size_bytes()),
+            0)
+      << "stored probabilities diverge from today's transition math";
+  for (NodeId v = 0; v < built->num_nodes(); ++v) {
+    EXPECT_EQ((*loaded)->IsDangling(v), built->IsDangling(v));
+  }
+}
+
+}  // namespace
+}  // namespace d2pr

@@ -195,5 +195,37 @@ TEST(ScoreCacheTest, ZeroCapacityDisablesCaching) {
   EXPECT_EQ(cache.stats().insertions, 0);
 }
 
+// A zero-capacity cache constructed with a TTL must behave like the plain
+// zero-capacity cache: nothing is ever resident, so nothing can expire,
+// and every lookup is an honest miss.
+TEST(ScoreCacheTest, ZeroCapacityWithTtlConstruction) {
+  CacheOnFakeClock fixture(0, seconds(10));
+  fixture.cache.Insert("k", MakeResponse(1.0));
+  fixture.Advance(seconds(11));
+  fixture.cache.Insert("k2", MakeResponse(2.0));
+  EXPECT_FALSE(fixture.cache.Lookup("k").has_value());
+  EXPECT_EQ(fixture.cache.size(), 0u);
+
+  const ScoreCacheStats stats = fixture.cache.stats();
+  EXPECT_EQ(stats.insertions, 0);
+  EXPECT_EQ(stats.expirations, 0);
+  EXPECT_EQ(stats.evictions, 0);
+  EXPECT_EQ(stats.misses, 1);
+}
+
+// Expiry is strict: an entry is stale only *past* its TTL, so a lookup at
+// exactly the boundary tick still serves it (and a tick later does not).
+TEST(ScoreCacheTest, TtlBoundaryTickStillServes) {
+  CacheOnFakeClock fixture(8, seconds(10));
+  fixture.cache.Insert("k", MakeResponse(1.0));
+  fixture.Advance(seconds(10));  // age == TTL, not > TTL
+  EXPECT_TRUE(fixture.cache.Lookup("k").has_value());
+  EXPECT_EQ(fixture.cache.stats().expirations, 0);
+
+  fixture.Advance(seconds(1));  // first tick past the boundary
+  EXPECT_FALSE(fixture.cache.Lookup("k").has_value());
+  EXPECT_EQ(fixture.cache.stats().expirations, 1);
+}
+
 }  // namespace
 }  // namespace d2pr

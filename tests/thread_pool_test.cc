@@ -8,9 +8,11 @@
 #include <atomic>
 #include <chrono>
 #include <latch>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <thread>
+#include <vector>
 
 namespace d2pr {
 namespace {
@@ -57,6 +59,40 @@ TEST(ThreadPoolTest, TasksRunOffTheCallingThread) {
   EXPECT_FALSE(worker_ids.contains(std::this_thread::get_id()));
   EXPECT_GE(worker_ids.size(), 1u);
   EXPECT_LE(worker_ids.size(), 2u);
+}
+
+// Deterministic drain-on-shutdown (no sleeps): every worker is parked on
+// a latch while a backlog piles up, destruction begins with the queue
+// still full, and each queued task — with its own heap allocation, so a
+// dropped task would leak under sanitizers — must run exactly once.
+TEST(ThreadPoolTest, DestructionWithTasksStillQueuedRunsEachExactlyOnce) {
+  constexpr int kWorkers = 3;
+  constexpr int kBacklog = 64;
+  std::atomic<int> ran{0};
+  std::atomic<int64_t> payload_sum{0};
+  std::latch workers_parked(kWorkers);
+  std::latch release(1);
+  {
+    ThreadPool pool(kWorkers);
+    for (int w = 0; w < kWorkers; ++w) {
+      pool.Submit([&] {
+        workers_parked.count_down();
+        release.wait();
+      });
+    }
+    workers_parked.wait();  // queue is provably empty of running tasks
+    for (int i = 0; i < kBacklog; ++i) {
+      auto payload = std::make_shared<std::vector<int64_t>>(100, i);
+      pool.Submit([&, payload] {
+        ran.fetch_add(1);
+        payload_sum.fetch_add(payload->front());
+      });
+    }
+    release.count_down();
+  }  // destructor joins only after the backlog drains
+  EXPECT_EQ(ran.load(), kBacklog);
+  EXPECT_EQ(payload_sum.load(),
+            static_cast<int64_t>(kBacklog) * (kBacklog - 1) / 2);
 }
 
 TEST(ThreadPoolTest, DestructorDrainsQueuedBacklog) {

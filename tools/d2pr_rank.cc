@@ -63,6 +63,11 @@ constexpr char kUsage[] =
     "  --route=NAME         routing policy, requires --shards:\n"
     "                       replicated (default), least-loaded,\n"
     "                       or partitioned\n"
+    "  --cache-dir=DIR      persistent transition store: built matrices\n"
+    "                       spill to DIR and later runs map them back\n"
+    "                       instead of rebuilding\n"
+    "  --cache-mode=MODE    store access, requires --cache-dir:\n"
+    "                       off, read, write, or rw (default)\n"
     "  --stats              print structural statistics and exit\n";
 
 int UsageError(const char* message) {
@@ -111,6 +116,14 @@ struct RouteSpec {
   ReplicaStrategy strategy = ReplicaStrategy::kRoundRobin;
 };
 
+Result<PersistMode> ParseCacheMode(const std::string& name) {
+  if (name.empty() || name == "rw") return PersistMode::kReadWrite;
+  if (name == "off") return PersistMode::kOff;
+  if (name == "read") return PersistMode::kReadOnly;
+  if (name == "write") return PersistMode::kWriteOnly;
+  return Status::InvalidArgument(StrCat("unknown --cache-mode '", name, "'"));
+}
+
 Result<RouteSpec> ParseRoute(const std::string& name) {
   RouteSpec spec;
   if (name.empty() || name == "replicated") return spec;
@@ -133,7 +146,7 @@ Status CheckKnownFlags(const Flags& flags) {
       "alpha",  "beta",     "top",        "method",
       "seeds",  "scores-out", "tune",     "significance",
       "stats",  "threads",  "repeat",     "shards",
-      "route",
+      "route",  "cache-dir", "cache-mode",
   };
   for (const std::string& name : flags.FlagNames()) {
     if (!kKnown.contains(name)) {
@@ -204,6 +217,16 @@ int RunOrDie(const Flags& flags) {
   }
   auto route = ParseRoute(flags.GetString("route"));
   if (!route.ok()) return UsageError(route.status().ToString().c_str());
+  if (flags.Has("cache-mode") && !flags.Has("cache-dir")) {
+    return UsageError("--cache-mode requires --cache-dir");
+  }
+  if (flags.Has("cache-dir") && flags.GetString("cache-dir").empty()) {
+    return UsageError("--cache-dir requires a directory path");
+  }
+  auto cache_mode = ParseCacheMode(flags.GetString("cache-mode"));
+  if (!cache_mode.ok()) {
+    return UsageError(cache_mode.status().ToString().c_str());
+  }
   auto method = ParseMethod(flags.GetString("method"));
   if (!method.ok()) return UsageError(method.status().ToString().c_str());
   std::vector<NodeId> seeds;
@@ -249,10 +272,16 @@ int RunOrDie(const Flags& flags) {
   request.beta = *beta;
   request.method = *method;
 
+  EngineOptions engine_options;
+  if (flags.Has("cache-dir")) {
+    engine_options.cache_dir = flags.GetString("cache-dir");
+    engine_options.persist_mode = *cache_mode;
+  }
+
   // One engine serves the whole invocation: when --tune runs first, the
   // final ranking's transition matrix is typically already cached from
   // the best probe.
-  D2prEngine engine = D2prEngine::Borrowing(*graph);
+  D2prEngine engine = D2prEngine::Borrowing(*graph, engine_options);
 
   if (flags.Has("tune")) {
     auto significance = ReadValuesFile(flags.GetString("significance"));
@@ -279,6 +308,29 @@ int RunOrDie(const Flags& flags) {
   }
 
   request.seeds = std::move(seeds);
+
+  // Transition accounting printed for every path — single engine, pooled
+  // runtime, and router alike — so runs are comparable no matter how they
+  // were served. The router path fills this from its shard fleet; every
+  // other path reads the one engine after the solve.
+  struct TransitionReport {
+    int64_t builds = 0;
+    int64_t cache_hits = 0;
+    int64_t cache_lookups = 0;
+    int64_t store_loads = 0;
+    int64_t store_saves = 0;
+
+    void Accumulate(const D2prEngine& from) {
+      const EngineStats snapshot = from.stats();
+      builds += snapshot.transition_builds;
+      cache_hits += from.transition_cache_lookup_hits();
+      cache_lookups += from.transition_cache_lookup_hits() +
+                       from.transition_cache_lookup_misses();
+      store_loads += snapshot.transition_store_loads;
+      store_saves += snapshot.transition_store_saves;
+    }
+  };
+  TransitionReport transition_report;
 
   // One throughput report for every serving configuration: shards and
   // threads compose, and the single-runtime path reports as one shard.
@@ -313,6 +365,14 @@ int RunOrDie(const Flags& flags) {
       router_options.policy = route->policy;
       router_options.strategy = route->strategy;
       router_options.score_cache_capacity = 256;
+      // Shards share the persistent store: the first run spills each
+      // matrix once, later shards and later runs map it back. The outer
+      // engine already fingerprinted the graph; reuse it.
+      router_options.engine_options = engine_options;
+      if (engine.persistent_store_enabled()) {
+        router_options.engine_options.precomputed_graph_fingerprint =
+            engine.graph_fingerprint();
+      }
       // An explicit --threads (even 1: a single-threaded sharding
       // baseline) sizes the pool; unset defaults to one worker per shard.
       if (flags.Has("threads")) {
@@ -326,6 +386,9 @@ int RunOrDie(const Flags& flags) {
       report_throughput(batch.size(), router.num_shards(),
                         router.num_worker_threads(), timer.ElapsedMillis(),
                         router.score_cache().stats());
+      for (size_t s = 0; s < router.num_shards(); ++s) {
+        transition_report.Accumulate(router.shard(s));
+      }
       return std::move(responses->front());
     }
 
@@ -343,6 +406,18 @@ int RunOrDie(const Flags& flags) {
     std::fprintf(stderr, "%s\n", ranked.status().ToString().c_str());
     return 1;
   }
+  // Every non-router path (single query, repeated queries, pooled
+  // runtime) served through this one engine.
+  if (*shards == 1) transition_report.Accumulate(engine);
+  std::fprintf(
+      stderr,
+      "transition stats: %lld build(s), cache hits %lld/%lld lookups, "
+      "store loads %lld, store saves %lld\n",
+      static_cast<long long>(transition_report.builds),
+      static_cast<long long>(transition_report.cache_hits),
+      static_cast<long long>(transition_report.cache_lookups),
+      static_cast<long long>(transition_report.store_loads),
+      static_cast<long long>(transition_report.store_saves));
   if (ranked->method == SolverMethod::kForwardPush) {
     std::fprintf(stderr,
                  "solved with %s in %lld pushes (completed: %s)\n",
@@ -353,10 +428,11 @@ int RunOrDie(const Flags& flags) {
     std::fprintf(
         stderr,
         "solved with %s in %d iterations (converged: %s, cached "
-        "transition: %s)\n",
+        "transition: %s, persisted transition: %s)\n",
         SolverMethodName(ranked->method), ranked->iterations,
         ranked->converged ? "yes" : "no",
-        ranked->transition_cache_hit ? "yes" : "no");
+        ranked->transition_cache_hit ? "yes" : "no",
+        ranked->transition_store_hit ? "yes" : "no");
   }
 
   const std::string out_path = flags.GetString("scores-out");
