@@ -276,43 +276,9 @@ Result<RankResponse> D2prEngine::Rank(const RankRequest& request) {
     std::atomic<int64_t>& gauge;
     ~InflightGuard() { --gauge; }
   } inflight_guard{stats_.requests_inflight};
-  // Mirror the transition builder's parameter checks before touching the
-  // cache: the key folds beta to 0 on unweighted graphs, which must not
-  // let an out-of-range beta hit a cached matrix instead of erroring.
-  if (!std::isfinite(request.p)) {
-    return Status::InvalidArgument(
-        StrCat("de-coupling weight p must be finite, got ", request.p));
-  }
-  if (!(request.beta >= 0.0 && request.beta <= 1.0)) {  // rejects NaN too
-    return Status::InvalidArgument(
-        StrCat("beta must lie in [0, 1], got ", request.beta));
-  }
-  // Pre-check the solver knobs too (the solvers re-validate; messages
-  // mirror theirs): an invalid request must not pay an O(|E|) transition
-  // build nor insert an entry that evicts a hot one.
-  if (!(request.alpha >= 0.0) || request.alpha >= 1.0) {
-    return Status::InvalidArgument(
-        StrCat("alpha must lie in [0, 1), got ", request.alpha));
-  }
-  if (request.method == SolverMethod::kForwardPush) {
-    if (!(request.push_epsilon > 0.0)) {
-      return Status::InvalidArgument("epsilon must be positive");
-    }
-    if (request.dangling == DanglingPolicy::kSelfLoop) {
-      return Status::InvalidArgument(
-          "forward push does not support DanglingPolicy::kSelfLoop");
-    }
-  } else {
-    if (!(request.tolerance > 0.0)) {
-      return Status::InvalidArgument(
-          StrCat("tolerance must be positive, got ", request.tolerance));
-    }
-    if (request.max_iterations < 1) {
-      return Status::InvalidArgument(
-          StrCat("max_iterations must be >= 1, got ",
-                 request.max_iterations));
-    }
-  }
+  // Parameter checks run before the cache is touched; shared with every
+  // other serving front end so the surface errors identically per mode.
+  D2PR_RETURN_NOT_OK(ValidateRankRequestParameters(request));
 
   // The teleport vector is validated before the transition is fetched for
   // the same reason as the parameter checks above: bad seeds must not pay

@@ -38,6 +38,17 @@ enum class SolverMethod {
 /// "forward-push").
 const char* SolverMethodName(SolverMethod method);
 
+struct RankRequest;
+
+/// \brief Validates a request's parameters (p finite, beta in [0, 1],
+/// alpha in [0, 1), then the active solver's knobs) with the exact
+/// checks and messages D2prEngine::Rank applies before touching its
+/// caches. Every serving front end (the engine, EngineRouter's
+/// partitioned-subgraph mode) calls this one function, so the surface
+/// errors identically no matter which mode backs it — a contract
+/// tests/partition_parity_test.cc asserts string-for-string.
+Status ValidateRankRequestParameters(const RankRequest& request);
+
 /// \brief One ranking query against a D2prEngine.
 struct RankRequest {
   // --- transition model (cache key) ---
@@ -84,6 +95,12 @@ struct RankResponse {
   bool transition_store_hit = false;
   bool warm_start_hit = false;        ///< Solve started from a stored
                                       ///< (possibly extrapolated) iterate.
+  /// Served by a block solve over an edge-partitioned graph
+  /// (EngineRouter's partitioned-subgraph mode) instead of a whole-graph
+  /// engine. Scores are reference-parity either way (bit-identical for
+  /// power iteration); the flag exists so telemetry can attribute
+  /// latency to the exchange loop.
+  bool served_partitioned = false;
 };
 
 /// \brief Cumulative per-engine counters, exposed for serving telemetry

@@ -11,23 +11,14 @@ namespace d2pr {
 Result<PagerankResult> SolvePagerankGaussSeidel(
     const CsrGraph& graph, const TransitionMatrix& transition,
     std::span<const double> teleport, const PagerankOptions& options) {
-  if (!(options.alpha >= 0.0) || options.alpha >= 1.0) {
-    return Status::InvalidArgument(
-        StrCat("alpha must lie in [0, 1), got ", options.alpha));
-  }
-  if (!(options.tolerance > 0.0)) {
-    return Status::InvalidArgument("tolerance must be positive");
-  }
-  if (options.max_iterations < 1) {
-    return Status::InvalidArgument("max_iterations must be >= 1");
-  }
+  D2PR_RETURN_NOT_OK(ValidatePagerankOptions(options));
   const NodeId n = graph.num_nodes();
   if (n != transition.num_nodes()) {
-    return Status::InvalidArgument("graph/transition size mismatch");
+    return Status::InvalidArgument(
+        StrCat("graph has ", n, " nodes but transition matrix has ",
+               transition.num_nodes()));
   }
-  if (teleport.size() != static_cast<size_t>(n)) {
-    return Status::InvalidArgument("teleport size mismatch");
-  }
+  D2PR_RETURN_NOT_OK(ValidateTeleportVector(teleport, n));
 
   PagerankResult result;
   if (n == 0) {

@@ -8,9 +8,7 @@
 
 namespace d2pr {
 
-namespace {
-
-Status ValidateOptions(const PagerankOptions& options) {
+Status ValidatePagerankOptions(const PagerankOptions& options) {
   if (!(options.alpha >= 0.0) || options.alpha >= 1.0) {
     return Status::InvalidArgument(
         StrCat("alpha must lie in [0, 1), got ", options.alpha));
@@ -26,7 +24,8 @@ Status ValidateOptions(const PagerankOptions& options) {
   return Status::OK();
 }
 
-Status ValidateTeleport(std::span<const double> teleport, NodeId num_nodes) {
+Status ValidateTeleportVector(std::span<const double> teleport,
+                              NodeId num_nodes) {
   if (teleport.size() != static_cast<size_t>(num_nodes)) {
     return Status::InvalidArgument(
         StrCat("teleport size ", teleport.size(), " != num nodes ",
@@ -46,8 +45,6 @@ Status ValidateTeleport(std::span<const double> teleport, NodeId num_nodes) {
   return Status::OK();
 }
 
-}  // namespace
-
 Result<PagerankResult> SolvePagerank(const CsrGraph& graph,
                                      const TransitionMatrix& transition,
                                      std::span<const double> teleport,
@@ -60,14 +57,14 @@ Result<PagerankResult> SolvePagerankFrom(const CsrGraph& graph,
                                          std::span<const double> teleport,
                                          std::span<const double> initial,
                                          const PagerankOptions& options) {
-  D2PR_RETURN_NOT_OK(ValidateOptions(options));
+  D2PR_RETURN_NOT_OK(ValidatePagerankOptions(options));
   const NodeId n = graph.num_nodes();
   if (n != transition.num_nodes()) {
     return Status::InvalidArgument(
         StrCat("graph has ", n, " nodes but transition matrix has ",
                transition.num_nodes()));
   }
-  D2PR_RETURN_NOT_OK(ValidateTeleport(teleport, n));
+  D2PR_RETURN_NOT_OK(ValidateTeleportVector(teleport, n));
   if (initial.size() != static_cast<size_t>(n)) {
     return Status::InvalidArgument("initial vector size mismatch");
   }

@@ -50,6 +50,17 @@ struct PagerankResult {
   double residual = 0.0;       ///< Final L1 change.
 };
 
+/// \brief Validates solver options (alpha in [0, 1), tolerance > 0,
+/// max_iterations >= 1). One copy of these checks — and their message
+/// strings — shared by the power, Gauss-Seidel, and block solvers.
+Status ValidatePagerankOptions(const PagerankOptions& options);
+
+/// \brief Validates a teleport vector against a node count: exact size,
+/// non-negative entries, sum 1 within 1e-9. Shared like
+/// ValidatePagerankOptions.
+Status ValidateTeleportVector(std::span<const double> teleport,
+                              NodeId num_nodes);
+
 /// \brief Runs power iteration with an explicit teleport vector.
 ///
 /// Requirements (else InvalidArgument): alpha in [0, 1); tolerance > 0;

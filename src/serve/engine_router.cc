@@ -1,11 +1,15 @@
 #include "serve/engine_router.h"
 
 #include <algorithm>
+#include <exception>
 #include <latch>
 #include <limits>
 #include <unordered_map>
 #include <utility>
 
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/teleport.h"
 #include "graph/graph_fingerprint.h"
 #include "linalg/vec_ops.h"
 
@@ -30,10 +34,44 @@ EngineRouter::EngineRouter(std::shared_ptr<const CsrGraph> graph,
       shard_map_(options.shard_map ? options.shard_map
                                    : std::make_shared<ModuloShardMap>()),
       score_cache_(ToScoreCacheOptions(options)),
+      partition_transitions_(options.engine_options.transition_cache_capacity),
       pool_(options.worker_threads > 0
                 ? options.worker_threads
                 : std::max<size_t>(size_t{1}, options.num_shards)) {
   const size_t num_shards = std::max<size_t>(size_t{1}, options.num_shards);
+  if (options.policy == RoutingPolicy::kPartitionedSubgraph) {
+    // Edge-partitioned serving: materialize the per-shard subgraphs once;
+    // no whole-graph shard engines exist in this mode. Build can only
+    // fail on a zero shard count, which the clamp above rules out.
+    // The block solvers pull through the in-CSR only; skipping the
+    // out-CSR halves the partition's arc memory for pure serving.
+    auto partition = GraphPartition::Build(
+        *graph_, {.scheme = options.partition_scheme,
+                  .num_shards = num_shards,
+                  .build_out_csr = false});
+    D2PR_CHECK(partition.ok()) << partition.status().ToString();
+    partition_ = std::make_unique<const GraphPartition>(
+        std::move(partition).value());
+    partition_uniform_teleport_ = UniformTeleport(graph_->num_nodes());
+    // The shared per-key matrices honor the persistent store exactly as
+    // a whole-graph engine does: one fingerprint, load-before-build,
+    // write-through spill.
+    const EngineOptions& eo = options_.engine_options;
+    if (!eo.cache_dir.empty() && eo.persist_mode != PersistMode::kOff) {
+      TransitionStoreOptions store_options;
+      store_options.verify_payload_checksums = eo.persist_verify_checksums;
+      partition_store_ =
+          std::make_unique<TransitionStore>(eo.cache_dir, store_options);
+      partition_graph_fingerprint_ =
+          eo.precomputed_graph_fingerprint != 0
+              ? eo.precomputed_graph_fingerprint
+              : GraphFingerprint(*graph_);
+      D2PR_DCHECK(eo.precomputed_graph_fingerprint == 0 ||
+                  partition_graph_fingerprint_ == GraphFingerprint(*graph_))
+          << "precomputed_graph_fingerprint does not match this graph";
+    }
+    return;
+  }
   // Shards sharing a persistent store all need the same graph
   // fingerprint; hash the edge arrays once here instead of once per
   // shard engine.
@@ -64,11 +102,11 @@ EngineRouter EngineRouter::Borrowing(const CsrGraph& graph,
 }
 
 size_t EngineRouter::ShardForTag(const std::string& tag) const {
-  return std::hash<std::string>{}(tag) % shards_.size();
+  return std::hash<std::string>{}(tag) % num_shards();
 }
 
 size_t EngineRouter::OwnerShardOf(NodeId node) const {
-  return shard_map_->OwnerOf(node, shards_.size());
+  return shard_map_->OwnerOf(node, num_shards());
 }
 
 bool EngineRouter::AdvanceReferenceLruLocked(const TransitionKey& key) {
@@ -210,7 +248,230 @@ Result<RankResponse> EngineRouter::ExecuteUnits(const RankRequest& request,
   return MergeParts(request, std::move(parts));
 }
 
+Result<std::shared_ptr<const TransitionMatrix>>
+EngineRouter::PartitionTransition(const TransitionKey& key, bool* cache_hit,
+                                  bool* store_hit) {
+  // Per-key single-flight, the engine's build_cv_ discipline: the mutex
+  // guards only the in-flight key list, never a load, build, or spill —
+  // distinct keys proceed in parallel, and concurrent requesters of one
+  // key wait for the winner and take its entry as a cache hit.
+  {
+    std::unique_lock<std::mutex> lock(partition_build_mu_);
+    for (;;) {
+      if (std::shared_ptr<const TransitionMatrix> cached =
+              partition_transitions_.Lookup(key)) {
+        *cache_hit = true;
+        return cached;
+      }
+      if (std::find(partition_building_keys_.begin(),
+                    partition_building_keys_.end(),
+                    key) == partition_building_keys_.end()) {
+        break;
+      }
+      partition_build_cv_.wait(lock);
+    }
+    partition_building_keys_.push_back(key);
+  }
+
+  *cache_hit = false;
+  const bool store_readable =
+      partition_store_ != nullptr &&
+      (options_.engine_options.persist_mode == PersistMode::kReadOnly ||
+       options_.engine_options.persist_mode == PersistMode::kReadWrite);
+  const bool store_writable =
+      partition_store_ != nullptr &&
+      (options_.engine_options.persist_mode == PersistMode::kWriteOnly ||
+       options_.engine_options.persist_mode == PersistMode::kReadWrite);
+
+  Status error;
+  std::shared_ptr<const TransitionMatrix> shared;
+  bool built_fresh = false;
+
+  // Spill layer first: mapping a persisted matrix is O(1) against the
+  // O(|E|) rebuild; a missing file is the expected cold path, a rejected
+  // file is surfaced loudly but never used.
+  if (store_readable) {
+    auto loaded =
+        partition_store_->Load(partition_graph_fingerprint_, key,
+                               graph_->num_nodes(), graph_->num_arcs());
+    if (loaded.ok()) {
+      *store_hit = true;
+      ++partition_transition_store_loads_;
+      shared = std::move(loaded).value();
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      D2PR_LOG(Warning) << "transition store rejected; rebuilding: "
+                        << loaded.status().ToString();
+    }
+  }
+
+  if (shared == nullptr) {
+    TransitionConfig config;
+    config.p = key.p;
+    config.beta = key.beta;
+    config.metric = key.metric;
+    // Built from the whole graph: row probabilities depend on global
+    // destination metrics (a boundary target's degree is invisible
+    // inside one shard), and sharing one matrix is exactly what makes
+    // the block solve's bit-parity provable. Shards read their slices
+    // through the partition's arc index.
+    Result<TransitionMatrix> built = TransitionMatrix::Build(*graph_, config);
+    if (built.ok()) {
+      ++partition_transition_builds_;
+      shared =
+          std::make_shared<const TransitionMatrix>(std::move(built).value());
+      built_fresh = true;
+    } else {
+      error = built.status();
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(partition_build_mu_);
+    std::erase(partition_building_keys_, key);
+    if (shared != nullptr) partition_transitions_.Insert(key, shared);
+  }
+  // Wake waiters whether the load/build succeeded (they hit the cache)
+  // or failed (they retry and report the error themselves).
+  partition_build_cv_.notify_all();
+  if (!error.ok()) return error;
+
+  if (built_fresh && store_writable) {
+    // Always write-through, after the single-flight slot is released so
+    // waiters never stall on disk; a failed spill is an optimization
+    // lost, never an error.
+    const Status saved =
+        partition_store_->Save(partition_graph_fingerprint_, key, *shared);
+    if (saved.ok()) {
+      ++partition_transition_store_saves_;
+    } else {
+      D2PR_LOG(Warning) << "transition store spill failed: "
+                        << saved.ToString();
+    }
+  }
+  return shared;
+}
+
+Result<RankResponse> EngineRouter::RankPartitioned(const RankRequest& request,
+                                                   bool allow_pool) {
+  const bool cacheable =
+      score_cache_.capacity() > 0 && request.warm_start_tag.empty();
+  std::string memo_key;
+  if (cacheable) {
+    memo_key = ScoreCache::KeyFor(request);
+    if (std::optional<RankResponse> memo = score_cache_.Lookup(memo_key)) {
+      return std::move(*memo);
+    }
+  }
+
+  // The shared parameter validation keeps this mode's errors identical
+  // to D2prEngine::Rank; the two mode-specific rejections come after it
+  // so they cost no O(|E|) build and no cache eviction.
+  D2PR_RETURN_NOT_OK(ValidateRankRequestParameters(request));
+  if (request.method == SolverMethod::kForwardPush) {
+    // Forward push walks the whole forward adjacency from its seeds; it
+    // has no block formulation here. Fail cleanly instead of serving a
+    // silently different algorithm.
+    return Status::InvalidArgument(
+        "forward push is not supported in partitioned-subgraph routing; "
+        "use power or gauss-seidel, or a replicated router");
+  }
+  if (request.method == SolverMethod::kGaussSeidel) {
+    D2PR_RETURN_NOT_OK(ValidateBlockGaussSeidelPolicy(request.dangling));
+  }
+
+  std::vector<double> seeded;
+  std::span<const double> teleport;
+  if (!request.seeds.empty()) {
+    Result<std::vector<double>> built =
+        SeededTeleport(graph_->num_nodes(), request.seeds);
+    if (!built.ok()) return built.status();
+    seeded = std::move(built).value();
+    teleport = seeded;
+  } else {
+    teleport = partition_uniform_teleport_;
+  }
+
+  TransitionKey key;
+  key.p = request.p;
+  key.beta = graph_->weighted() ? request.beta : 0.0;
+  key.metric = ResolveMetric(*graph_, request.metric);
+  bool cache_hit = false;
+  bool store_hit = false;
+  Result<std::shared_ptr<const TransitionMatrix>> transition =
+      PartitionTransition(key, &cache_hit, &store_hit);
+  if (!transition.ok()) return transition.status();
+
+  PagerankOptions solver;
+  solver.alpha = request.alpha;
+  solver.tolerance = request.tolerance;
+  solver.max_iterations = request.max_iterations;
+  solver.dangling = request.dangling;
+
+  // Shard sweeps write disjoint owned slices, so they fan out across the
+  // worker pool when the caller is not itself a pool worker.
+  BlockParallelFor parallel;
+  if (allow_pool && partition_->num_shards() > 1) {
+    parallel = [this](size_t count, const std::function<void(size_t)>& fn) {
+      std::latch done(static_cast<ptrdiff_t>(count));
+      std::mutex sweep_mu;
+      std::exception_ptr sweep_error;
+      for (size_t i = 0; i < count; ++i) {
+        pool_.Submit([&done, &fn, &sweep_mu, &sweep_error, i] {
+          // Count down even if fn throws: a lost tick would deadlock the
+          // waiting solve (the pool survives task exceptions by design).
+          struct Tick {
+            std::latch& latch;
+            ~Tick() { latch.count_down(); }
+          } tick{done};
+          try {
+            fn(i);
+          } catch (...) {
+            // Captured and rethrown on the waiting thread: a sweep that
+            // died must fail the solve, not leave its slice silently
+            // unwritten under a converged-looking response.
+            std::lock_guard<std::mutex> lock(sweep_mu);
+            if (!sweep_error) sweep_error = std::current_exception();
+          }
+        });
+      }
+      done.wait();
+      if (sweep_error) std::rethrow_exception(sweep_error);
+    };
+  }
+
+  Result<PagerankResult> solved = [&]() -> Result<PagerankResult> {
+    try {
+      return request.method == SolverMethod::kGaussSeidel
+                 ? SolveGaussSeidelPartitioned(**transition, *partition_,
+                                               teleport, solver, parallel)
+                 : SolvePagerankPartitioned(**transition, *partition_,
+                                            teleport, solver, parallel);
+    } catch (const std::exception& e) {
+      return Status::Internal(
+          StrCat("partitioned shard sweep threw: ", e.what()));
+    } catch (...) {
+      return Status::Internal("partitioned shard sweep threw");
+    }
+  }();
+  if (!solved.ok()) return solved.status();
+
+  RankResponse response;
+  response.method = request.method;
+  response.iterations = solved->iterations;
+  response.converged = solved->converged;
+  response.residual = solved->residual;
+  response.scores = std::move(solved->scores);
+  response.transition_cache_hit = cache_hit;
+  response.transition_store_hit = store_hit;
+  response.served_partitioned = true;
+  // Warm starts are a whole-graph engine construct; tagged requests
+  // solve cold here and warm_start_hit stays false.
+  if (cacheable) score_cache_.Insert(memo_key, response);
+  return response;
+}
+
 Result<RankResponse> EngineRouter::Rank(const RankRequest& request) {
+  if (partition_) return RankPartitioned(request, /*allow_pool=*/true);
   const bool cacheable =
       score_cache_.capacity() > 0 && request.warm_start_tag.empty();
   std::string key;
@@ -252,6 +513,20 @@ Result<std::vector<RankResponse>> EngineRouter::RankBatch(
     std::span<const RankRequest> requests) {
   std::vector<RankResponse> responses(requests.size());
   if (requests.empty()) return responses;
+
+  if (partition_) {
+    // Partitioned-subgraph batches run in submission order, fail-fast —
+    // exactly the sequential single-engine contract. Each solve already
+    // parallelizes internally across the shard sweeps, so request-level
+    // fan-out would only fight it for the same workers.
+    for (size_t i = 0; i < requests.size(); ++i) {
+      Result<RankResponse> response =
+          RankPartitioned(requests[i], /*allow_pool=*/true);
+      if (!response.ok()) return response.status();
+      responses[i] = std::move(response).value();
+    }
+    return responses;
+  }
 
   // Memo probes run before planning so the O(num_nodes) response copies
   // happen outside route_mu_. Duplicate memoizable requests within one
@@ -311,6 +586,12 @@ Result<std::vector<RankResponse>> EngineRouter::RankBatch(
     if (chain.empty()) continue;
     pool_.Submit([this, &parts, &error_mu, &first_error_index, &first_error,
                   &done, chain = std::move(chain)] {
+      // RAII tick: the pool contains task exceptions, so a throw past
+      // a plain trailing count_down() would strand done.wait() forever.
+      struct Tick {
+        std::latch& latch;
+        ~Tick() { latch.count_down(); }
+      } tick{done};
       for (const Unit& unit : chain) {
         Result<RankResponse> response =
             shards_[unit.shard]->Rank(unit.request);
@@ -329,7 +610,6 @@ Result<std::vector<RankResponse>> EngineRouter::RankBatch(
         parts[unit.request_index][unit.slot].response =
             std::move(response).value();
       }
-      done.count_down();
     });
   }
   done.wait();
@@ -374,9 +654,13 @@ std::future<Result<RankResponse>> EngineRouter::RankAsync(
   auto promise = std::make_shared<std::promise<Result<RankResponse>>>();
   std::future<Result<RankResponse>> future = promise->get_future();
   // Rank() executes entirely inline (no nested pool submits), so async
-  // tasks can never deadlock the fixed-size pool.
+  // tasks can never deadlock the fixed-size pool. The partitioned path
+  // is told it runs on a worker: its shard sweeps stay inline rather
+  // than submitting nested waits that could exhaust the pool.
   pool_.Submit([this, promise, request = std::move(request)] {
-    promise->set_value(Rank(request));
+    promise->set_value(partition_
+                           ? RankPartitioned(request, /*allow_pool=*/false)
+                           : Rank(request));
   });
   return future;
 }

@@ -19,6 +19,32 @@
 //     per-tag request subsequence a single engine would — scores,
 //     iteration counts, and warm diagnostics stay bit-identical to the
 //     sequential single-engine reference.
+//   * kPartitionedSubgraph — the *edges* themselves are partitioned: a
+//     GraphPartitioner (graph/partition.h) splits the vertex set into
+//     per-shard subgraphs (range or hash ownership), and every query is
+//     answered by a block power / Gauss-Seidel iteration
+//     (core/block_solver.h) that sweeps each shard's owned slice and
+//     exchanges boundary mass between sweeps, with dangling mass and
+//     teleportation handled globally. This is the scale mode for graphs
+//     whose adjacency exceeds one machine's memory: each shard touches
+//     only its own CSR slice during a sweep. No whole-graph shard
+//     engines exist in this mode (shard() is invalid); the router keys
+//     one shared TransitionMatrix per (p, beta, metric) — built from
+//     global degree metrics, which per-shard local graphs cannot
+//     reproduce (a boundary target's degree is not visible inside one
+//     shard) — and shards read their arc slices from it through the
+//     partition's arc index. Power-iteration responses are BIT-IDENTICAL
+//     to the single-engine reference for any shard count and either
+//     scheme; Gauss-Seidel responses agree within solver tolerance
+//     (<= 1e-9 at tolerance 1e-11). Forward push and warm starts are
+//     whole-graph constructs: push requests fail with InvalidArgument,
+//     warm tags are accepted but solve cold (warm_start_hit stays
+//     false). Gauss-Seidel under DanglingPolicy::kRenormalize is also
+//     rejected — its fixed point depends on the sweep order (see
+//     core/block_solver.h), the same non-linearity that makes
+//     kPartitionedTeleport route kRenormalize requests whole. See
+//     tests/partition_parity_test.cc and tests/partition_fuzz_test.cc
+//     for the enforced contract.
 //   * kPartitionedTeleport — the *query space* is partitioned by seed
 //     ownership under a pluggable ShardMap: a personalized request whose
 //     seeds span several owner shards is split into one sub-request per
@@ -71,6 +97,7 @@
 #define D2PR_SERVE_ENGINE_ROUTER_H_
 
 #include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
@@ -82,10 +109,14 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+
 #include "api/engine.h"
 #include "api/rank_request.h"
 #include "common/result.h"
+#include "core/block_solver.h"
 #include "graph/csr_graph.h"
+#include "graph/partition.h"
 #include "serve/score_cache.h"
 #include "serve/thread_pool.h"
 
@@ -99,6 +130,11 @@ enum class RoutingPolicy {
   /// Personalized requests route (and split) by seed-node ownership under
   /// the ShardMap; everything else behaves as in kReplicated.
   kPartitionedTeleport,
+  /// The graph's edges are partitioned into per-shard subgraphs
+  /// (graph/partition.h) and every query runs as a block iteration with
+  /// cross-shard mass exchange (core/block_solver.h). See the file
+  /// comment for the parity contract and mode restrictions.
+  kPartitionedSubgraph,
 };
 
 /// \brief Untagged-request spreading strategy in replicated routing.
@@ -137,6 +173,10 @@ struct RouterOptions {
   ReplicaStrategy strategy = ReplicaStrategy::kRoundRobin;
   /// Seed ownership for kPartitionedTeleport; null = ModuloShardMap.
   std::shared_ptr<const ShardMap> shard_map;
+  /// Node-ownership scheme for kPartitionedSubgraph (ignored by the
+  /// other policies). kHash matches ModuloShardMap, so seed ownership
+  /// and subgraph ownership coincide under the default ShardMap.
+  PartitionScheme partition_scheme = PartitionScheme::kRange;
   /// Options forwarded to every shard engine. The transition-cache
   /// capacity also sizes the router's virtual reference LRU (diagnostic
   /// normalization).
@@ -171,12 +211,50 @@ class EngineRouter {
 
   const CsrGraph& graph() const { return *graph_; }
   const RouterOptions& options() const { return options_; }
-  size_t num_shards() const { return shards_.size(); }
+  size_t num_shards() const {
+    return partition_ ? partition_->num_shards() : shards_.size();
+  }
   /// Shard engines are exposed for telemetry (stats snapshots) and tests;
   /// routing through the router while mutating a shard directly voids the
-  /// determinism contract.
-  D2prEngine& shard(size_t index) { return *shards_[index]; }
-  const D2prEngine& shard(size_t index) const { return *shards_[index]; }
+  /// determinism contract. Invalid in partitioned-subgraph mode, which
+  /// has no whole-graph engines — use partition() there.
+  D2prEngine& shard(size_t index) {
+    D2PR_CHECK(!shards_.empty())
+        << "no shard engines in partitioned-subgraph mode";
+    return *shards_[index];
+  }
+  const D2prEngine& shard(size_t index) const {
+    D2PR_CHECK(!shards_.empty())
+        << "no shard engines in partitioned-subgraph mode";
+    return *shards_[index];
+  }
+
+  /// True when the router serves through an edge-partitioned block solve
+  /// (RoutingPolicy::kPartitionedSubgraph).
+  bool partitioned_subgraph() const { return partition_ != nullptr; }
+  /// The edge partition; only valid in partitioned-subgraph mode.
+  const GraphPartition& partition() const {
+    D2PR_CHECK(partition_ != nullptr)
+        << "partition() outside partitioned-subgraph mode";
+    return *partition_;
+  }
+  /// Transition accounting of the partitioned-subgraph mode (the shared
+  /// per-key matrices the block solves read). Zero in the other modes.
+  int64_t partition_transition_builds() const {
+    return partition_transition_builds_.load(std::memory_order_relaxed);
+  }
+  int64_t partition_transition_cache_hits() const {
+    return partition_transitions_.hits();
+  }
+  int64_t partition_transition_cache_misses() const {
+    return partition_transitions_.misses();
+  }
+  int64_t partition_transition_store_loads() const {
+    return partition_transition_store_loads_.load(std::memory_order_relaxed);
+  }
+  int64_t partition_transition_store_saves() const {
+    return partition_transition_store_saves_.load(std::memory_order_relaxed);
+  }
   const ScoreCache& score_cache() const { return score_cache_; }
   size_t num_worker_threads() const { return pool_.num_threads(); }
 
@@ -245,12 +323,53 @@ class EngineRouter {
   Result<RankResponse> ExecuteUnits(const RankRequest& request,
                                     std::vector<Unit> units);
 
+  /// One query through the partitioned-subgraph path: validate (mirroring
+  /// D2prEngine::Rank), resolve the shared transition, run the block
+  /// solve. `allow_pool` fans the shard sweeps across the worker pool;
+  /// RankAsync tasks pass false because they already occupy a worker and
+  /// nested waits could exhaust a fixed-size pool.
+  Result<RankResponse> RankPartitioned(const RankRequest& request,
+                                       bool allow_pool);
+
+  /// Shared transition matrix for `key`: cached, else mapped from the
+  /// persistent store (readable persist modes), else built — and spilled
+  /// back write-through when writable. Loads and builds run under
+  /// partition_build_mu_ (single-flight; concurrent requesters of one key
+  /// wait rather than duplicating the work).
+  Result<std::shared_ptr<const TransitionMatrix>> PartitionTransition(
+      const TransitionKey& key, bool* cache_hit, bool* store_hit);
+
   std::shared_ptr<const CsrGraph> graph_;
   RouterOptions options_;
   std::shared_ptr<const ShardMap> shard_map_;
   std::vector<std::unique_ptr<D2prEngine>> shards_;
   std::vector<NodeId> dangling_nodes_;  ///< For the merge rescale.
   ScoreCache score_cache_;
+
+  /// Partitioned-subgraph state; null in the other modes. The partition
+  /// and teleport vector are immutable after construction; the transition
+  /// cache is internally synchronized and builds single-flight under
+  /// partition_build_mu_.
+  std::unique_ptr<const GraphPartition> partition_;
+  std::vector<double> partition_uniform_teleport_;
+  TransitionCache partition_transitions_;
+  /// Guards partition_building_keys_ only — never held across a load,
+  /// build, or spill (the engine's build_cv_ discipline: one requester
+  /// works a key, concurrent requesters of that key wait on the cv,
+  /// distinct keys proceed in parallel).
+  std::mutex partition_build_mu_;
+  std::condition_variable partition_build_cv_;
+  std::vector<TransitionKey> partition_building_keys_;
+  std::atomic<int64_t> partition_transition_builds_{0};
+  std::atomic<int64_t> partition_transition_store_loads_{0};
+  std::atomic<int64_t> partition_transition_store_saves_{0};
+  /// Persistent spill layer for the shared partitioned transitions,
+  /// honoring EngineOptions cache_dir / persist_mode /
+  /// persist_verify_checksums exactly as a whole-graph engine does.
+  /// Spills are always write-through (this mode has no lazy-flush
+  /// surface); null when persistence is off.
+  std::unique_ptr<TransitionStore> partition_store_;
+  uint64_t partition_graph_fingerprint_ = 0;
 
   /// Guards the routing state: the round-robin cursor and the virtual
   /// reference LRU. Held only for planning (key bookkeeping), never

@@ -160,6 +160,12 @@ Result<std::vector<RankResponse>> ServingRuntime::RankBatch(
     pool_.Submit([this, &requests, &responses, &expected_hits, &error_mu,
                   &first_error_index, &first_error, &done,
                   chain = std::move(chain)] {
+      // RAII tick: the pool contains task exceptions, so a throw past
+      // a plain trailing count_down() would strand done.wait() forever.
+      struct Tick {
+        std::latch& latch;
+        ~Tick() { latch.count_down(); }
+      } tick{done};
       for (size_t index : chain) {
         Result<RankResponse> response =
             Execute(requests[index], expected_hits[index]);
@@ -176,7 +182,6 @@ Result<std::vector<RankResponse>> ServingRuntime::RankBatch(
         }
         responses[index] = std::move(response).value();
       }
-      done.count_down();
     });
   }
   done.wait();

@@ -1,8 +1,10 @@
 #include "serve/thread_pool.h"
 
+#include <exception>
 #include <utility>
 
 #include "common/check.h"
+#include "common/logging.h"
 
 namespace d2pr {
 
@@ -44,7 +46,18 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // A task that throws must not take its worker down (an escaped
+    // exception on a thread is std::terminate) nor wedge shutdown: log
+    // it and move to the next task. Tasks needing their errors surfaced
+    // return Status / set promises — both already in use above this
+    // layer — rather than throwing into the pool.
+    try {
+      task();
+    } catch (const std::exception& e) {
+      D2PR_LOG(Error) << "ThreadPool task threw: " << e.what();
+    } catch (...) {
+      D2PR_LOG(Error) << "ThreadPool task threw a non-std exception";
+    }
   }
 }
 

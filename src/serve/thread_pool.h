@@ -26,6 +26,13 @@ namespace d2pr {
 /// in submission order relative to queue pop, on whichever worker frees
 /// up first; callers needing ordering between tasks must chain them into
 /// one task (as ServingRuntime does for warm-start trajectories).
+///
+/// Exception safety: a task that throws is caught and logged by the
+/// worker, which then continues draining the queue — one bad task can
+/// neither kill a worker nor wedge the drain-at-destruction. Tasks that
+/// need their failures observed must surface them through their own
+/// channel (Status results, promises); the pool treats a throw as a bug
+/// being contained, not a result being delivered.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (a requested 0 is clamped to 1).

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "d2pr_rank_flags.h"
+
 namespace d2pr {
 namespace {
 
@@ -74,6 +76,125 @@ TEST(FlagsTest, NegativeNumberAsSeparateValue) {
 TEST(FlagsTest, FlagNamesEnumerated) {
   Flags flags = ParseOrDie({"--b=1", "--a=2"});
   EXPECT_EQ(flags.FlagNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+// ---------------------------------------------------------------------
+// d2pr_rank flag-combination rules (ValidateRankFlags). Every rejection
+// here is exit code 2 in the binary; every acceptance proceeds to run.
+// ---------------------------------------------------------------------
+
+Status ValidateArgs(std::vector<const char*> args) {
+  auto flags = Flags::Parse(static_cast<int>(args.size()), args.data());
+  EXPECT_TRUE(flags.ok()) << flags.status().ToString();
+  return ValidateRankFlags(*flags);
+}
+
+TEST(RankFlagsTest, MinimalInvocationAccepted) {
+  EXPECT_TRUE(ValidateArgs({"--graph=g.txt"}).ok());
+}
+
+TEST(RankFlagsTest, GraphIsRequired) {
+  EXPECT_FALSE(ValidateArgs({"--p=0.5"}).ok());
+}
+
+TEST(RankFlagsTest, UnknownFlagRejected) {
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--partiton=range"}).ok());
+}
+
+TEST(RankFlagsTest, PartitionRequiresShards) {
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--partition=range"}).ok());
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--partition=hash"}).ok());
+  EXPECT_TRUE(
+      ValidateArgs({"--graph=g.txt", "--partition=range", "--shards=4"})
+          .ok());
+  EXPECT_TRUE(
+      ValidateArgs({"--graph=g.txt", "--partition=hash", "--shards=1"})
+          .ok());
+}
+
+TEST(RankFlagsTest, PartitionSchemeNamesValidated) {
+  EXPECT_FALSE(
+      ValidateArgs({"--graph=g.txt", "--partition=modulo", "--shards=2"})
+          .ok());
+  EXPECT_FALSE(
+      ValidateArgs({"--graph=g.txt", "--partition", "--shards=2"}).ok());
+  EXPECT_FALSE(ParsePartitionScheme("").ok());
+  EXPECT_TRUE(ParsePartitionScheme("range").ok());
+  EXPECT_EQ(ParsePartitionScheme("hash").value(), PartitionScheme::kHash);
+}
+
+TEST(RankFlagsTest, PartitionExcludesRoute) {
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--partition=range",
+                             "--shards=2", "--route=replicated"})
+                   .ok());
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--partition=hash",
+                             "--shards=2", "--route=partitioned"})
+                   .ok());
+}
+
+TEST(RankFlagsTest, PartitionExcludesForwardPush) {
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--partition=range",
+                             "--shards=2", "--method=forward-push"})
+                   .ok());
+  EXPECT_TRUE(ValidateArgs({"--graph=g.txt", "--partition=range",
+                            "--shards=2", "--method=gauss-seidel"})
+                  .ok());
+  EXPECT_TRUE(ValidateArgs({"--graph=g.txt", "--partition=range",
+                            "--shards=2", "--method=power"})
+                  .ok());
+}
+
+TEST(RankFlagsTest, PartitionExcludesTuneViaShardsRule) {
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--partition=range",
+                             "--shards=2", "--tune",
+                             "--significance=s.txt"})
+                   .ok());
+}
+
+TEST(RankFlagsTest, PartitionComposesWithServingAndCacheFlags) {
+  EXPECT_TRUE(ValidateArgs({"--graph=g.txt", "--partition=hash",
+                            "--shards=4", "--threads=4", "--repeat=16",
+                            "--cache-dir=/tmp/store", "--cache-mode=rw",
+                            "--seeds=1,2,3"})
+                  .ok());
+}
+
+TEST(RankFlagsTest, ValueVocabulariesValidated) {
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--method=jacobi"}).ok());
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--shards=2",
+                             "--route=scatter"})
+                   .ok());
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--cache-dir=/tmp/s",
+                             "--cache-mode=sometimes"})
+                   .ok());
+  EXPECT_TRUE(ValidateArgs({"--graph=g.txt", "--method=gauss-seidel",
+                            "--shards=2", "--route=least-loaded",
+                            "--cache-dir=/tmp/s", "--cache-mode=read"})
+                  .ok());
+  EXPECT_EQ(ParseRankMethod("forward-push").value(),
+            SolverMethod::kForwardPush);
+  EXPECT_EQ(ParseCacheMode("write").value(), PersistMode::kWriteOnly);
+  EXPECT_EQ(ParseRoute("partitioned").value().policy,
+            RoutingPolicy::kPartitionedTeleport);
+  EXPECT_EQ(ParseRoute("").value().strategy, ReplicaStrategy::kRoundRobin);
+}
+
+TEST(RankFlagsTest, ExistingCombinationRulesStillEnforced) {
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--route=replicated"}).ok());
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--cache-mode=rw"}).ok());
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--tune"}).ok());
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--significance=s.txt"}).ok());
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--tune",
+                             "--significance=s.txt", "--seeds=1"})
+                   .ok());
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--tune",
+                             "--significance=s.txt", "--shards=2"})
+                   .ok());
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--shards=0"}).ok());
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--threads=-1"}).ok());
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--repeat=0"}).ok());
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--p=abc"}).ok());
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "stray-positional"}).ok());
 }
 
 }  // namespace

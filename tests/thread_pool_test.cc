@@ -11,6 +11,7 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -110,6 +111,60 @@ TEST(ThreadPoolTest, DestructorDrainsQueuedBacklog) {
     }
   }
   EXPECT_EQ(count.load(), 21);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskDoesNotKillItsWorker) {
+  // One worker: if the throw escaped, either the process would terminate
+  // or the lone worker would die and nothing after it could ever run.
+  std::atomic<int> ran{0};
+  std::latch after_throw(1);
+  {
+    ThreadPool pool(1);
+    pool.Submit([] { throw std::runtime_error("task failure"); });
+    pool.Submit([&] {
+      ran.fetch_add(1);
+      after_throw.count_down();
+    });
+    after_throw.wait();  // the worker survived and kept draining
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 51);
+}
+
+TEST(ThreadPoolTest, NonStdExceptionIsContainedToo) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    pool.Submit([] { throw 42; });  // not derived from std::exception
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPoolTest, ThrowingTasksDoNotDeadlockShutdownDrain) {
+  // Interleave throwing and counting tasks into a queued backlog, then
+  // destroy the pool immediately: the drain-at-destruction must finish
+  // (no wedge) and every non-throwing task must have run.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    pool.Submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      throw std::runtime_error("first in the backlog");
+    });
+    for (int i = 0; i < 30; ++i) {
+      if (i % 3 == 0) {
+        pool.Submit([] { throw std::runtime_error("mid-backlog"); });
+      } else {
+        pool.Submit([&ran] { ran.fetch_add(1); });
+      }
+    }
+  }  // destructor: drain must complete despite the throws
+  EXPECT_EQ(ran.load(), 20);
 }
 
 }  // namespace

@@ -16,12 +16,15 @@
 // --route=partitioned splits personalized queries by seed ownership):
 //   d2pr_rank --graph=edges.txt --shards=4 --threads=4 --repeat=64
 //
+// Edge-partitioned serving: shard the graph itself into per-shard
+// subgraphs and solve by block iteration with cross-shard mass exchange:
+//   d2pr_rank --graph=edges.txt --partition=range --shards=4
+//
 // Print structural statistics:
 //   d2pr_rank --graph=edges.txt --stats
 
 #include <cstdio>
 #include <fstream>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -30,9 +33,11 @@
 #include "common/timer.h"
 #include "common/string_util.h"
 #include "core/tuner.h"
+#include "d2pr_rank_flags.h"
 #include "graph/graph_io.h"
 #include "graph/graph_metrics.h"
 #include "graph/graph_stats.h"
+#include "graph/partition.h"
 #include "serve/engine_router.h"
 #include "serve/serving_runtime.h"
 #include "stats/ranking.h"
@@ -63,6 +68,12 @@ constexpr char kUsage[] =
     "  --route=NAME         routing policy, requires --shards:\n"
     "                       replicated (default), least-loaded,\n"
     "                       or partitioned\n"
+    "  --partition=SCHEME   edge-partitioned serving: split the graph\n"
+    "                       into per-shard subgraphs (range or hash)\n"
+    "                       and solve by block iteration with\n"
+    "                       cross-shard mass exchange; requires\n"
+    "                       --shards, excludes --route and\n"
+    "                       --method=forward-push\n"
     "  --cache-dir=DIR      persistent transition store: built matrices\n"
     "                       spill to DIR and later runs map them back\n"
     "                       instead of rebuilding\n"
@@ -104,89 +115,18 @@ Result<std::vector<NodeId>> ParseSeeds(const std::string& spec) {
   return seeds;
 }
 
-Result<SolverMethod> ParseMethod(const std::string& name) {
-  if (name.empty() || name == "power") return SolverMethod::kPower;
-  if (name == "gauss-seidel") return SolverMethod::kGaussSeidel;
-  if (name == "forward-push") return SolverMethod::kForwardPush;
-  return Status::InvalidArgument(StrCat("unknown --method '", name, "'"));
-}
-
-struct RouteSpec {
-  RoutingPolicy policy = RoutingPolicy::kReplicated;
-  ReplicaStrategy strategy = ReplicaStrategy::kRoundRobin;
-};
-
-Result<PersistMode> ParseCacheMode(const std::string& name) {
-  if (name.empty() || name == "rw") return PersistMode::kReadWrite;
-  if (name == "off") return PersistMode::kOff;
-  if (name == "read") return PersistMode::kReadOnly;
-  if (name == "write") return PersistMode::kWriteOnly;
-  return Status::InvalidArgument(StrCat("unknown --cache-mode '", name, "'"));
-}
-
-Result<RouteSpec> ParseRoute(const std::string& name) {
-  RouteSpec spec;
-  if (name.empty() || name == "replicated") return spec;
-  if (name == "least-loaded") {
-    spec.strategy = ReplicaStrategy::kLeastLoaded;
-    return spec;
-  }
-  if (name == "partitioned") {
-    spec.policy = RoutingPolicy::kPartitionedTeleport;
-    return spec;
-  }
-  return Status::InvalidArgument(StrCat("unknown --route '", name, "'"));
-}
-
-// Every flag the tool understands; anything else is a typo the user should
-// hear about instead of a silently ignored option.
-Status CheckKnownFlags(const Flags& flags) {
-  static const std::set<std::string> kKnown = {
-      "graph",  "directed", "weighted",   "p",
-      "alpha",  "beta",     "top",        "method",
-      "seeds",  "scores-out", "tune",     "significance",
-      "stats",  "threads",  "repeat",     "shards",
-      "route",  "cache-dir", "cache-mode",
-  };
-  for (const std::string& name : flags.FlagNames()) {
-    if (!kKnown.contains(name)) {
-      return Status::InvalidArgument(StrCat("unknown flag --", name));
-    }
-  }
-  if (!flags.positional().empty()) {
-    return Status::InvalidArgument(
-        StrCat("unexpected argument '", flags.positional().front(), "'"));
-  }
-  return Status::OK();
-}
-
 int RunOrDie(const Flags& flags) {
-  const Status known = CheckKnownFlags(flags);
-  if (!known.ok()) return UsageError(known.ToString().c_str());
+  // Every exit-2 rule lives in ValidateRankFlags (shared with
+  // tests/flags_test.cc), and it runs before the potentially large graph
+  // load so a typo'd invocation fails in microseconds, not minutes.
+  const Status valid = ValidateRankFlags(flags);
+  if (!valid.ok()) return UsageError(valid.ToString().c_str());
 
   const std::string graph_path = flags.GetString("graph");
-  if (graph_path.empty()) {
-    std::fputs(kUsage, stderr);
-    return 2;
-  }
-  if (flags.Has("tune") && flags.GetString("significance").empty()) {
-    return UsageError("--tune requires --significance=FILE");
-  }
-  if (flags.Has("significance") && !flags.Has("tune")) {
-    return UsageError("--significance is only meaningful with --tune");
-  }
-  if (flags.Has("tune") && flags.Has("seeds")) {
-    return UsageError(
-        "--seeds cannot be combined with --tune (tuning maximizes a "
-        "global ranking's correlation; personalize after tuning)");
-  }
-
+  // All re-extractions below succeed: ValidateRankFlags already parsed
+  // and range-checked every value it accepts.
   auto directed = flags.GetBool("directed", false);
   auto weighted = flags.GetBool("weighted", false);
-  if (!directed.ok()) return UsageError(directed.status().ToString().c_str());
-  if (!weighted.ok()) return UsageError(weighted.status().ToString().c_str());
-  // Validate the remaining flags before the (potentially large) graph load
-  // so a typo'd invocation fails in microseconds, not minutes.
   auto p = flags.GetDouble("p", 0.0);
   auto alpha = flags.GetDouble("alpha", 0.85);
   auto beta = flags.GetDouble("beta", 0.0);
@@ -194,41 +134,14 @@ int RunOrDie(const Flags& flags) {
   auto threads = flags.GetInt("threads", 1);
   auto repeat = flags.GetInt("repeat", 1);
   auto shards = flags.GetInt("shards", 1);
-  if (!p.ok() || !alpha.ok() || !beta.ok() || !top.ok() || !threads.ok() ||
-      !repeat.ok() || !shards.ok()) {
-    return UsageError("bad numeric flag");
-  }
-  if (*threads < 1) {
-    return UsageError("--threads must be >= 1");
-  }
-  if (*repeat < 1) {
-    return UsageError("--repeat must be >= 1");
-  }
-  if (*shards < 1) {
-    return UsageError("--shards must be >= 1");
-  }
-  if (flags.Has("shards") && flags.Has("tune")) {
-    return UsageError(
-        "--shards cannot be combined with --tune (tuning is one warm "
-        "trajectory on one engine; shard after tuning)");
-  }
-  if (flags.Has("route") && !flags.Has("shards")) {
-    return UsageError("--route requires --shards");
-  }
   auto route = ParseRoute(flags.GetString("route"));
-  if (!route.ok()) return UsageError(route.status().ToString().c_str());
-  if (flags.Has("cache-mode") && !flags.Has("cache-dir")) {
-    return UsageError("--cache-mode requires --cache-dir");
-  }
-  if (flags.Has("cache-dir") && flags.GetString("cache-dir").empty()) {
-    return UsageError("--cache-dir requires a directory path");
+  const bool partitioned = flags.Has("partition");
+  PartitionScheme partition_scheme = PartitionScheme::kRange;
+  if (partitioned) {
+    partition_scheme = *ParsePartitionScheme(flags.GetString("partition"));
   }
   auto cache_mode = ParseCacheMode(flags.GetString("cache-mode"));
-  if (!cache_mode.ok()) {
-    return UsageError(cache_mode.status().ToString().c_str());
-  }
-  auto method = ParseMethod(flags.GetString("method"));
-  if (!method.ok()) return UsageError(method.status().ToString().c_str());
+  auto method = ParseRankMethod(flags.GetString("method"));
   std::vector<NodeId> seeds;
   if (flags.Has("seeds")) {
     auto parsed = ParseSeeds(flags.GetString("seeds"));
@@ -348,7 +261,7 @@ int RunOrDie(const Flags& flags) {
   };
 
   Result<RankResponse> ranked = [&]() -> Result<RankResponse> {
-    if (*threads == 1 && *repeat == 1 && *shards == 1) {
+    if (*threads == 1 && *repeat == 1 && *shards == 1 && !partitioned) {
       return engine.Rank(request);
     }
     // Serving path: K identical queries as one parallel batch. The
@@ -359,10 +272,13 @@ int RunOrDie(const Flags& flags) {
     query.warm_start_tag.clear();
     std::vector<RankRequest> batch(static_cast<size_t>(*repeat), query);
 
-    if (*shards > 1) {
+    if (*shards > 1 || partitioned) {
       RouterOptions router_options;
       router_options.num_shards = static_cast<size_t>(*shards);
-      router_options.policy = route->policy;
+      router_options.policy = partitioned
+                                  ? RoutingPolicy::kPartitionedSubgraph
+                                  : route->policy;
+      router_options.partition_scheme = partition_scheme;
       router_options.strategy = route->strategy;
       router_options.score_cache_capacity = 256;
       // Shards share the persistent store: the first run spills each
@@ -380,14 +296,33 @@ int RunOrDie(const Flags& flags) {
       }
       // The shards share the engine's already-loaded graph handle.
       EngineRouter router(engine.graph_ptr(), router_options);
+      if (router.partitioned_subgraph()) {
+        std::fprintf(stderr, "%s\n",
+                     router.partition().ToString().c_str());
+      }
       Timer timer;
       auto responses = router.RankBatch(batch);
       if (!responses.ok()) return responses.status();
       report_throughput(batch.size(), router.num_shards(),
                         router.num_worker_threads(), timer.ElapsedMillis(),
                         router.score_cache().stats());
-      for (size_t s = 0; s < router.num_shards(); ++s) {
-        transition_report.Accumulate(router.shard(s));
+      if (router.partitioned_subgraph()) {
+        // No shard engines exist in this mode; the router's shared
+        // transition cache and store counters are the whole accounting.
+        transition_report.builds += router.partition_transition_builds();
+        transition_report.cache_hits +=
+            router.partition_transition_cache_hits();
+        transition_report.cache_lookups +=
+            router.partition_transition_cache_hits() +
+            router.partition_transition_cache_misses();
+        transition_report.store_loads +=
+            router.partition_transition_store_loads();
+        transition_report.store_saves +=
+            router.partition_transition_store_saves();
+      } else {
+        for (size_t s = 0; s < router.num_shards(); ++s) {
+          transition_report.Accumulate(router.shard(s));
+        }
       }
       return std::move(responses->front());
     }
