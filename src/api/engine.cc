@@ -8,7 +8,6 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "core/gauss_seidel.h"
-#include "graph/graph_fingerprint.h"
 #include "core/pagerank.h"
 #include "core/push_ppr.h"
 #include "core/teleport.h"
@@ -40,34 +39,31 @@ D2prEngine::D2prEngine(CsrGraph graph, const EngineOptions& options)
     : D2prEngine(std::make_shared<const CsrGraph>(std::move(graph)),
                  options) {}
 
-D2prEngine::D2prEngine(std::shared_ptr<const CsrGraph> graph,
-                       const EngineOptions& options)
-    : graph_(std::move(graph)),
-      options_(options),
-      transition_cache_(options.transition_cache_capacity) {
-  if (!options_.cache_dir.empty() &&
-      options_.persist_mode != PersistMode::kOff) {
-    TransitionStoreOptions store_options;
-    store_options.verify_payload_checksums = options_.persist_verify_checksums;
-    store_ = std::make_unique<TransitionStore>(options_.cache_dir,
-                                               store_options);
-    // O(|E|) once per graph — noise next to a single transition build,
-    // and it gates every store file against this exact graph. Callers
-    // standing up many engines over one graph pass it in precomputed.
-    graph_fingerprint_ = options_.precomputed_graph_fingerprint != 0
-                             ? options_.precomputed_graph_fingerprint
-                             : GraphFingerprint(*graph_);
-    // A wrong precomputed fingerprint would let the store replay another
-    // graph's matrices; catch the caller mistake where builds can afford
-    // the re-hash.
-    D2PR_DCHECK(options_.precomputed_graph_fingerprint == 0 ||
-                graph_fingerprint_ == GraphFingerprint(*graph_))
-        << "precomputed_graph_fingerprint does not match this graph";
-  }
+namespace {
+
+TransitionResolverOptions ToResolverOptions(const EngineOptions& options) {
+  TransitionResolverOptions resolver;
+  resolver.cache_capacity = options.transition_cache_capacity;
+  resolver.cache_dir = options.cache_dir;
+  resolver.persist_mode = options.persist_mode;
+  resolver.persist_policy = options.persist_policy;
+  resolver.verify_checksums = options.persist_verify_checksums;
+  resolver.precomputed_graph_fingerprint =
+      options.precomputed_graph_fingerprint;
+  return resolver;
 }
 
+}  // namespace
+
+D2prEngine::D2prEngine(std::shared_ptr<const CsrGraph> graph,
+                       const EngineOptions& options)
+    : graph_(graph),
+      options_(options),
+      resolver_(std::move(graph), ToResolverOptions(options)) {}
+
 D2prEngine::~D2prEngine() {
-  if (options_.persist_policy == PersistPolicy::kLazy && StoreWritable()) {
+  if (options_.persist_policy == PersistPolicy::kLazy &&
+      resolver_.store_writable()) {
     const Status spilled = PersistCachedTransitions();
     if (!spilled.ok()) {
       D2PR_LOG(Warning) << "lazy transition spill failed at shutdown: "
@@ -77,50 +73,10 @@ D2prEngine::~D2prEngine() {
 }
 
 Status D2prEngine::PersistCachedTransitions() {
-  if (!StoreWritable()) {
-    return Status::FailedPrecondition(
-        "no writable transition store attached (set EngineOptions::"
-        "cache_dir and a writable persist_mode)");
-  }
-  // Snapshot the cache and read/prune the dirty set under one
-  // persist_mu_ hold. GetTransition marks a key dirty only *after*
-  // inserting its matrix (and takes persist_mu_ to do it), so inside
-  // this critical section a dirty key absent from the snapshot is
-  // provably evicted — its bytes are gone and the mark can never be
-  // honored; prune it so the list stays bounded by the resident set. A
-  // concurrent build that inserts after the snapshot keeps its mark for
-  // the next flush (or the destructor's) instead of losing it.
-  std::vector<std::pair<TransitionKey, std::shared_ptr<const TransitionMatrix>>>
-      snapshot;
-  std::vector<TransitionKey> dirty;
-  {
-    std::lock_guard<std::mutex> lock(persist_mu_);
-    snapshot = transition_cache_.Snapshot();
-    dirty = unspilled_keys_;
-    std::erase_if(unspilled_keys_, [&](const TransitionKey& unspilled) {
-      return std::none_of(
-          snapshot.begin(), snapshot.end(),
-          [&](const auto& entry) { return entry.first == unspilled; });
-    });
-  }
-  Status first_error;
-  for (const auto& [key, matrix] : snapshot) {
-    // A key this engine built must be (re)written even if a file exists —
-    // the file may be the corrupt one whose rejection caused the rebuild.
-    // Everything else skips on existence, keeping the flush idempotent.
-    const bool must_write =
-        std::find(dirty.begin(), dirty.end(), key) != dirty.end();
-    if (!must_write && store_->Contains(graph_fingerprint_, key)) continue;
-    const Status saved = store_->Save(graph_fingerprint_, key, *matrix);
-    if (saved.ok()) {
-      ++stats_.transition_store_saves;
-      std::lock_guard<std::mutex> lock(persist_mu_);
-      std::erase(unspilled_keys_, key);
-    } else if (first_error.ok()) {
-      first_error = saved;
-    }
-  }
-  return first_error;
+  int64_t saves = 0;
+  const Status flushed = resolver_.PersistCached(&saves);
+  stats_.transition_store_saves += saves;
+  return flushed;
 }
 
 D2prEngine D2prEngine::Borrowing(const CsrGraph& graph,
@@ -131,12 +87,7 @@ D2prEngine D2prEngine::Borrowing(const CsrGraph& graph,
 }
 
 void D2prEngine::ClearCaches() {
-  transition_cache_.Clear();
-  {
-    // The matrices are gone, so their pending lazy spills can never run.
-    std::lock_guard<std::mutex> lock(persist_mu_);
-    unspilled_keys_.clear();
-  }
+  resolver_.Clear();
   std::lock_guard<std::mutex> lock(warm_mu_);
   warm_entries_.clear();
 }
@@ -160,110 +111,18 @@ std::span<const double> D2prEngine::UniformTeleportVector() {
 
 Result<std::shared_ptr<const TransitionMatrix>> D2prEngine::GetTransition(
     const TransitionKey& key, bool* cache_hit, bool* store_hit) {
-  // Single-flight only pays off when the finished matrix lands in the
-  // cache for the waiters; with caching disabled, waiting would turn N
-  // independent builds into N serialized ones.
-  const bool single_flight = transition_cache_.capacity() > 0;
-  if (single_flight) {
-    std::unique_lock<std::mutex> lock(build_mu_);
-    for (;;) {
-      if (auto cached = transition_cache_.Lookup(key)) {
-        *cache_hit = true;
-        ++stats_.transition_cache_hits;
-        return cached;
-      }
-      // Someone else is loading or building this key: wait for them
-      // instead of paying the work twice, then re-check the cache.
-      if (std::find(building_keys_.begin(), building_keys_.end(), key) ==
-          building_keys_.end()) {
-        break;
-      }
-      build_cv_.wait(lock);
-    }
-    building_keys_.push_back(key);
-  }
-
-  *cache_hit = false;
-  Status error;
-  std::shared_ptr<const TransitionMatrix> shared;
-
-  // Spill layer first: mapping a persisted matrix is O(1) against the
-  // O(|E|) rebuild. A missing file is the expected cold path; a rejected
-  // file (wrong graph, corruption, version skew) is surfaced loudly but
-  // never used — the rebuild below always produces a correct matrix.
-  if (StoreReadable()) {
-    auto loaded = store_->Load(graph_fingerprint_, key, graph_->num_nodes(),
-                               graph_->num_arcs());
-    if (loaded.ok()) {
-      *store_hit = true;
-      ++stats_.transition_store_loads;
-      shared = std::move(loaded).value();
-    } else if (loaded.status().code() != StatusCode::kNotFound) {
-      D2PR_LOG(Warning) << "transition store rejected; rebuilding: "
-                        << loaded.status().ToString();
-    }
-  }
-
-  bool built_fresh = false;
-  if (shared == nullptr) {
-    TransitionConfig config;
-    config.p = key.p;
-    config.beta = key.beta;
-    config.metric = key.metric;
-    ++stats_.transition_builds;
-    Result<TransitionMatrix> built = TransitionMatrix::Build(*graph_, config);
-    if (built.ok()) {
-      shared =
-          std::make_shared<const TransitionMatrix>(std::move(built).value());
-      built_fresh = true;
-    } else {
-      error = built.status();
-    }
-  }
-
-  if (single_flight) {
-    {
-      std::lock_guard<std::mutex> lock(build_mu_);
-      std::erase(building_keys_, key);
-      if (shared != nullptr) transition_cache_.Insert(key, shared);
-    }
-    // Wake waiters whether the load/build succeeded (they will hit the
-    // cache) or failed (one of them retries and reports the same error).
-    build_cv_.notify_all();
-  }
-
-  // Spill after releasing the single-flight slot: waiters need the
-  // matrix, not the file, so the disk write must not sit on their
-  // critical path.
-  if (built_fresh && StoreWritable()) {
-    // With the cache on, a key builds at most once per process, so the
-    // unconditional write doubles as repair of a rejected (corrupt)
-    // file. With the cache off every request rebuilds; skip the spill
-    // when the file already exists or each query would pay a full
-    // rewrite (at the cost of not healing corrupt files in that
-    // degenerate configuration).
-    const bool spill_write_through =
-        options_.persist_policy == PersistPolicy::kWriteThrough &&
-        (single_flight || !store_->Contains(graph_fingerprint_, key));
-    if (spill_write_through) {
-      const Status saved = store_->Save(graph_fingerprint_, key, *shared);
-      if (saved.ok()) {
-        ++stats_.transition_store_saves;
-      } else {
-        D2PR_LOG(Warning) << "transition store spill failed: "
-                          << saved.ToString();
-      }
-    } else if (options_.persist_policy == PersistPolicy::kLazy) {
-      std::lock_guard<std::mutex> lock(persist_mu_);
-      if (std::find(unspilled_keys_.begin(), unspilled_keys_.end(), key) ==
-          unspilled_keys_.end()) {
-        unspilled_keys_.push_back(key);
-      }
-    }
-  }
-
-  if (!error.ok()) return error;
-  return shared;
+  TransitionResolver::Outcome outcome;
+  auto resolved = resolver_.Resolve(key, &outcome);
+  // Fold the resolver's outcome into this engine's cumulative stats; the
+  // resolver keeps its own counters, but EngineStats is the per-engine
+  // telemetry surface tests and routers read.
+  *cache_hit = outcome.cache_hit;
+  *store_hit = outcome.store_hit;
+  if (outcome.cache_hit) ++stats_.transition_cache_hits;
+  if (outcome.store_hit) ++stats_.transition_store_loads;
+  if (outcome.built) ++stats_.transition_builds;
+  if (outcome.spilled) ++stats_.transition_store_saves;
+  return resolved;
 }
 
 Result<RankResponse> D2prEngine::Rank(const RankRequest& request) {

@@ -63,8 +63,7 @@
 #include <vector>
 
 #include "api/rank_request.h"
-#include "api/transition_cache.h"
-#include "api/transition_store.h"
+#include "api/transition_resolver.h"
 #include "common/result.h"
 #include "core/d2pr.h"
 #include "core/transition.h"
@@ -72,30 +71,9 @@
 
 namespace d2pr {
 
-/// \brief What the engine may do with the persistent transition store
-/// rooted at EngineOptions::cache_dir.
-enum class PersistMode {
-  kOff,        ///< Never touch the store, even when cache_dir is set.
-  kReadOnly,   ///< Map persisted matrices; never write files.
-  kWriteOnly,  ///< Spill built matrices; never read (store (re)builder).
-  kReadWrite,  ///< Both (the serving default).
-};
-
-/// \brief When a writable engine spills newly built matrices.
-enum class PersistPolicy {
-  /// Persist each matrix right after its build, on the building thread.
-  /// Restart-safe by construction; adds one file write to each cold
-  /// build.
-  kWriteThrough,
-  /// Persist only on PersistCachedTransitions() and at engine
-  /// destruction. Keeps the serving path free of writes, at two costs:
-  /// matrices built since the last flush are lost on a crash, and a
-  /// matrix evicted from the in-memory LRU before a flush is never
-  /// spilled at all (only resident matrices can be). Size
-  /// transition_cache_capacity to the working set, or use
-  /// kWriteThrough.
-  kLazy,
-};
+// PersistMode / PersistPolicy (the persistent-store knobs referenced by
+// EngineOptions) live in api/transition_resolver.h with the resolver that
+// enforces them; this header re-exports them for every existing caller.
 
 /// \brief Engine construction knobs.
 struct EngineOptions {
@@ -166,10 +144,10 @@ class D2prEngine {
 
   /// True when a persistent transition store is attached (cache_dir set
   /// and persist_mode != kOff).
-  bool persistent_store_enabled() const { return store_ != nullptr; }
+  bool persistent_store_enabled() const { return resolver_.store_enabled(); }
 
   /// The graph's store fingerprint; 0 when no store is attached.
-  uint64_t graph_fingerprint() const { return graph_fingerprint_; }
+  uint64_t graph_fingerprint() const { return resolver_.graph_fingerprint(); }
 
   /// \brief Spills every currently cached transition to the store
   /// (skipping keys already persisted).
@@ -210,17 +188,17 @@ class D2prEngine {
   /// \brief Snapshot of resident transition keys, most recently used
   /// first (see TransitionCache::Keys).
   std::vector<TransitionKey> CachedTransitionKeys() const {
-    return transition_cache_.Keys();
+    return resolver_.CachedKeys();
   }
 
   /// Raw transition-cache lookup counters (the cache's own accounting;
   /// unlike EngineStats these count every Lookup, including re-checks
   /// while waiting on a single-flight build).
   int64_t transition_cache_lookup_hits() const {
-    return transition_cache_.hits();
+    return resolver_.cache_lookup_hits();
   }
   int64_t transition_cache_lookup_misses() const {
-    return transition_cache_.misses();
+    return resolver_.cache_lookup_misses();
   }
 
  private:
@@ -239,24 +217,11 @@ class D2prEngine {
     std::vector<WarmSnapshot> snapshots;  // size <= 2, newest first
   };
 
-  /// Returns the transition for `key`: from the in-memory cache, else
-  /// mapped from the persistent store (readable modes), else built — and
-  /// spilled back under write-through. Concurrent misses on one key are
-  /// single-flighted: the first caller loads/builds, the rest wait on
-  /// build_cv_ and then take the cache hit.
+  /// Returns the transition for `key` via the shared TransitionResolver
+  /// (cache, else persistent store, else build — single-flighted), and
+  /// folds the resolve outcome into this engine's EngineStats counters.
   Result<std::shared_ptr<const TransitionMatrix>> GetTransition(
       const TransitionKey& key, bool* cache_hit, bool* store_hit);
-
-  bool StoreReadable() const {
-    return store_ != nullptr &&
-           (options_.persist_mode == PersistMode::kReadOnly ||
-            options_.persist_mode == PersistMode::kReadWrite);
-  }
-  bool StoreWritable() const {
-    return store_ != nullptr &&
-           (options_.persist_mode == PersistMode::kWriteOnly ||
-            options_.persist_mode == PersistMode::kReadWrite);
-  }
 
   /// Returns the starting iterate for a power solve under `request`, or an
   /// empty vector when no compatible warm start exists. When two
@@ -280,24 +245,9 @@ class D2prEngine {
 
   std::shared_ptr<const CsrGraph> graph_;
   EngineOptions options_;
-  TransitionCache transition_cache_;
-
-  /// Persistent spill layer; null unless cache_dir names a directory and
-  /// persist_mode allows any access.
-  std::unique_ptr<TransitionStore> store_;
-  uint64_t graph_fingerprint_ = 0;  ///< Computed once when store_ is set.
-
-  std::mutex persist_mu_;  ///< Guards unspilled_keys_.
-  /// Keys built (not loaded) under PersistPolicy::kLazy and not yet
-  /// flushed. PersistCachedTransitions saves these even when a store
-  /// file already exists, so a rebuilt-after-rejection matrix replaces
-  /// its corrupt file instead of being skipped.
-  std::vector<TransitionKey> unspilled_keys_;
-
-  /// Guards building_keys_: the keys with a transition build in flight.
-  std::mutex build_mu_;
-  std::condition_variable build_cv_;
-  std::vector<TransitionKey> building_keys_;
+  /// Cache + persistent store + single-flight build resolution, shared
+  /// logic with EngineRouter's partitioned-subgraph mode.
+  TransitionResolver resolver_;
 
   std::mutex warm_mu_;                 ///< Guards warm_entries_.
   std::list<WarmEntry> warm_entries_;  // front = most recently used

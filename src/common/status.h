@@ -26,6 +26,12 @@ enum class StatusCode : int {
   kIoError = 6,
   kNotImplemented = 7,
   kInternal = 8,
+  /// A caller-supplied deadline elapsed before the work finished (the
+  /// serving layers never start a solve for an already-expired request).
+  kDeadlineExceeded = 9,
+  /// The service is shedding load (admission control); retrying later is
+  /// expected to succeed.
+  kUnavailable = 10,
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -71,6 +77,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

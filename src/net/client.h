@@ -1,0 +1,70 @@
+// RpcClient: a blocking connection to an RpcServer.
+//
+// One request in flight per client at a time: Rank() writes one frame and
+// blocks until the matching reply arrives. Concurrency is achieved with
+// many clients (one per load-generator worker, see net/loadgen.h), which
+// is also what exercises the server's cross-connection machinery —
+// coalescing joins requests from different connections, and admission
+// control sheds across all of them.
+//
+// Error surface: a kStatus reply becomes the carried Status (the server's
+// error, code preserved — DeadlineExceeded, InvalidArgument, ...); a
+// kUnavailable reply becomes StatusCode::kUnavailable; transport failures
+// surface as IoError. A client whose connection died stays dead —
+// callers reconnect by constructing a new client.
+
+#ifndef D2PR_NET_CLIENT_H_
+#define D2PR_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/rank_request.h"
+#include "common/result.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace d2pr {
+
+/// \brief Blocking RPC client speaking the net/wire.h protocol.
+class RpcClient {
+ public:
+  /// Connects to `host`:`port` (numeric IPv4).
+  static Result<RpcClient> Connect(const std::string& host, uint16_t port);
+
+  /// \brief One ranking query; blocks for the reply.
+  ///
+  /// `deadline_ms` > 0 asks the server to drop the request (or its
+  /// response) once that many milliseconds have passed from admission;
+  /// the expiry comes back as StatusCode::kDeadlineExceeded.
+  Result<RankResponse> Rank(const RankRequest& request,
+                            uint64_t deadline_ms = 0);
+
+  /// \brief Fetches the server's self-description.
+  Result<ServerInfo> Info();
+
+  /// \brief Escape hatch for protocol tests: writes raw bytes as-is.
+  Status SendRaw(const void* data, size_t len);
+
+  /// \brief Escape hatch for protocol tests: reads the next whole frame.
+  struct RawFrame {
+    FrameType type = FrameType::kStatus;
+    uint64_t request_id = 0;
+    std::vector<uint8_t> payload;
+  };
+  Result<RawFrame> ReadFrame();
+
+ private:
+  explicit RpcClient(Socket socket) : socket_(std::move(socket)) {}
+
+  /// Sends one frame and blocks for the reply to `request_id`.
+  Result<RawFrame> Call(FrameType type, std::vector<uint8_t> payload);
+
+  Socket socket_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace d2pr
+
+#endif  // D2PR_NET_CLIENT_H_

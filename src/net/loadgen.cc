@@ -1,0 +1,154 @@
+#include "net/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "datagen/distributions.h"
+#include "net/client.h"
+
+namespace d2pr {
+namespace {
+
+/// Latency at quantile `q` (nearest-rank) of an unsorted sample vector.
+double PercentileUs(std::vector<double>& latencies_us, double q) {
+  if (latencies_us.empty()) return 0.0;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const size_t rank = static_cast<size_t>(
+      std::min<double>(latencies_us.size() - 1,
+                       std::ceil(q * latencies_us.size()) - 1));
+  return latencies_us[rank];
+}
+
+struct WorkerTally {
+  size_t ok = 0;
+  size_t unavailable = 0;
+  size_t deadline_exceeded = 0;
+  size_t failed = 0;
+  std::vector<double> latencies_us;
+};
+
+}  // namespace
+
+Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options) {
+  if (options.port == 0) {
+    return Status::InvalidArgument("loadgen needs a --port to aim at");
+  }
+  if (options.connections == 0 || options.requests_per_connection == 0) {
+    return Status::InvalidArgument(
+        "loadgen needs at least one connection and one request");
+  }
+  if (options.zipf_s <= 0.0) {
+    return Status::InvalidArgument("zipf_s must be positive");
+  }
+  if (options.global_fraction < 0.0 || options.global_fraction > 1.0) {
+    return Status::InvalidArgument("global_fraction must lie in [0, 1]");
+  }
+
+  int64_t universe = options.zipf_n;
+  if (universe <= 0) {
+    auto probe = RpcClient::Connect(options.host, options.port);
+    if (!probe.ok()) return probe.status();
+    auto info = probe.value().Info();
+    if (!info.ok()) return info.status();
+    universe = static_cast<int64_t>(info.value().num_nodes);
+  }
+  if (universe <= 0) {
+    return Status::InvalidArgument("empty seed universe (zipf_n)");
+  }
+
+  // One CDF shared read-only by every worker; each worker draws from its
+  // own Rng stream so results do not depend on thread interleaving.
+  const ZipfSampler zipf(universe, options.zipf_s);
+
+  std::vector<WorkerTally> tallies(options.connections);
+  std::vector<Status> worker_errors(options.connections);
+  std::vector<std::thread> workers;
+  workers.reserve(options.connections);
+  const auto started = std::chrono::steady_clock::now();
+  for (size_t w = 0; w < options.connections; ++w) {
+    workers.emplace_back([&, w] {
+      WorkerTally& tally = tallies[w];
+      Rng rng(options.seed * 0x9e3779b97f4a7c15ull + w);
+      auto client = RpcClient::Connect(options.host, options.port);
+      if (!client.ok()) {
+        worker_errors[w] = client.status();
+        return;
+      }
+      tally.latencies_us.reserve(options.requests_per_connection);
+      for (size_t i = 0; i < options.requests_per_connection; ++i) {
+        RankRequest request = options.base;
+        const bool global =
+            options.global_fraction > 0.0 &&
+            (static_cast<double>(rng.Next() >> 11) * 0x1.0p-53 <
+             options.global_fraction);
+        if (!global) {
+          request.seeds = {static_cast<NodeId>(zipf.Sample(&rng) - 1)};
+        }
+        const auto before = std::chrono::steady_clock::now();
+        auto response = client.value().Rank(request, options.deadline_ms);
+        const auto after = std::chrono::steady_clock::now();
+        tally.latencies_us.push_back(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(after -
+                                                                 before)
+                .count() /
+            1000.0);
+        if (response.ok()) {
+          ++tally.ok;
+        } else if (response.status().code() == StatusCode::kUnavailable) {
+          ++tally.unavailable;
+        } else if (response.status().code() ==
+                   StatusCode::kDeadlineExceeded) {
+          ++tally.deadline_exceeded;
+        } else {
+          ++tally.failed;
+          // Transport errors kill the connection; later requests on this
+          // worker would only repeat the same failure.
+          if (response.status().code() == StatusCode::kIoError) {
+            worker_errors[w] = response.status();
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double elapsed_s =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count() /
+      1e9;
+
+  for (size_t w = 0; w < options.connections; ++w) {
+    // A worker that could not even issue one request is a run-level
+    // failure; one that died mid-run still contributed its tallies.
+    if (!worker_errors[w].ok() && tallies[w].latencies_us.empty()) {
+      return worker_errors[w];
+    }
+  }
+
+  LoadGenReport report;
+  std::vector<double> all_latencies;
+  for (const WorkerTally& tally : tallies) {
+    report.ok += tally.ok;
+    report.unavailable += tally.unavailable;
+    report.deadline_exceeded += tally.deadline_exceeded;
+    report.failed += tally.failed;
+    all_latencies.insert(all_latencies.end(), tally.latencies_us.begin(),
+                         tally.latencies_us.end());
+  }
+  report.attempted = all_latencies.size();
+  report.p50_us = PercentileUs(all_latencies, 0.50);
+  report.p99_us = PercentileUs(all_latencies, 0.99);
+  report.elapsed_s = elapsed_s;
+  report.requests_per_s =
+      elapsed_s > 0.0 ? static_cast<double>(report.attempted) / elapsed_s
+                      : 0.0;
+  return report;
+}
+
+}  // namespace d2pr

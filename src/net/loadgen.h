@@ -1,0 +1,71 @@
+// Zipf load generator for the RPC front door.
+//
+// Real personalized-query traffic is heavily skewed: a few hot entities
+// dominate. The generator reproduces that shape with a seeded Zipf draw
+// over the node universe (P(node k) ∝ k^-s, datagen/distributions.h) —
+// which is also what gives the server's coalescing and score cache
+// something realistic to bite on: under s ≳ 1 the head nodes repeat
+// often enough that identical requests overlap in flight.
+//
+// Shape: `connections` worker threads, each with its own RpcClient and
+// its own Rng stream (seed ⊕ worker index — deterministic regardless of
+// thread interleaving), each issuing `requests_per_connection` blocking
+// calls. Every call's latency is recorded; the report aggregates
+// percentiles and throughput plus the outcome tally (ok / unavailable /
+// deadline-exceeded / failed), so a saturation run can show sheds and
+// expiries without failing the run.
+
+#ifndef D2PR_NET_LOADGEN_H_
+#define D2PR_NET_LOADGEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "api/rank_request.h"
+#include "common/result.h"
+
+namespace d2pr {
+
+/// \brief Load-generator knobs.
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  ///< Required (no default server to find).
+  /// Concurrent connections (worker threads); each is one RpcClient.
+  size_t connections = 4;
+  size_t requests_per_connection = 100;
+  /// Zipf exponent of the seed-popularity distribution.
+  double zipf_s = 1.1;
+  /// Seed universe size; 0 = ask the server (Info) and use num_nodes.
+  int64_t zipf_n = 0;
+  /// Fraction of requests issued as global (unseeded) queries instead of
+  /// personalized ones, in [0, 1].
+  double global_fraction = 0.0;
+  /// Per-request deadline forwarded to the server; 0 = none.
+  uint64_t deadline_ms = 0;
+  uint64_t seed = 1;
+  /// Template for every request; the generator only overwrites `seeds`.
+  RankRequest base;
+};
+
+/// \brief Aggregate outcome of one load-generation run.
+struct LoadGenReport {
+  size_t attempted = 0;
+  size_t ok = 0;
+  size_t unavailable = 0;        ///< Admission sheds.
+  size_t deadline_exceeded = 0;  ///< Server-side expiries.
+  size_t failed = 0;             ///< Everything else (transport, solver).
+  double p50_us = 0.0;           ///< Median request latency.
+  double p99_us = 0.0;
+  double elapsed_s = 0.0;
+  double requests_per_s = 0.0;  ///< attempted / elapsed.
+};
+
+/// \brief Runs the configured load against a live server and aggregates.
+/// Fails only when the run cannot execute at all (no server, bad
+/// options); per-request errors land in the report's tallies.
+Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options);
+
+}  // namespace d2pr
+
+#endif  // D2PR_NET_LOADGEN_H_

@@ -1,0 +1,180 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace d2pr {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(StrCat(what, ": ", std::strerror(errno)));
+}
+
+Status MakeAddr(const std::string& host, uint16_t port, sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StrCat("not a numeric IPv4 address: '", host, "'"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Socket::~Socket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Socket> Socket::Connect(const std::string& host, uint16_t port) {
+  sockaddr_in addr;
+  D2PR_RETURN_NOT_OK(MakeAddr(host, port, &addr));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket socket(fd);
+  // Frames are written whole and latency is the benchmark's subject;
+  // Nagle coalescing only adds delay to small request frames.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("connect");
+  }
+  return socket;
+}
+
+Status Socket::SendAll(const void* data, size_t len) {
+  if (fd_ < 0) return Status::FailedPrecondition("send on invalid socket");
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  while (len > 0) {
+    // MSG_NOSIGNAL: a dead peer surfaces as EPIPE, not a process-killing
+    // SIGPIPE.
+    const ssize_t sent = ::send(fd_, p, len, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    if (sent == 0) return Status::IoError("send: connection closed");
+    p += sent;
+    len -= static_cast<size_t>(sent);
+  }
+  return Status::OK();
+}
+
+Status Socket::RecvExact(void* data, size_t len, bool* clean_eof) {
+  if (clean_eof != nullptr) *clean_eof = false;
+  if (fd_ < 0) return Status::FailedPrecondition("recv on invalid socket");
+  uint8_t* p = static_cast<uint8_t*>(data);
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd_, p + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0 && clean_eof != nullptr) *clean_eof = true;
+      return Status::IoError(
+          got == 0 ? "recv: connection closed"
+                   : StrCat("recv: connection closed mid-read (", got, " of ",
+                            len, " bytes)"));
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::ShutdownRead() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+ListenSocket::~ListenSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ListenSocket::ListenSocket(ListenSocket&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+ListenSocket& ListenSocket::operator=(ListenSocket&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<ListenSocket> ListenSocket::Listen(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  ListenSocket listener(fd, port);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(fd, 128) != 0) return Errno("listen");
+  if (port == 0) {
+    socklen_t addr_len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) !=
+        0) {
+      return Errno("getsockname");
+    }
+    listener.port_ = ntohs(addr.sin_port);
+  }
+  return listener;
+}
+
+Result<Socket> ListenSocket::Accept() {
+  if (fd_ < 0) return Status::FailedPrecondition("accept on invalid socket");
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+void ListenSocket::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+}  // namespace d2pr

@@ -1,0 +1,108 @@
+// Thin RAII wrappers over blocking POSIX stream sockets — the entire OS
+// surface of the network front door, so everything above this file
+// (framing, server, client) is plain byte-vector logic.
+//
+// Scope is deliberately small: IPv4, blocking I/O, loopback-oriented
+// defaults. The server's concurrency comes from one reader/writer thread
+// pair per connection (net/server.h), not from non-blocking multiplexing;
+// at the fleet sizes the bench drives (dozens of connections, thousands
+// of requests each) thread-per-connection measures within noise of an
+// event loop and keeps every code path synchronous and testable.
+//
+// Shutdown discipline: a blocking accept or recv is unblocked by
+// shutdown(fd, SHUT_RDWR) from another thread, NOT by close — closing a
+// descriptor another thread is blocked on is a use-after-free of the fd
+// number. Socket::ShutdownBoth / ListenSocket::Shutdown exist for exactly
+// that; the owning wrapper closes the descriptor at destruction.
+
+#ifndef D2PR_NET_SOCKET_H_
+#define D2PR_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace d2pr {
+
+/// \brief One connected stream socket (client or accepted server side).
+class Socket {
+ public:
+  /// Invalid socket; every operation on it fails with FailedPrecondition.
+  Socket() = default;
+  /// Adopts an already-connected descriptor (the accept path).
+  explicit Socket(int fd) : fd_(fd) {}
+
+  /// Blocking connect to `host`:`port` (numeric IPv4, e.g. "127.0.0.1").
+  static Result<Socket> Connect(const std::string& host, uint16_t port);
+
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes all `len` bytes (looping over partial sends; SIGPIPE
+  /// suppressed). IoError when the peer is gone.
+  Status SendAll(const void* data, size_t len);
+
+  /// Reads exactly `len` bytes. IoError on failure; when `clean_eof` is
+  /// non-null it is set to true iff the peer closed before the FIRST
+  /// byte — the one EOF that is a normal end of stream at a frame
+  /// boundary rather than a truncation.
+  Status RecvExact(void* data, size_t len, bool* clean_eof = nullptr);
+
+  /// Unblocks any thread inside SendAll/RecvExact on this socket.
+  /// Idempotent; the descriptor stays owned until destruction.
+  void ShutdownBoth();
+
+  /// Unblocks readers only: subsequent/blocked RecvExact calls see EOF
+  /// while queued writes still flush. The server's shutdown sequence uses
+  /// this to stop new requests while in-flight responses drain.
+  void ShutdownRead();
+
+ private:
+  int fd_ = -1;
+};
+
+/// \brief A listening IPv4 socket bound to loopback.
+class ListenSocket {
+ public:
+  /// Invalid listener (the not-yet-started server state).
+  ListenSocket() = default;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-chosen ephemeral port, reported
+  /// by port()) with SO_REUSEADDR and starts listening.
+  static Result<ListenSocket> Listen(uint16_t port);
+
+  ~ListenSocket();
+  ListenSocket(ListenSocket&& other) noexcept;
+  ListenSocket& operator=(ListenSocket&& other) noexcept;
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  /// The bound port (the kernel's choice when Listen was given 0).
+  uint16_t port() const { return port_; }
+
+  /// Blocks for the next connection. IoError once Shutdown has been
+  /// called (the accept-loop exit signal).
+  Result<Socket> Accept();
+
+  /// Unblocks a blocked Accept. Idempotent.
+  void Shutdown();
+
+ private:
+  ListenSocket(int fd, uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace d2pr
+
+#endif  // D2PR_NET_SOCKET_H_

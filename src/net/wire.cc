@@ -1,0 +1,326 @@
+#include "net/wire.h"
+
+#include <cstring>
+#include <string>
+
+#include "common/binary_io.h"
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace d2pr {
+namespace {
+
+void AppendU16(std::vector<uint8_t>& out, uint16_t value) {
+  out.push_back(static_cast<uint8_t>(value & 0xff));
+  out.push_back(static_cast<uint8_t>(value >> 8));
+}
+
+uint16_t ReadU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+/// Bounds-checked forward reader over one payload. Every Read* returns
+/// false instead of walking past the end, so a decoder is a linear chain
+/// of reads with one truncation diagnostic at the end.
+class Cursor {
+ public:
+  explicit Cursor(std::span<const uint8_t> bytes)
+      : p_(bytes.data()), remaining_(bytes.size()) {}
+
+  size_t remaining() const { return remaining_; }
+
+  bool ReadU32(uint32_t* value) {
+    if (remaining_ < 4) return false;
+    *value = d2pr::ReadU32(p_);
+    Advance(4);
+    return true;
+  }
+  bool ReadU64(uint64_t* value) {
+    if (remaining_ < 8) return false;
+    *value = d2pr::ReadU64(p_);
+    Advance(8);
+    return true;
+  }
+  bool ReadI64(int64_t* value) {
+    if (remaining_ < 8) return false;
+    *value = d2pr::ReadI64(p_);
+    Advance(8);
+    return true;
+  }
+  bool ReadF64(double* value) {
+    if (remaining_ < 8) return false;
+    *value = d2pr::ReadF64(p_);
+    Advance(8);
+    return true;
+  }
+  bool ReadString(uint64_t length, std::string* value) {
+    if (remaining_ < length) return false;
+    value->assign(reinterpret_cast<const char*>(p_),
+                  static_cast<size_t>(length));
+    Advance(static_cast<size_t>(length));
+    return true;
+  }
+
+ private:
+  void Advance(size_t n) {
+    p_ += n;
+    remaining_ -= n;
+  }
+
+  const uint8_t* p_;
+  size_t remaining_;
+};
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(
+      StrCat("truncated ", what, " payload"));
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeFrame(FrameType type, uint64_t request_id,
+                                 std::span<const uint8_t> payload) {
+  D2PR_CHECK(payload.size() <= kMaxPayloadBytes)
+      << "frame payload exceeds kMaxPayloadBytes";
+  std::vector<uint8_t> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  AppendU32(out, static_cast<uint32_t>(payload.size()));
+  AppendU32(out, kWireMagic);
+  AppendU16(out, kWireVersion);
+  AppendU16(out, static_cast<uint16_t>(type));
+  AppendU64(out, request_id);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Result<FrameHeader> DecodeFrameHeader(std::span<const uint8_t> bytes) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    return Status::InvalidArgument(
+        StrCat("frame header needs ", kFrameHeaderBytes, " bytes, got ",
+               bytes.size()));
+  }
+  const uint8_t* p = bytes.data();
+  FrameHeader header;
+  header.payload_len = ReadU32(p);
+  const uint32_t magic = ReadU32(p + 4);
+  const uint16_t version = ReadU16(p + 8);
+  const uint16_t type = ReadU16(p + 10);
+  header.request_id = ReadU64(p + 12);
+  if (magic != kWireMagic) {
+    return Status::InvalidArgument(
+        StrCat("bad frame magic ", magic, " (expected ", kWireMagic, ")"));
+  }
+  if (version != kWireVersion) {
+    return Status::InvalidArgument(
+        StrCat("unsupported wire version ", version, " (expected ",
+               kWireVersion, ")"));
+  }
+  if (type < static_cast<uint16_t>(FrameType::kRankRequest) ||
+      type > static_cast<uint16_t>(FrameType::kInfoResponse)) {
+    return Status::InvalidArgument(StrCat("unknown frame type ", type));
+  }
+  if (header.payload_len > kMaxPayloadBytes) {
+    return Status::InvalidArgument(
+        StrCat("frame payload length ", header.payload_len,
+               " exceeds limit ", kMaxPayloadBytes));
+  }
+  header.type = static_cast<FrameType>(type);
+  return header;
+}
+
+std::vector<uint8_t> EncodeRankRequest(const WireRankRequest& wire) {
+  const RankRequest& r = wire.request;
+  std::vector<uint8_t> out;
+  out.reserve(8 * 6 + 4 * 4 + 4 * r.seeds.size() + r.warm_start_tag.size() +
+              16);
+  AppendU64(out, wire.deadline_ms);
+  AppendF64(out, r.p);
+  AppendF64(out, r.beta);
+  AppendU32(out, static_cast<uint32_t>(r.metric));
+  AppendF64(out, r.alpha);
+  AppendF64(out, r.tolerance);
+  AppendU32(out, static_cast<uint32_t>(r.max_iterations));
+  AppendU32(out, static_cast<uint32_t>(r.dangling));
+  AppendU32(out, static_cast<uint32_t>(r.method));
+  AppendF64(out, r.push_epsilon);
+  AppendU64(out, r.seeds.size());
+  for (NodeId seed : r.seeds) {
+    AppendU32(out, static_cast<uint32_t>(seed));
+  }
+  AppendU64(out, r.warm_start_tag.size());
+  out.insert(out.end(), r.warm_start_tag.begin(), r.warm_start_tag.end());
+  return out;
+}
+
+Result<WireRankRequest> DecodeRankRequest(std::span<const uint8_t> payload) {
+  Cursor cursor(payload);
+  WireRankRequest wire;
+  RankRequest& r = wire.request;
+  uint32_t metric = 0;
+  uint32_t max_iterations = 0;
+  uint32_t dangling = 0;
+  uint32_t method = 0;
+  uint64_t num_seeds = 0;
+  if (!cursor.ReadU64(&wire.deadline_ms) || !cursor.ReadF64(&r.p) ||
+      !cursor.ReadF64(&r.beta) || !cursor.ReadU32(&metric) ||
+      !cursor.ReadF64(&r.alpha) || !cursor.ReadF64(&r.tolerance) ||
+      !cursor.ReadU32(&max_iterations) || !cursor.ReadU32(&dangling) ||
+      !cursor.ReadU32(&method) || !cursor.ReadF64(&r.push_epsilon) ||
+      !cursor.ReadU64(&num_seeds)) {
+    return Truncated("RankRequest");
+  }
+  if (metric > static_cast<uint32_t>(DegreeMetric::kInDegree)) {
+    return Status::InvalidArgument(StrCat("bad DegreeMetric ", metric));
+  }
+  if (dangling > static_cast<uint32_t>(DanglingPolicy::kRenormalize)) {
+    return Status::InvalidArgument(StrCat("bad DanglingPolicy ", dangling));
+  }
+  if (method > static_cast<uint32_t>(SolverMethod::kForwardPush)) {
+    return Status::InvalidArgument(StrCat("bad SolverMethod ", method));
+  }
+  // Each seed costs 4 bytes; a count the remaining bytes cannot hold is a
+  // lie, caught before the reserve below can allocate against it.
+  if (num_seeds > cursor.remaining() / 4) return Truncated("RankRequest");
+  r.metric = static_cast<DegreeMetric>(metric);
+  r.max_iterations = static_cast<int>(max_iterations);
+  r.dangling = static_cast<DanglingPolicy>(dangling);
+  r.method = static_cast<SolverMethod>(method);
+  r.seeds.reserve(static_cast<size_t>(num_seeds));
+  for (uint64_t i = 0; i < num_seeds; ++i) {
+    uint32_t seed = 0;
+    if (!cursor.ReadU32(&seed)) return Truncated("RankRequest");
+    r.seeds.push_back(static_cast<NodeId>(seed));
+  }
+  uint64_t tag_len = 0;
+  if (!cursor.ReadU64(&tag_len) ||
+      !cursor.ReadString(tag_len, &r.warm_start_tag)) {
+    return Truncated("RankRequest");
+  }
+  if (cursor.remaining() != 0) {
+    return Status::InvalidArgument(
+        StrCat("RankRequest payload has ", cursor.remaining(),
+               " trailing bytes"));
+  }
+  return wire;
+}
+
+std::vector<uint8_t> EncodeRankResponse(const RankResponse& response) {
+  std::vector<uint8_t> out;
+  out.reserve(8 * response.scores.size() + 64);
+  AppendU64(out, response.scores.size());
+  for (double score : response.scores) AppendF64(out, score);
+  AppendU32(out, static_cast<uint32_t>(response.method));
+  AppendU32(out, static_cast<uint32_t>(response.iterations));
+  AppendI64(out, response.pushes);
+  AppendF64(out, response.residual);
+  // Diagnostic booleans packed into one word; bit order matches the
+  // declaration order in RankResponse.
+  uint32_t flags = 0;
+  if (response.converged) flags |= 1u << 0;
+  if (response.transition_cache_hit) flags |= 1u << 1;
+  if (response.transition_store_hit) flags |= 1u << 2;
+  if (response.warm_start_hit) flags |= 1u << 3;
+  if (response.served_partitioned) flags |= 1u << 4;
+  AppendU32(out, flags);
+  return out;
+}
+
+Result<RankResponse> DecodeRankResponse(std::span<const uint8_t> payload) {
+  Cursor cursor(payload);
+  RankResponse response;
+  uint64_t num_scores = 0;
+  if (!cursor.ReadU64(&num_scores)) return Truncated("RankResponse");
+  if (num_scores > cursor.remaining() / 8) return Truncated("RankResponse");
+  response.scores.reserve(static_cast<size_t>(num_scores));
+  for (uint64_t i = 0; i < num_scores; ++i) {
+    double score = 0.0;
+    if (!cursor.ReadF64(&score)) return Truncated("RankResponse");
+    response.scores.push_back(score);
+  }
+  uint32_t method = 0;
+  uint32_t iterations = 0;
+  uint32_t flags = 0;
+  if (!cursor.ReadU32(&method) || !cursor.ReadU32(&iterations) ||
+      !cursor.ReadI64(&response.pushes) ||
+      !cursor.ReadF64(&response.residual) || !cursor.ReadU32(&flags)) {
+    return Truncated("RankResponse");
+  }
+  if (method > static_cast<uint32_t>(SolverMethod::kForwardPush)) {
+    return Status::InvalidArgument(StrCat("bad SolverMethod ", method));
+  }
+  if (flags > 0x1f) {
+    return Status::InvalidArgument(
+        StrCat("unknown RankResponse flag bits ", flags));
+  }
+  if (cursor.remaining() != 0) {
+    return Status::InvalidArgument(
+        StrCat("RankResponse payload has ", cursor.remaining(),
+               " trailing bytes"));
+  }
+  response.method = static_cast<SolverMethod>(method);
+  response.iterations = static_cast<int>(iterations);
+  response.converged = (flags & (1u << 0)) != 0;
+  response.transition_cache_hit = (flags & (1u << 1)) != 0;
+  response.transition_store_hit = (flags & (1u << 2)) != 0;
+  response.warm_start_hit = (flags & (1u << 3)) != 0;
+  response.served_partitioned = (flags & (1u << 4)) != 0;
+  return response;
+}
+
+std::vector<uint8_t> EncodeStatusPayload(const Status& status) {
+  std::vector<uint8_t> out;
+  const std::string& message = status.message();
+  out.reserve(12 + message.size());
+  AppendU32(out, static_cast<uint32_t>(status.code()));
+  AppendU64(out, message.size());
+  out.insert(out.end(), message.begin(), message.end());
+  return out;
+}
+
+Status DecodeStatusPayload(std::span<const uint8_t> payload, Status* decoded) {
+  Cursor cursor(payload);
+  uint32_t code = 0;
+  uint64_t message_len = 0;
+  std::string message;
+  if (!cursor.ReadU32(&code) || !cursor.ReadU64(&message_len) ||
+      !cursor.ReadString(message_len, &message)) {
+    return Truncated("Status");
+  }
+  if (code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
+    return Status::InvalidArgument(StrCat("bad StatusCode ", code));
+  }
+  if (cursor.remaining() != 0) {
+    return Status::InvalidArgument(
+        StrCat("Status payload has ", cursor.remaining(), " trailing bytes"));
+  }
+  *decoded = Status(static_cast<StatusCode>(code), std::move(message));
+  return Status::OK();
+}
+
+std::vector<uint8_t> EncodeServerInfo(const ServerInfo& info) {
+  std::vector<uint8_t> out;
+  out.reserve(32);
+  AppendU64(out, info.num_nodes);
+  AppendU64(out, info.num_arcs);
+  AppendU64(out, info.num_shards);
+  AppendU64(out, info.num_threads);
+  return out;
+}
+
+Result<ServerInfo> DecodeServerInfo(std::span<const uint8_t> payload) {
+  Cursor cursor(payload);
+  ServerInfo info;
+  if (!cursor.ReadU64(&info.num_nodes) || !cursor.ReadU64(&info.num_arcs) ||
+      !cursor.ReadU64(&info.num_shards) ||
+      !cursor.ReadU64(&info.num_threads)) {
+    return Truncated("ServerInfo");
+  }
+  if (cursor.remaining() != 0) {
+    return Status::InvalidArgument(
+        StrCat("ServerInfo payload has ", cursor.remaining(),
+               " trailing bytes"));
+  }
+  return info;
+}
+
+}  // namespace d2pr

@@ -34,7 +34,6 @@ EngineRouter::EngineRouter(std::shared_ptr<const CsrGraph> graph,
       shard_map_(options.shard_map ? options.shard_map
                                    : std::make_shared<ModuloShardMap>()),
       score_cache_(ToScoreCacheOptions(options)),
-      partition_transitions_(options.engine_options.transition_cache_capacity),
       pool_(options.worker_threads > 0
                 ? options.worker_threads
                 : std::max<size_t>(size_t{1}, options.num_shards)) {
@@ -55,21 +54,19 @@ EngineRouter::EngineRouter(std::shared_ptr<const CsrGraph> graph,
     partition_uniform_teleport_ = UniformTeleport(graph_->num_nodes());
     // The shared per-key matrices honor the persistent store exactly as
     // a whole-graph engine does: one fingerprint, load-before-build,
-    // write-through spill.
+    // write-through spill — the TransitionResolver is literally the same
+    // class the engines own.
     const EngineOptions& eo = options_.engine_options;
-    if (!eo.cache_dir.empty() && eo.persist_mode != PersistMode::kOff) {
-      TransitionStoreOptions store_options;
-      store_options.verify_payload_checksums = eo.persist_verify_checksums;
-      partition_store_ =
-          std::make_unique<TransitionStore>(eo.cache_dir, store_options);
-      partition_graph_fingerprint_ =
-          eo.precomputed_graph_fingerprint != 0
-              ? eo.precomputed_graph_fingerprint
-              : GraphFingerprint(*graph_);
-      D2PR_DCHECK(eo.precomputed_graph_fingerprint == 0 ||
-                  partition_graph_fingerprint_ == GraphFingerprint(*graph_))
-          << "precomputed_graph_fingerprint does not match this graph";
-    }
+    TransitionResolverOptions resolver_options;
+    resolver_options.cache_capacity = eo.transition_cache_capacity;
+    resolver_options.cache_dir = eo.cache_dir;
+    resolver_options.persist_mode = eo.persist_mode;
+    resolver_options.persist_policy = PersistPolicy::kWriteThrough;
+    resolver_options.verify_checksums = eo.persist_verify_checksums;
+    resolver_options.precomputed_graph_fingerprint =
+        eo.precomputed_graph_fingerprint;
+    partition_resolver_ =
+        std::make_unique<TransitionResolver>(graph_, resolver_options);
     return;
   }
   // Shards sharing a persistent store all need the same graph
@@ -251,104 +248,18 @@ Result<RankResponse> EngineRouter::ExecuteUnits(const RankRequest& request,
 Result<std::shared_ptr<const TransitionMatrix>>
 EngineRouter::PartitionTransition(const TransitionKey& key, bool* cache_hit,
                                   bool* store_hit) {
-  // Per-key single-flight, the engine's build_cv_ discipline: the mutex
-  // guards only the in-flight key list, never a load, build, or spill —
-  // distinct keys proceed in parallel, and concurrent requesters of one
-  // key wait for the winner and take its entry as a cache hit.
-  {
-    std::unique_lock<std::mutex> lock(partition_build_mu_);
-    for (;;) {
-      if (std::shared_ptr<const TransitionMatrix> cached =
-              partition_transitions_.Lookup(key)) {
-        *cache_hit = true;
-        return cached;
-      }
-      if (std::find(partition_building_keys_.begin(),
-                    partition_building_keys_.end(),
-                    key) == partition_building_keys_.end()) {
-        break;
-      }
-      partition_build_cv_.wait(lock);
-    }
-    partition_building_keys_.push_back(key);
-  }
-
-  *cache_hit = false;
-  const bool store_readable =
-      partition_store_ != nullptr &&
-      (options_.engine_options.persist_mode == PersistMode::kReadOnly ||
-       options_.engine_options.persist_mode == PersistMode::kReadWrite);
-  const bool store_writable =
-      partition_store_ != nullptr &&
-      (options_.engine_options.persist_mode == PersistMode::kWriteOnly ||
-       options_.engine_options.persist_mode == PersistMode::kReadWrite);
-
-  Status error;
-  std::shared_ptr<const TransitionMatrix> shared;
-  bool built_fresh = false;
-
-  // Spill layer first: mapping a persisted matrix is O(1) against the
-  // O(|E|) rebuild; a missing file is the expected cold path, a rejected
-  // file is surfaced loudly but never used.
-  if (store_readable) {
-    auto loaded =
-        partition_store_->Load(partition_graph_fingerprint_, key,
-                               graph_->num_nodes(), graph_->num_arcs());
-    if (loaded.ok()) {
-      *store_hit = true;
-      ++partition_transition_store_loads_;
-      shared = std::move(loaded).value();
-    } else if (loaded.status().code() != StatusCode::kNotFound) {
-      D2PR_LOG(Warning) << "transition store rejected; rebuilding: "
-                        << loaded.status().ToString();
-    }
-  }
-
-  if (shared == nullptr) {
-    TransitionConfig config;
-    config.p = key.p;
-    config.beta = key.beta;
-    config.metric = key.metric;
-    // Built from the whole graph: row probabilities depend on global
-    // destination metrics (a boundary target's degree is invisible
-    // inside one shard), and sharing one matrix is exactly what makes
-    // the block solve's bit-parity provable. Shards read their slices
-    // through the partition's arc index.
-    Result<TransitionMatrix> built = TransitionMatrix::Build(*graph_, config);
-    if (built.ok()) {
-      ++partition_transition_builds_;
-      shared =
-          std::make_shared<const TransitionMatrix>(std::move(built).value());
-      built_fresh = true;
-    } else {
-      error = built.status();
-    }
-  }
-
-  {
-    std::lock_guard<std::mutex> lock(partition_build_mu_);
-    std::erase(partition_building_keys_, key);
-    if (shared != nullptr) partition_transitions_.Insert(key, shared);
-  }
-  // Wake waiters whether the load/build succeeded (they hit the cache)
-  // or failed (they retry and report the error themselves).
-  partition_build_cv_.notify_all();
-  if (!error.ok()) return error;
-
-  if (built_fresh && store_writable) {
-    // Always write-through, after the single-flight slot is released so
-    // waiters never stall on disk; a failed spill is an optimization
-    // lost, never an error.
-    const Status saved =
-        partition_store_->Save(partition_graph_fingerprint_, key, *shared);
-    if (saved.ok()) {
-      ++partition_transition_store_saves_;
-    } else {
-      D2PR_LOG(Warning) << "transition store spill failed: "
-                        << saved.ToString();
-    }
-  }
-  return shared;
+  // The matrix is built from the whole graph: row probabilities depend
+  // on global destination metrics (a boundary target's degree is
+  // invisible inside one shard), and sharing one matrix is exactly what
+  // makes the block solve's bit-parity provable. Shards read their
+  // slices through the partition's arc index. Resolution itself —
+  // per-key single-flight over cache, store, build — is the shared
+  // TransitionResolver.
+  TransitionResolver::Outcome outcome;
+  auto resolved = partition_resolver_->Resolve(key, &outcome);
+  *cache_hit = outcome.cache_hit;
+  *store_hit = outcome.store_hit;
+  return resolved;
 }
 
 Result<RankResponse> EngineRouter::RankPartitioned(const RankRequest& request,
@@ -663,6 +574,23 @@ std::future<Result<RankResponse>> EngineRouter::RankAsync(
                            : Rank(request));
   });
   return future;
+}
+
+void EngineRouter::RankAsync(RankRequest request,
+                             std::function<void(Result<RankResponse>)> done,
+                             std::function<Status()> gate) {
+  pool_.Submit([this, request = std::move(request), done = std::move(done),
+                gate = std::move(gate)]() mutable {
+    if (gate) {
+      Status admitted = gate();
+      if (!admitted.ok()) {
+        done(std::move(admitted));
+        return;
+      }
+    }
+    done(partition_ ? RankPartitioned(request, /*allow_pool=*/false)
+                    : Rank(request));
+  });
 }
 
 }  // namespace d2pr

@@ -241,19 +241,20 @@ class EngineRouter {
   /// Transition accounting of the partitioned-subgraph mode (the shared
   /// per-key matrices the block solves read). Zero in the other modes.
   int64_t partition_transition_builds() const {
-    return partition_transition_builds_.load(std::memory_order_relaxed);
+    return partition_resolver_ ? partition_resolver_->builds() : 0;
   }
   int64_t partition_transition_cache_hits() const {
-    return partition_transitions_.hits();
+    return partition_resolver_ ? partition_resolver_->cache_lookup_hits() : 0;
   }
   int64_t partition_transition_cache_misses() const {
-    return partition_transitions_.misses();
+    return partition_resolver_ ? partition_resolver_->cache_lookup_misses()
+                               : 0;
   }
   int64_t partition_transition_store_loads() const {
-    return partition_transition_store_loads_.load(std::memory_order_relaxed);
+    return partition_resolver_ ? partition_resolver_->store_loads() : 0;
   }
   int64_t partition_transition_store_saves() const {
-    return partition_transition_store_saves_.load(std::memory_order_relaxed);
+    return partition_resolver_ ? partition_resolver_->store_saves() : 0;
   }
   const ScoreCache& score_cache() const { return score_cache_; }
   size_t num_worker_threads() const { return pool_.num_threads(); }
@@ -284,6 +285,18 @@ class EngineRouter {
   /// Routing order across concurrent async requests is whatever the pool
   /// runs; use RankBatch when reference-identical diagnostics matter.
   std::future<Result<RankResponse>> RankAsync(RankRequest request);
+
+  /// \brief Enqueues one query; `done` runs on the worker that solved it,
+  /// with the result (the completion-queue form — see the ServingRuntime
+  /// overload for the contract `done` and the pre-solve `gate` honor).
+  void RankAsync(RankRequest request,
+                 std::function<void(Result<RankResponse>)> done,
+                 std::function<Status()> gate = nullptr);
+
+  /// The worker pool, exposed so an admission-control layer (net/server.h)
+  /// can read queue_depth() to shed load before enqueueing, and so tests
+  /// can park workers deterministically.
+  ThreadPool& pool() { return pool_; }
 
  private:
   /// One engine execution planned for a request. A request routed whole
@@ -333,9 +346,10 @@ class EngineRouter {
 
   /// Shared transition matrix for `key`: cached, else mapped from the
   /// persistent store (readable persist modes), else built — and spilled
-  /// back write-through when writable. Loads and builds run under
-  /// partition_build_mu_ (single-flight; concurrent requesters of one key
-  /// wait rather than duplicating the work).
+  /// back write-through when writable. Delegates to the same
+  /// TransitionResolver class the whole-graph engines use (single-flight;
+  /// concurrent requesters of one key wait rather than duplicating the
+  /// work).
   Result<std::shared_ptr<const TransitionMatrix>> PartitionTransition(
       const TransitionKey& key, bool* cache_hit, bool* store_hit);
 
@@ -347,29 +361,14 @@ class EngineRouter {
   ScoreCache score_cache_;
 
   /// Partitioned-subgraph state; null in the other modes. The partition
-  /// and teleport vector are immutable after construction; the transition
-  /// cache is internally synchronized and builds single-flight under
-  /// partition_build_mu_.
+  /// and teleport vector are immutable after construction; the resolver
+  /// is the same cache + store + single-flight-build class the
+  /// whole-graph engines use, honoring EngineOptions cache_dir /
+  /// persist_mode / persist_verify_checksums exactly as they do. Spills
+  /// are always write-through (this mode has no lazy-flush surface).
   std::unique_ptr<const GraphPartition> partition_;
   std::vector<double> partition_uniform_teleport_;
-  TransitionCache partition_transitions_;
-  /// Guards partition_building_keys_ only — never held across a load,
-  /// build, or spill (the engine's build_cv_ discipline: one requester
-  /// works a key, concurrent requesters of that key wait on the cv,
-  /// distinct keys proceed in parallel).
-  std::mutex partition_build_mu_;
-  std::condition_variable partition_build_cv_;
-  std::vector<TransitionKey> partition_building_keys_;
-  std::atomic<int64_t> partition_transition_builds_{0};
-  std::atomic<int64_t> partition_transition_store_loads_{0};
-  std::atomic<int64_t> partition_transition_store_saves_{0};
-  /// Persistent spill layer for the shared partitioned transitions,
-  /// honoring EngineOptions cache_dir / persist_mode /
-  /// persist_verify_checksums exactly as a whole-graph engine does.
-  /// Spills are always write-through (this mode has no lazy-flush
-  /// surface); null when persistence is off.
-  std::unique_ptr<TransitionStore> partition_store_;
-  uint64_t partition_graph_fingerprint_ = 0;
+  std::unique_ptr<TransitionResolver> partition_resolver_;
 
   /// Guards the routing state: the round-robin cursor and the virtual
   /// reference LRU. Held only for planning (key bookkeeping), never

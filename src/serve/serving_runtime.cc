@@ -200,4 +200,20 @@ std::future<Result<RankResponse>> ServingRuntime::RankAsync(
   return future;
 }
 
+void ServingRuntime::RankAsync(RankRequest request,
+                               std::function<void(Result<RankResponse>)> done,
+                               std::function<Status()> gate) {
+  pool_.Submit([this, request = std::move(request), done = std::move(done),
+                gate = std::move(gate)]() mutable {
+    if (gate) {
+      Status admitted = gate();
+      if (!admitted.ok()) {
+        done(std::move(admitted));
+        return;
+      }
+    }
+    done(Execute(request, std::nullopt));
+  });
+}
+
 }  // namespace d2pr

@@ -111,6 +111,30 @@ class ServingRuntime {
   /// tag per in-flight request) when order matters.
   std::future<Result<RankResponse>> RankAsync(RankRequest request);
 
+  /// \brief Enqueues one query; `done` runs on the worker that solved it,
+  /// with the result.
+  ///
+  /// The completion-queue form: instead of parking a thread per request
+  /// on future.get(), a server hands in a callback that posts the result
+  /// onto its own response queue — N in-flight requests cost zero waiting
+  /// threads (see net/server.h). `done` must not block for long and must
+  /// not call back into this runtime's batch surface; it runs inline on a
+  /// pool worker.
+  ///
+  /// A non-null `gate` runs on the worker immediately before the solve;
+  /// returning non-OK skips the solve entirely and delivers that status
+  /// to `done`. This is the deadline hook: a request whose deadline
+  /// expired while queued is rejected at the last responsible moment
+  /// without the engine ever seeing it.
+  void RankAsync(RankRequest request,
+                 std::function<void(Result<RankResponse>)> done,
+                 std::function<Status()> gate = nullptr);
+
+  /// The worker pool, exposed so an admission-control layer (net/server.h)
+  /// can read queue_depth() to shed load before enqueueing, and so tests
+  /// can park workers deterministically.
+  ThreadPool& pool() { return pool_; }
+
  private:
   /// Score-cache-aware single execution. When `expected_cache_hit` is
   /// set, the response's transition_cache_hit flag is overwritten with

@@ -31,6 +31,9 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     D2PR_CHECK(!stopping_) << "ThreadPool::Submit after shutdown began";
     queue_.push_back(std::move(task));
+    // Inside the lock so the gauge can never under-report a task that is
+    // already visible to a worker.
+    queue_depth_.fetch_add(1, std::memory_order_relaxed);
   }
   cv_.notify_one();
 }
@@ -45,12 +48,19 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+      busy_workers_.fetch_add(1, std::memory_order_relaxed);
     }
     // A task that throws must not take its worker down (an escaped
     // exception on a thread is std::terminate) nor wedge shutdown: log
     // it and move to the next task. Tasks needing their errors surfaced
     // return Status / set promises — both already in use above this
     // layer — rather than throwing into the pool.
+    // RAII so the busy gauge also drops when a task throws.
+    struct BusyGuard {
+      std::atomic<int64_t>& gauge;
+      ~BusyGuard() { gauge.fetch_sub(1, std::memory_order_relaxed); }
+    } busy_guard{busy_workers_};
     try {
       task();
     } catch (const std::exception& e) {

@@ -10,8 +10,10 @@
 #ifndef D2PR_SERVE_THREAD_POOL_H_
 #define D2PR_SERVE_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -50,6 +52,21 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Tasks submitted but not yet picked up by a worker. A gauge, not a
+  /// cumulative counter: the admission-control layer (net/server.h) sheds
+  /// load once this crosses its bound. Exact under concurrent Submit —
+  /// each task is counted from the instant Submit enqueues it until a
+  /// worker dequeues it.
+  int64_t queue_depth() const {
+    return queue_depth_.load(std::memory_order_relaxed);
+  }
+  /// Workers currently inside a task (between dequeue and task return,
+  /// including a task that throws). queue_depth() + busy_workers() is the
+  /// pool's total outstanding work at a snapshot.
+  int64_t busy_workers() const {
+    return busy_workers_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WorkerLoop();
 
@@ -57,6 +74,9 @@ class ThreadPool {
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
+
+  std::atomic<int64_t> queue_depth_{0};
+  std::atomic<int64_t> busy_workers_{0};
 
   std::vector<std::thread> workers_;
 };

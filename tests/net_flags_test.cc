@@ -1,0 +1,166 @@
+// Flag validation of the network CLIs (d2pr_server, d2pr_loadgen): every
+// accepted and rejected combination, without spawning processes. A
+// rejection here is exit code 2 in the binary.
+
+#include "d2pr_net_flags.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace d2pr {
+namespace {
+
+Flags ParseOrDie(std::vector<const char*> args) {
+  auto flags = Flags::Parse(static_cast<int>(args.size()), args.data());
+  EXPECT_TRUE(flags.ok()) << flags.status().ToString();
+  return std::move(flags).value();
+}
+
+Status Server(std::vector<const char*> args) {
+  return ValidateServerFlags(ParseOrDie(std::move(args)));
+}
+
+Status LoadGen(std::vector<const char*> args) {
+  return ValidateLoadGenFlags(ParseOrDie(std::move(args)));
+}
+
+// ---------------------------------------------------------------- server
+
+TEST(NetFlagsTest, ServerDefaultsAreValid) {
+  EXPECT_TRUE(Server({}).ok());
+}
+
+TEST(NetFlagsTest, ServerAcceptsFullSyntheticConfiguration) {
+  EXPECT_TRUE(Server({"--port=8080", "--threads=8", "--shards=4",
+                      "--route=least-loaded", "--max-queue=64",
+                      "--coalesce=false", "--nodes=5000",
+                      "--edges-per-node=4", "--gen-seed=7"})
+                  .ok());
+}
+
+TEST(NetFlagsTest, ServerAcceptsGraphFileWithOrientationFlags) {
+  EXPECT_TRUE(
+      Server({"--graph=edges.txt", "--directed", "--weighted"}).ok());
+}
+
+TEST(NetFlagsTest, ServerAcceptsEveryRouteName) {
+  for (const char* route :
+       {"replicated", "least-loaded", "partitioned", "subgraph"}) {
+    SCOPED_TRACE(route);
+    EXPECT_TRUE(
+        Server({"--shards=2", (std::string("--route=") + route).c_str()})
+            .ok());
+  }
+}
+
+TEST(NetFlagsTest, ServerRejectsUnknownFlagAndPositionals) {
+  EXPECT_FALSE(Server({"--bogus=1"}).ok());
+  EXPECT_FALSE(Server({"stray"}).ok());
+}
+
+TEST(NetFlagsTest, ServerRejectsBadPort) {
+  EXPECT_FALSE(Server({"--port=70000"}).ok());
+  EXPECT_FALSE(Server({"--port=-1"}).ok());
+  EXPECT_FALSE(Server({"--port=abc"}).ok());
+  EXPECT_TRUE(Server({"--port=0"}).ok());  // ephemeral is legal here
+  EXPECT_TRUE(Server({"--port=65535"}).ok());
+}
+
+TEST(NetFlagsTest, ServerRejectsOutOfRangeNumerics) {
+  EXPECT_FALSE(Server({"--threads=0"}).ok());
+  EXPECT_FALSE(Server({"--shards=0"}).ok());
+  EXPECT_FALSE(Server({"--max-queue=0"}).ok());
+  EXPECT_FALSE(Server({"--nodes=1"}).ok());
+  EXPECT_FALSE(Server({"--edges-per-node=0"}).ok());
+  EXPECT_FALSE(Server({"--threads=two"}).ok());
+  EXPECT_FALSE(Server({"--coalesce=maybe"}).ok());
+}
+
+TEST(NetFlagsTest, ServerRejectsRouteCombinations) {
+  EXPECT_FALSE(Server({"--route=diagonal", "--shards=2"}).ok());
+  // --route without a fleet to route over.
+  EXPECT_FALSE(Server({"--route=replicated"}).ok());
+  EXPECT_FALSE(Server({"--route=subgraph", "--shards=1"}).ok());
+}
+
+TEST(NetFlagsTest, ServerRejectsGraphSourceConflicts) {
+  EXPECT_FALSE(Server({"--graph="}).ok());
+  EXPECT_FALSE(Server({"--graph=edges.txt", "--nodes=100"}).ok());
+  EXPECT_FALSE(Server({"--graph=edges.txt", "--edges-per-node=2"}).ok());
+  EXPECT_FALSE(Server({"--graph=edges.txt", "--gen-seed=1"}).ok());
+  // Orientation flags describe a file; meaningless for the generator.
+  EXPECT_FALSE(Server({"--directed"}).ok());
+  EXPECT_FALSE(Server({"--weighted", "--nodes=100"}).ok());
+}
+
+// --------------------------------------------------------------- loadgen
+
+TEST(NetFlagsTest, LoadGenRequiresPort) {
+  EXPECT_FALSE(LoadGen({}).ok());
+  EXPECT_FALSE(LoadGen({"--connections=2"}).ok());
+  EXPECT_TRUE(LoadGen({"--port=9000"}).ok());
+}
+
+TEST(NetFlagsTest, LoadGenAcceptsFullConfiguration) {
+  EXPECT_TRUE(LoadGen({"--port=9000", "--host=127.0.0.1",
+                       "--connections=8", "--requests=500", "--zipf-s=0.9",
+                       "--zipf-n=100000", "--global-fraction=0.1",
+                       "--deadline-ms=250", "--seed=3", "--p=1.5",
+                       "--alpha=0.9", "--method=forward-push"})
+                  .ok());
+}
+
+TEST(NetFlagsTest, LoadGenRejectsUnknownFlagAndPositionals) {
+  EXPECT_FALSE(LoadGen({"--port=9000", "--zipf=1.1"}).ok());
+  EXPECT_FALSE(LoadGen({"--port=9000", "run"}).ok());
+}
+
+TEST(NetFlagsTest, LoadGenRejectsBadPort) {
+  // Unlike the server, the loadgen cannot aim at port 0.
+  EXPECT_FALSE(LoadGen({"--port=0"}).ok());
+  EXPECT_FALSE(LoadGen({"--port=70000"}).ok());
+  EXPECT_FALSE(LoadGen({"--port=-5"}).ok());
+  EXPECT_FALSE(LoadGen({"--port=localhost"}).ok());
+}
+
+TEST(NetFlagsTest, LoadGenRejectsZeroDeadline) {
+  // deadline 0 means "no deadline" on the wire; as an explicit flag it
+  // would silently disable what the user asked for, so it is an error.
+  EXPECT_FALSE(LoadGen({"--port=9000", "--deadline-ms=0"}).ok());
+  EXPECT_FALSE(LoadGen({"--port=9000", "--deadline-ms=-1"}).ok());
+  EXPECT_TRUE(LoadGen({"--port=9000", "--deadline-ms=1"}).ok());
+}
+
+TEST(NetFlagsTest, LoadGenRejectsZipfOutOfRange) {
+  EXPECT_FALSE(LoadGen({"--port=9000", "--zipf-s=0"}).ok());
+  EXPECT_FALSE(LoadGen({"--port=9000", "--zipf-s=-1"}).ok());
+  EXPECT_FALSE(LoadGen({"--port=9000", "--zipf-s=8.5"}).ok());
+  EXPECT_TRUE(LoadGen({"--port=9000", "--zipf-s=8"}).ok());
+  EXPECT_FALSE(LoadGen({"--port=9000", "--zipf-n=-1"}).ok());
+}
+
+TEST(NetFlagsTest, LoadGenRejectsOutOfRangeNumerics) {
+  EXPECT_FALSE(LoadGen({"--port=9000", "--connections=0"}).ok());
+  EXPECT_FALSE(LoadGen({"--port=9000", "--requests=0"}).ok());
+  EXPECT_FALSE(LoadGen({"--port=9000", "--global-fraction=1.5"}).ok());
+  EXPECT_FALSE(LoadGen({"--port=9000", "--global-fraction=-0.1"}).ok());
+  EXPECT_FALSE(LoadGen({"--port=9000", "--alpha=1.0"}).ok());
+  EXPECT_FALSE(LoadGen({"--port=9000", "--alpha=-0.2"}).ok());
+  EXPECT_FALSE(LoadGen({"--port=9000", "--requests=many"}).ok());
+}
+
+TEST(NetFlagsTest, LoadGenRejectsUnknownMethod) {
+  EXPECT_FALSE(LoadGen({"--port=9000", "--method=jacobi"}).ok());
+  for (const char* method : {"power", "gauss-seidel", "forward-push"}) {
+    SCOPED_TRACE(method);
+    EXPECT_TRUE(
+        LoadGen({"--port=9000",
+                 (std::string("--method=") + method).c_str()})
+            .ok());
+  }
+}
+
+}  // namespace
+}  // namespace d2pr

@@ -1,0 +1,302 @@
+// Wire-protocol codecs: exact round-trips across the full enum space,
+// and rejection (never a crash, never a bogus success) of malformed
+// bytes — truncation at every boundary, oversize lengths, bad magic and
+// version, corrupted payloads.
+
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace d2pr {
+namespace {
+
+void ExpectRequestsEqual(const WireRankRequest& a, const WireRankRequest& b) {
+  EXPECT_EQ(a.deadline_ms, b.deadline_ms);
+  EXPECT_EQ(a.request.p, b.request.p);
+  EXPECT_EQ(a.request.beta, b.request.beta);
+  EXPECT_EQ(a.request.metric, b.request.metric);
+  EXPECT_EQ(a.request.alpha, b.request.alpha);
+  EXPECT_EQ(a.request.tolerance, b.request.tolerance);
+  EXPECT_EQ(a.request.max_iterations, b.request.max_iterations);
+  EXPECT_EQ(a.request.dangling, b.request.dangling);
+  EXPECT_EQ(a.request.method, b.request.method);
+  EXPECT_EQ(a.request.push_epsilon, b.request.push_epsilon);
+  EXPECT_EQ(a.request.seeds, b.request.seeds);
+  EXPECT_EQ(a.request.warm_start_tag, b.request.warm_start_tag);
+}
+
+TEST(NetWireTest, RankRequestRoundTripsEverySolverMetricDanglingCombo) {
+  const SolverMethod methods[] = {SolverMethod::kPower,
+                                  SolverMethod::kGaussSeidel,
+                                  SolverMethod::kForwardPush};
+  const DegreeMetric metrics[] = {DegreeMetric::kAuto,
+                                  DegreeMetric::kOutDegree,
+                                  DegreeMetric::kOutStrength,
+                                  DegreeMetric::kInDegree};
+  const DanglingPolicy danglings[] = {DanglingPolicy::kTeleport,
+                                      DanglingPolicy::kSelfLoop,
+                                      DanglingPolicy::kRenormalize};
+  int combo = 0;
+  for (SolverMethod method : methods) {
+    for (DegreeMetric metric : metrics) {
+      for (DanglingPolicy dangling : danglings) {
+        SCOPED_TRACE("combo " + std::to_string(combo));
+        WireRankRequest wire;
+        wire.deadline_ms = static_cast<uint64_t>(combo) * 17;
+        wire.request.p = -2.5 + combo * 0.125;
+        wire.request.beta = (combo % 5) * 0.25;
+        wire.request.metric = metric;
+        wire.request.alpha = 0.5 + (combo % 4) * 0.1;
+        wire.request.tolerance = 1e-10;
+        wire.request.max_iterations = 100 + combo;
+        wire.request.dangling = dangling;
+        wire.request.method = method;
+        wire.request.push_epsilon = 1e-7 * (1 + combo);
+        if (combo % 2 == 0) wire.request.seeds = {0, 7, 42};
+        if (combo % 3 == 0) wire.request.warm_start_tag = "sweep-p";
+        auto decoded = DecodeRankRequest(EncodeRankRequest(wire));
+        ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+        ExpectRequestsEqual(decoded.value(), wire);
+        ++combo;
+      }
+    }
+  }
+  EXPECT_EQ(combo, 36);
+}
+
+TEST(NetWireTest, RankRequestRoundTripsBitExactDoubles) {
+  // NaN tolerance or signed-zero p must survive the wire bit-for-bit —
+  // the server re-validates; the codec must not launder values.
+  WireRankRequest wire;
+  wire.request.p = -0.0;
+  wire.request.alpha = std::numeric_limits<double>::quiet_NaN();
+  auto decoded = DecodeRankRequest(EncodeRankRequest(wire));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(std::signbit(decoded.value().request.p));
+  EXPECT_TRUE(std::isnan(decoded.value().request.alpha));
+}
+
+TEST(NetWireTest, RankResponseRoundTripsAllFlagCombinations) {
+  for (uint32_t flags = 0; flags < 32; ++flags) {
+    SCOPED_TRACE("flags " + std::to_string(flags));
+    RankResponse response;
+    response.scores = {0.25, 0.5, 0.125, 0.125};
+    response.method = static_cast<SolverMethod>(flags % 3);
+    response.iterations = static_cast<int>(flags) * 3;
+    response.pushes = 1'000'000'000'000ll + flags;
+    response.residual = 1e-11 * flags;
+    response.converged = (flags & 1) != 0;
+    response.transition_cache_hit = (flags & 2) != 0;
+    response.transition_store_hit = (flags & 4) != 0;
+    response.warm_start_hit = (flags & 8) != 0;
+    response.served_partitioned = (flags & 16) != 0;
+    auto decoded = DecodeRankResponse(EncodeRankResponse(response));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().scores, response.scores);
+    EXPECT_EQ(decoded.value().method, response.method);
+    EXPECT_EQ(decoded.value().iterations, response.iterations);
+    EXPECT_EQ(decoded.value().pushes, response.pushes);
+    EXPECT_EQ(decoded.value().residual, response.residual);
+    EXPECT_EQ(decoded.value().converged, response.converged);
+    EXPECT_EQ(decoded.value().transition_cache_hit,
+              response.transition_cache_hit);
+    EXPECT_EQ(decoded.value().transition_store_hit,
+              response.transition_store_hit);
+    EXPECT_EQ(decoded.value().warm_start_hit, response.warm_start_hit);
+    EXPECT_EQ(decoded.value().served_partitioned,
+              response.served_partitioned);
+  }
+}
+
+TEST(NetWireTest, StatusPayloadRoundTripsEveryCode) {
+  for (int code = 0; code <= static_cast<int>(StatusCode::kUnavailable);
+       ++code) {
+    SCOPED_TRACE("code " + std::to_string(code));
+    const Status original(static_cast<StatusCode>(code),
+                          "message for code " + std::to_string(code));
+    Status decoded;
+    const Status ok = DecodeStatusPayload(EncodeStatusPayload(original),
+                                          &decoded);
+    ASSERT_TRUE(ok.ok()) << ok.ToString();
+    EXPECT_EQ(decoded.code(), original.code());
+    if (code != 0) EXPECT_EQ(decoded.message(), original.message());
+  }
+}
+
+TEST(NetWireTest, ServerInfoRoundTrips) {
+  ServerInfo info{123456789ull, 987654321ull, 4, 8};
+  auto decoded = DecodeServerInfo(EncodeServerInfo(info));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().num_nodes, info.num_nodes);
+  EXPECT_EQ(decoded.value().num_arcs, info.num_arcs);
+  EXPECT_EQ(decoded.value().num_shards, info.num_shards);
+  EXPECT_EQ(decoded.value().num_threads, info.num_threads);
+}
+
+TEST(NetWireTest, FrameHeaderRoundTrips) {
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  const std::vector<uint8_t> frame =
+      EncodeFrame(FrameType::kRankResponse, 0xdeadbeefcafef00dull, payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
+  auto header = DecodeFrameHeader(frame);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header.value().payload_len, payload.size());
+  EXPECT_EQ(header.value().type, FrameType::kRankResponse);
+  EXPECT_EQ(header.value().request_id, 0xdeadbeefcafef00dull);
+}
+
+TEST(NetWireTest, FrameHeaderRejectsBadMagicVersionTypeAndLength) {
+  const std::vector<uint8_t> good =
+      EncodeFrame(FrameType::kStatus, 7, std::vector<uint8_t>{});
+  {
+    std::vector<uint8_t> bad = good;
+    bad[4] ^= 0xff;  // magic
+    EXPECT_FALSE(DecodeFrameHeader(bad).ok());
+  }
+  {
+    std::vector<uint8_t> bad = good;
+    bad[8] = 99;  // version
+    EXPECT_FALSE(DecodeFrameHeader(bad).ok());
+  }
+  {
+    std::vector<uint8_t> bad = good;
+    bad[10] = 0;  // type 0: below the valid range
+    EXPECT_FALSE(DecodeFrameHeader(bad).ok());
+    bad[10] = 200;  // far above it
+    EXPECT_FALSE(DecodeFrameHeader(bad).ok());
+  }
+  {
+    std::vector<uint8_t> bad = good;
+    // payload_len = kMaxPayloadBytes + 1 (little-endian at offset 0).
+    const uint32_t oversize = kMaxPayloadBytes + 1;
+    bad[0] = static_cast<uint8_t>(oversize);
+    bad[1] = static_cast<uint8_t>(oversize >> 8);
+    bad[2] = static_cast<uint8_t>(oversize >> 16);
+    bad[3] = static_cast<uint8_t>(oversize >> 24);
+    EXPECT_FALSE(DecodeFrameHeader(bad).ok());
+  }
+}
+
+TEST(NetWireTest, FrameHeaderRejectsEveryTruncation) {
+  const std::vector<uint8_t> frame =
+      EncodeFrame(FrameType::kInfoRequest, 1, std::vector<uint8_t>{});
+  for (size_t len = 0; len < kFrameHeaderBytes; ++len) {
+    SCOPED_TRACE("length " + std::to_string(len));
+    EXPECT_FALSE(
+        DecodeFrameHeader(std::span<const uint8_t>(frame.data(), len)).ok());
+  }
+}
+
+TEST(NetWireTest, PayloadDecodersRejectEveryTruncation) {
+  WireRankRequest wire;
+  wire.deadline_ms = 250;
+  wire.request.p = 0.5;
+  wire.request.seeds = {3, 1, 4, 1, 5};
+  wire.request.warm_start_tag = "trajectory";
+  const std::vector<uint8_t> request_payload = EncodeRankRequest(wire);
+  for (size_t len = 0; len < request_payload.size(); ++len) {
+    SCOPED_TRACE("request truncated to " + std::to_string(len));
+    EXPECT_FALSE(
+        DecodeRankRequest({request_payload.data(), len}).ok());
+  }
+
+  RankResponse response;
+  response.scores = {0.5, 0.25, 0.25};
+  response.converged = true;
+  const std::vector<uint8_t> response_payload = EncodeRankResponse(response);
+  for (size_t len = 0; len < response_payload.size(); ++len) {
+    SCOPED_TRACE("response truncated to " + std::to_string(len));
+    EXPECT_FALSE(
+        DecodeRankResponse({response_payload.data(), len}).ok());
+  }
+
+  const std::vector<uint8_t> status_payload =
+      EncodeStatusPayload(Status::InvalidArgument("bad alpha"));
+  for (size_t len = 0; len < status_payload.size(); ++len) {
+    SCOPED_TRACE("status truncated to " + std::to_string(len));
+    Status decoded;
+    EXPECT_FALSE(
+        DecodeStatusPayload({status_payload.data(), len}, &decoded).ok());
+  }
+
+  const std::vector<uint8_t> info_payload =
+      EncodeServerInfo(ServerInfo{10, 20, 2, 4});
+  for (size_t len = 0; len < info_payload.size(); ++len) {
+    SCOPED_TRACE("info truncated to " + std::to_string(len));
+    EXPECT_FALSE(DecodeServerInfo({info_payload.data(), len}).ok());
+  }
+}
+
+TEST(NetWireTest, PayloadDecodersRejectTrailingGarbage) {
+  WireRankRequest wire;
+  wire.request.seeds = {1};
+  std::vector<uint8_t> padded = EncodeRankRequest(wire);
+  padded.push_back(0);
+  EXPECT_FALSE(DecodeRankRequest(padded).ok());
+
+  std::vector<uint8_t> response = EncodeRankResponse(RankResponse{});
+  response.push_back(0);
+  EXPECT_FALSE(DecodeRankResponse(response).ok());
+}
+
+TEST(NetWireTest, RankRequestRejectsOutOfRangeEnums) {
+  WireRankRequest wire;
+  std::vector<uint8_t> payload = EncodeRankRequest(wire);
+  // metric is the u32 after deadline(8) + p(8) + beta(8) = offset 24.
+  payload[24] = 200;
+  EXPECT_FALSE(DecodeRankRequest(payload).ok());
+}
+
+TEST(NetWireTest, RankRequestRejectsLyingSeedCount) {
+  // A seed count larger than the remaining bytes must be rejected before
+  // any allocation sized from it.
+  WireRankRequest wire;
+  wire.request.seeds = {1, 2};
+  std::vector<uint8_t> payload = EncodeRankRequest(wire);
+  // num_seeds is the u64 at offset 8*6 + 4*4 = 64 (after deadline, p,
+  // beta, metric, alpha, tolerance, max_iterations, dangling, method,
+  // push_epsilon).
+  const size_t seed_count_offset = 64;
+  for (int b = 0; b < 8; ++b) payload[seed_count_offset + b] = 0xff;
+  EXPECT_FALSE(DecodeRankRequest(payload).ok());
+}
+
+TEST(NetWireTest, RandomCorruptionNeverCrashesDecoders) {
+  // Fuzz: flip random bytes in valid payloads; decoders must either
+  // reject or produce a value, never crash or over-read (ASan-observable
+  // if they did).
+  Rng rng(20260808);
+  WireRankRequest wire;
+  wire.deadline_ms = 99;
+  wire.request.seeds = {5, 10, 15};
+  wire.request.warm_start_tag = "tag";
+  const std::vector<uint8_t> request_payload = EncodeRankRequest(wire);
+  RankResponse response;
+  response.scores = {0.1, 0.2, 0.3, 0.4};
+  const std::vector<uint8_t> response_payload = EncodeRankResponse(response);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<uint8_t> corrupted =
+        (trial % 2 == 0) ? request_payload : response_payload;
+    const int flips = 1 + static_cast<int>(rng.Next() % 4);
+    for (int f = 0; f < flips; ++f) {
+      corrupted[rng.Next() % corrupted.size()] ^=
+          static_cast<uint8_t>(1 + rng.Next() % 255);
+    }
+    if (trial % 2 == 0) {
+      (void)DecodeRankRequest(corrupted);
+    } else {
+      (void)DecodeRankResponse(corrupted);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace d2pr

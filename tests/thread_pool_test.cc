@@ -145,6 +145,73 @@ TEST(ThreadPoolTest, NonStdExceptionIsContainedToo) {
   EXPECT_EQ(ran.load(), 10);
 }
 
+// Deterministic gauge exactness under a parked-latch backlog: with every
+// worker provably parked, queue_depth() must equal the submissions since,
+// and busy_workers() must equal the worker count — no sleeps, no races,
+// every count asserted with EXPECT_EQ.
+TEST(ThreadPoolTest, GaugesTrackParkedWorkersAndQueuedBacklogExactly) {
+  constexpr int kWorkers = 2;
+  constexpr int kBacklog = 16;
+  std::latch workers_parked(kWorkers);
+  std::latch release(1);
+  std::latch drained(kBacklog);
+  {
+    ThreadPool pool(kWorkers);
+    EXPECT_EQ(pool.queue_depth(), 0);
+    EXPECT_EQ(pool.busy_workers(), 0);
+
+    for (int w = 0; w < kWorkers; ++w) {
+      pool.Submit([&] {
+        workers_parked.count_down();
+        release.wait();
+      });
+    }
+    workers_parked.wait();
+    // Both workers are inside a task; nothing waits in the queue.
+    EXPECT_EQ(pool.busy_workers(), kWorkers);
+    EXPECT_EQ(pool.queue_depth(), 0);
+
+    // With the workers parked, each submission grows the queue by exactly
+    // one, observable synchronously from this thread.
+    for (int i = 0; i < kBacklog; ++i) {
+      pool.Submit([&drained] { drained.count_down(); });
+      EXPECT_EQ(pool.queue_depth(), i + 1);
+    }
+    EXPECT_EQ(pool.busy_workers(), kWorkers);
+
+    release.count_down();
+    drained.wait();
+    // The backlog has fully run; the parked tasks are long gone. Workers
+    // may still be between dequeue and the gauge decrement for a moment,
+    // so poll to the settled state instead of asserting instantly.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while ((pool.queue_depth() != 0 || pool.busy_workers() != 0) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+    EXPECT_EQ(pool.queue_depth(), 0);
+    EXPECT_EQ(pool.busy_workers(), 0);
+  }
+}
+
+// queue_depth() is the admission signal of net/server.h: it must count a
+// task from Submit until dequeue, not until completion — a slow task in
+// progress is busy_workers' business, not the queue's.
+TEST(ThreadPoolTest, QueueDepthExcludesTheRunningTask) {
+  std::latch running(1);
+  std::latch release(1);
+  ThreadPool pool(1);
+  pool.Submit([&] {
+    running.count_down();
+    release.wait();
+  });
+  running.wait();
+  EXPECT_EQ(pool.queue_depth(), 0);  // dequeued: running, not queued
+  EXPECT_EQ(pool.busy_workers(), 1);
+  release.count_down();
+}
+
 TEST(ThreadPoolTest, ThrowingTasksDoNotDeadlockShutdownDrain) {
   // Interleave throwing and counting tasks into a queued backlog, then
   // destroy the pool immediately: the drain-at-destruction must finish

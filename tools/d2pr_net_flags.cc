@@ -1,0 +1,163 @@
+#include "d2pr_net_flags.h"
+
+#include <set>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace d2pr {
+namespace {
+
+Status CheckKnown(const Flags& flags, const std::set<std::string>& known) {
+  for (const std::string& name : flags.FlagNames()) {
+    if (!known.contains(name)) {
+      return Status::InvalidArgument(StrCat("unknown flag --", name));
+    }
+  }
+  if (!flags.positional().empty()) {
+    return Status::InvalidArgument(
+        StrCat("unexpected argument '", flags.positional().front(), "'"));
+  }
+  return Status::OK();
+}
+
+/// --port: the server may bind 0 (ephemeral); the loadgen must aim at a
+/// real port, so its minimum is 1.
+Status CheckPort(const Flags& flags, int64_t minimum) {
+  const auto port = flags.GetInt("port", minimum);
+  if (!port.ok()) return port.status();
+  if (*port < minimum || *port > 65535) {
+    return Status::InvalidArgument(
+        StrCat("--port must lie in [", minimum, ", 65535]"));
+  }
+  return Status::OK();
+}
+
+Status CheckDeadline(const Flags& flags) {
+  const auto deadline = flags.GetInt("deadline-ms", 1);
+  if (!deadline.ok()) return deadline.status();
+  if (*deadline < 1) {
+    return Status::InvalidArgument(
+        "--deadline-ms must be >= 1 (omit the flag for no deadline; a "
+        "zero deadline would expire every request unserved)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateServerFlags(const Flags& flags) {
+  static const std::set<std::string> kKnown = {
+      "port",    "threads",        "shards", "route",    "max-queue",
+      "coalesce", "graph",         "directed", "weighted",
+      "nodes",   "edges-per-node", "gen-seed",
+  };
+  D2PR_RETURN_NOT_OK(CheckKnown(flags, kKnown));
+  D2PR_RETURN_NOT_OK(CheckPort(flags, /*minimum=*/0));
+
+  const auto threads = flags.GetInt("threads", 4);
+  const auto shards = flags.GetInt("shards", 1);
+  const auto max_queue = flags.GetInt("max-queue", 256);
+  const auto nodes = flags.GetInt("nodes", 10000);
+  const auto edges_per_node = flags.GetInt("edges-per-node", 8);
+  const auto gen_seed = flags.GetInt("gen-seed", 42);
+  const auto coalesce = flags.GetBool("coalesce", true);
+  const auto directed = flags.GetBool("directed", false);
+  const auto weighted = flags.GetBool("weighted", false);
+  if (!threads.ok() || !shards.ok() || !max_queue.ok() || !nodes.ok() ||
+      !edges_per_node.ok() || !gen_seed.ok()) {
+    return Status::InvalidArgument("bad numeric flag");
+  }
+  if (!coalesce.ok() || !directed.ok() || !weighted.ok()) {
+    return Status::InvalidArgument("bad boolean flag");
+  }
+  if (*threads < 1) return Status::InvalidArgument("--threads must be >= 1");
+  if (*shards < 1) return Status::InvalidArgument("--shards must be >= 1");
+  if (*max_queue < 1) {
+    return Status::InvalidArgument(
+        "--max-queue must be >= 1 (a zero bound would shed every request)");
+  }
+  if (*nodes < 2) return Status::InvalidArgument("--nodes must be >= 2");
+  if (*edges_per_node < 1) {
+    return Status::InvalidArgument("--edges-per-node must be >= 1");
+  }
+
+  const std::string route = flags.GetString("route");
+  if (!route.empty() && route != "replicated" && route != "least-loaded" &&
+      route != "partitioned" && route != "subgraph") {
+    return Status::InvalidArgument(
+        StrCat("unknown --route '", route,
+               "' (expected replicated, least-loaded, partitioned, or "
+               "subgraph)"));
+  }
+  if (flags.Has("route") && *shards < 2) {
+    return Status::InvalidArgument("--route requires --shards >= 2");
+  }
+  if (flags.Has("graph")) {
+    if (flags.GetString("graph").empty()) {
+      return Status::InvalidArgument("--graph requires a file path");
+    }
+    if (flags.Has("nodes") || flags.Has("edges-per-node") ||
+        flags.Has("gen-seed")) {
+      return Status::InvalidArgument(
+          "--graph excludes the synthetic-graph flags "
+          "(--nodes/--edges-per-node/--gen-seed)");
+    }
+  } else if (flags.Has("directed") || flags.Has("weighted")) {
+    return Status::InvalidArgument(
+        "--directed/--weighted only apply to --graph files (the "
+        "synthetic generator fixes its own graph kind)");
+  }
+  return Status::OK();
+}
+
+Status ValidateLoadGenFlags(const Flags& flags) {
+  static const std::set<std::string> kKnown = {
+      "port", "host",   "connections",     "requests", "zipf-s",
+      "zipf-n", "global-fraction", "deadline-ms", "seed",
+      "p",    "alpha",  "method",
+  };
+  D2PR_RETURN_NOT_OK(CheckKnown(flags, kKnown));
+  if (!flags.Has("port")) {
+    return Status::InvalidArgument("--port=N is required (no server to find)");
+  }
+  D2PR_RETURN_NOT_OK(CheckPort(flags, /*minimum=*/1));
+  if (flags.Has("deadline-ms")) D2PR_RETURN_NOT_OK(CheckDeadline(flags));
+
+  const auto connections = flags.GetInt("connections", 4);
+  const auto requests = flags.GetInt("requests", 100);
+  const auto zipf_s = flags.GetDouble("zipf-s", 1.1);
+  const auto zipf_n = flags.GetInt("zipf-n", 0);
+  const auto global_fraction = flags.GetDouble("global-fraction", 0.0);
+  const auto seed = flags.GetInt("seed", 1);
+  const auto p = flags.GetDouble("p", 0.5);
+  const auto alpha = flags.GetDouble("alpha", 0.85);
+  if (!connections.ok() || !requests.ok() || !zipf_s.ok() || !zipf_n.ok() ||
+      !global_fraction.ok() || !seed.ok() || !p.ok() || !alpha.ok()) {
+    return Status::InvalidArgument("bad numeric flag");
+  }
+  if (*connections < 1) {
+    return Status::InvalidArgument("--connections must be >= 1");
+  }
+  if (*requests < 1) return Status::InvalidArgument("--requests must be >= 1");
+  if (*zipf_s <= 0.0 || *zipf_s > kMaxZipfExponent) {
+    return Status::InvalidArgument(
+        StrCat("--zipf-s must lie in (0, ", kMaxZipfExponent,
+               "] (the Zipf exponent of the query-popularity mix)"));
+  }
+  if (*zipf_n < 0) return Status::InvalidArgument("--zipf-n must be >= 0");
+  if (*global_fraction < 0.0 || *global_fraction > 1.0) {
+    return Status::InvalidArgument("--global-fraction must lie in [0, 1]");
+  }
+  if (*alpha < 0.0 || *alpha >= 1.0) {
+    return Status::InvalidArgument("--alpha must lie in [0, 1)");
+  }
+  const std::string method = flags.GetString("method");
+  if (!method.empty() && method != "power" && method != "gauss-seidel" &&
+      method != "forward-push") {
+    return Status::InvalidArgument(StrCat("unknown --method '", method, "'"));
+  }
+  return Status::OK();
+}
+
+}  // namespace d2pr

@@ -1,0 +1,35 @@
+// Flag vocabulary and combination rules of the d2pr_server and
+// d2pr_loadgen CLIs, split out of the binaries so tests/net_flags_test.cc
+// can assert every accepted and rejected combination without spawning
+// processes (the same arrangement d2pr_rank_flags.h has with
+// tests/flags_test.cc).
+//
+// Validate*Flags performs every check that maps to exit code 2 (usage
+// error): unknown flags, numeric ranges (--port outside [0, 65535] or
+// [1, 65535], --deadline-ms=0, --zipf-s outside (0, 8], ...), value
+// vocabularies, and cross-flag rules. Each binary calls its validator
+// once after parsing and before any work.
+
+#ifndef D2PR_TOOLS_D2PR_NET_FLAGS_H_
+#define D2PR_TOOLS_D2PR_NET_FLAGS_H_
+
+#include "common/flags.h"
+#include "common/status.h"
+
+namespace d2pr {
+
+/// Largest --zipf-s the loadgen accepts; past this the distribution is
+/// effectively a point mass on node 1 and the "load mix" is a single
+/// repeated request.
+inline constexpr double kMaxZipfExponent = 8.0;
+
+/// \brief Validates the d2pr_server flag set. OK means well-formed; any
+/// error corresponds to exit code 2 in the binary.
+Status ValidateServerFlags(const Flags& flags);
+
+/// \brief Validates the d2pr_loadgen flag set (same contract).
+Status ValidateLoadGenFlags(const Flags& flags);
+
+}  // namespace d2pr
+
+#endif  // D2PR_TOOLS_D2PR_NET_FLAGS_H_
