@@ -12,6 +12,7 @@
 #include "core/push_ppr.h"
 #include "core/teleport.h"
 #include "linalg/vec_ops.h"
+#include "topk/topk_solver.h"
 
 namespace d2pr {
 
@@ -164,6 +165,32 @@ Result<RankResponse> D2prEngine::Rank(const RankRequest& request) {
   response.transition_store_hit = store_hit;
 
   if (request.method == SolverMethod::kForwardPush) {
+    if (request.top_k > 0) {
+      // Degree-pruned bounded push: the solver terminates as soon as the
+      // k-th candidate's lower bound clears every non-candidate's upper
+      // bound, which on skewed graphs is far before the residual floor.
+      TopKOptions topk;
+      topk.k = request.top_k;
+      topk.alpha = request.alpha;
+      topk.epsilon = request.push_epsilon;
+      topk.reinject_dangling = request.dangling == DanglingPolicy::kTeleport;
+      std::shared_ptr<const DegreeBoundIndex> bounds =
+          resolver_.ResolveBounds(key, transition);
+      D2PR_ASSIGN_OR_RETURN(
+          TopKResult ranked,
+          SolveTopK(*graph_, *transition, *bounds, teleport, topk));
+      stats_.push_operations += ranked.pushes;
+      response.truncated = true;
+      response.top.reserve(ranked.entries.size());
+      for (const TopKEntry& entry : ranked.entries) {
+        response.top.push_back(
+            {entry.node, entry.lower_bound, entry.certified});
+      }
+      response.uncertainty_gap = ranked.uncertainty_gap;
+      response.pushes = ranked.pushes;
+      response.converged = ranked.completed;
+      return response;
+    }
     PushOptions push;
     push.alpha = request.alpha;
     push.epsilon = request.push_epsilon;
@@ -208,7 +235,19 @@ Result<RankResponse> D2prEngine::Rank(const RankRequest& request) {
   response.residual = solved->residual;
   response.scores = std::move(solved->scores);
   if (!request.warm_start_tag.empty()) {
+    // Store the FULL solution before any truncation: the trajectory must
+    // stay usable as a starting iterate for the next exact solve.
     StoreWarmStart(request, key, response.scores);
+  }
+  if (request.top_k > 0) {
+    // Exact solve, then truncate: every served entry is the true score,
+    // so the whole set is certified with zero gap.
+    TruncatedTopK truncated =
+        TruncateToTopK(response.scores, request.top_k, /*certify_margin=*/0.0);
+    response.top = std::move(truncated.entries);
+    response.uncertainty_gap = truncated.uncertainty_gap;
+    response.truncated = true;
+    response.scores.clear();
   }
   return response;
 }

@@ -201,6 +201,11 @@ class D2prEngine {
     return resolver_.cache_lookup_misses();
   }
 
+  /// DegreeBoundIndex builds performed for top-k queries (the resolver's
+  /// accounting; cached indexes make this grow once per transition key,
+  /// not once per query).
+  int64_t degree_bound_builds() const { return resolver_.bound_builds(); }
+
  private:
   /// The last two solutions of one warm-start trajectory, newest first.
   struct WarmSnapshot {

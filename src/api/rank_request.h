@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -71,15 +72,67 @@ struct RankRequest {
   // --- query context ---
   /// Personalization seeds; empty = uniform teleportation (global rank).
   std::vector<NodeId> seeds;
+  /// 0 (the default) = exact serving: the response carries the full
+  /// score vector, unchanged behavior. > 0 = truncated serving: the
+  /// response carries only the top_k best entries (RankResponse::top)
+  /// and an empty score vector. Under kForwardPush the engine runs the
+  /// degree-pruned bounded-push TopKSolver (topk/topk_solver.h) with
+  /// certified set membership; exact solvers (power / Gauss-Seidel)
+  /// solve fully and truncate, so every entry is certified. Negative
+  /// values are InvalidArgument.
+  int top_k = 0;
   /// Non-empty: the engine warm-starts this solve from the previous
   /// solution stored under the same tag (power iteration only) and stores
   /// the new solution back. Sweeps and tuners use one tag per trajectory.
   std::string warm_start_tag;
 };
 
+/// \brief One node of a truncated (top-k) response.
+struct RankedEntry {
+  NodeId node = 0;
+  /// The served score: a certified lower bound under bounded push, the
+  /// exact stationary score under power / Gauss-Seidel.
+  double score = 0.0;
+  /// True when this node provably belongs to the exact top-k (always
+  /// true for exact-solver truncation; bound-certified for push).
+  bool certified = false;
+
+  bool operator==(const RankedEntry&) const = default;
+};
+
+/// \brief Truncated top-k view plus its certification gap.
+struct TruncatedTopK {
+  /// min(top_k, |scores|) entries, score descending (ties by ascending
+  /// node id).
+  std::vector<RankedEntry> entries;
+  /// max(0, best excluded score + margin - k-th score); 0 when every
+  /// entry clears the boundary by at least the margin.
+  double uncertainty_gap = 0.0;
+};
+
+/// \brief Selects the top_k best entries of a full score vector with
+/// deterministic tie handling. An entry is certified when its score
+/// clears the best excluded score by at least `certify_margin` — exact
+/// servers pass 0 (everything selected is certified); EngineRouter's
+/// merge path passes its merge tolerance so boundary-near entries that
+/// float error could reorder are served uncertified instead.
+TruncatedTopK TruncateToTopK(std::span<const double> scores, int top_k,
+                             double certify_margin);
+
 /// \brief Scores plus diagnostics for one RankRequest.
 struct RankResponse {
-  std::vector<double> scores;  ///< Stationary (or push-estimate) scores.
+  /// Stationary (or push-estimate) scores; EMPTY for truncated (top_k)
+  /// responses, whose payload is `top` instead.
+  std::vector<double> scores;
+  /// Truncated top-k entries (top_k > 0 only), best first.
+  std::vector<RankedEntry> top;
+  /// Certification slack of a truncated response: how far the best
+  /// excluded node's upper bound overlaps the k-th served score. 0 when
+  /// the whole set is certified (exact truncation always is).
+  double uncertainty_gap = 0.0;
+  /// True when this response was served truncated (request.top_k > 0);
+  /// `scores` is empty and `top` is the payload.
+  bool truncated = false;
   SolverMethod method = SolverMethod::kPower;  ///< Solver that ran.
   int iterations = 0;      ///< Iterations performed (power / GS).
   int64_t pushes = 0;      ///< Push operations performed (forward push).

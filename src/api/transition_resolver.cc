@@ -143,6 +143,49 @@ Result<std::shared_ptr<const TransitionMatrix>> TransitionResolver::Resolve(
   return shared;
 }
 
+std::shared_ptr<const DegreeBoundIndex> TransitionResolver::ResolveBounds(
+    const TransitionKey& key,
+    const std::shared_ptr<const TransitionMatrix>& transition) {
+  // Mirrors Resolve's discipline: with caching disabled there is nowhere
+  // for a finished index to land, so waiting on another builder would
+  // only serialize independent O(|E|) passes.
+  const bool caching = cache_.capacity() > 0;
+  if (caching) {
+    std::unique_lock<std::mutex> lock(bounds_mu_);
+    for (;;) {
+      const auto hit = std::find_if(
+          bounds_cache_.begin(), bounds_cache_.end(),
+          [&](const auto& entry) { return entry.first == key; });
+      if (hit != bounds_cache_.end()) {
+        auto index = hit->second;
+        std::rotate(bounds_cache_.begin(), hit, hit + 1);  // MRU to front.
+        return index;
+      }
+      if (std::find(bounds_building_.begin(), bounds_building_.end(), key) ==
+          bounds_building_.end()) {
+        break;
+      }
+      bounds_cv_.wait(lock);
+    }
+    bounds_building_.push_back(key);
+  }
+
+  ++bound_builds_;
+  auto built = std::make_shared<const DegreeBoundIndex>(
+      DegreeBoundIndex::Build(*graph_, *transition));
+
+  if (caching) {
+    {
+      std::lock_guard<std::mutex> lock(bounds_mu_);
+      std::erase(bounds_building_, key);
+      bounds_cache_.insert(bounds_cache_.begin(), {key, built});
+      if (bounds_cache_.size() > cache_.capacity()) bounds_cache_.pop_back();
+    }
+    bounds_cv_.notify_all();
+  }
+  return built;
+}
+
 Status TransitionResolver::PersistCached(int64_t* saves) {
   if (saves != nullptr) *saves = 0;
   if (!store_writable()) {
@@ -195,6 +238,10 @@ Status TransitionResolver::PersistCached(int64_t* saves) {
 
 void TransitionResolver::Clear() {
   cache_.Clear();
+  {
+    std::lock_guard<std::mutex> lock(bounds_mu_);
+    bounds_cache_.clear();
+  }
   // The matrices are gone, so their pending lazy spills can never run.
   std::lock_guard<std::mutex> lock(persist_mu_);
   unspilled_keys_.clear();

@@ -40,6 +40,7 @@
 #include "common/result.h"
 #include "core/transition.h"
 #include "graph/csr_graph.h"
+#include "topk/degree_bound.h"
 
 namespace d2pr {
 
@@ -112,6 +113,17 @@ class TransitionResolver {
   Result<std::shared_ptr<const TransitionMatrix>> Resolve(
       const TransitionKey& key, Outcome* outcome);
 
+  /// \brief Returns the DegreeBoundIndex for `key`'s transition — the
+  /// per-node score upper bounds the top-k solver prunes with — building
+  /// it once per key and caching it alongside the transition (same
+  /// capacity, LRU, single-flighted misses). Building is O(|E|), ~100x
+  /// cheaper than the transition build it rides behind, but still worth
+  /// never paying twice on the serving path. `transition` must be the
+  /// matrix Resolve returned for the same key.
+  std::shared_ptr<const DegreeBoundIndex> ResolveBounds(
+      const TransitionKey& key,
+      const std::shared_ptr<const TransitionMatrix>& transition);
+
   /// \brief Spills every currently cached transition to the store
   /// (skipping keys already persisted, except keys built under kLazy
   /// since the last flush, which are (re)written so a rebuilt-after-
@@ -151,6 +163,10 @@ class TransitionResolver {
   int64_t store_saves() const {
     return store_saves_.load(std::memory_order_relaxed);
   }
+  /// DegreeBoundIndex::Build invocations (cache misses in ResolveBounds).
+  int64_t bound_builds() const {
+    return bound_builds_.load(std::memory_order_relaxed);
+  }
 
   /// Cache passthroughs (see TransitionCache).
   size_t cache_capacity() const { return cache_.capacity(); }
@@ -180,9 +196,21 @@ class TransitionResolver {
   std::condition_variable build_cv_;
   std::vector<TransitionKey> building_keys_;
 
+  /// Guards the bound-index cache and its in-flight key list. Separate
+  /// from build_mu_ so a slow transition build never stalls a bounds
+  /// lookup for an unrelated key.
+  std::mutex bounds_mu_;
+  std::condition_variable bounds_cv_;
+  /// MRU-first list, capped at cache_capacity; linear scans are fine at
+  /// the same small capacities TransitionCache runs at.
+  std::vector<std::pair<TransitionKey, std::shared_ptr<const DegreeBoundIndex>>>
+      bounds_cache_;
+  std::vector<TransitionKey> bounds_building_;
+
   std::atomic<int64_t> builds_{0};
   std::atomic<int64_t> store_loads_{0};
   std::atomic<int64_t> store_saves_{0};
+  std::atomic<int64_t> bound_builds_{0};
 };
 
 }  // namespace d2pr

@@ -7,6 +7,10 @@
 
 namespace d2pr {
 
+int64_t DefaultPushCap(NodeId num_nodes) {
+  return int64_t{512} * std::max<int64_t>(num_nodes, 1024);
+}
+
 Result<PushResult> ForwardPushPpr(const CsrGraph& graph,
                                   const TransitionMatrix& transition,
                                   std::span<const double> seed,
@@ -42,11 +46,7 @@ Result<PushResult> ForwardPushPpr(const CsrGraph& graph,
   }
 
   const int64_t max_pushes =
-      options.max_pushes > 0
-          ? options.max_pushes
-          // Generous default: push work scales like 1/((1-α)·ε) in theory;
-          // cap on total queue admissions to stay safely terminating.
-          : int64_t{512} * std::max<int64_t>(n, 1024);
+      options.max_pushes > 0 ? options.max_pushes : DefaultPushCap(n);
 
   std::deque<NodeId> queue;
   std::vector<uint8_t> queued(static_cast<size_t>(n), 0);

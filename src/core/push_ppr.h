@@ -25,11 +25,21 @@
 
 namespace d2pr {
 
+/// \brief Default safety cap on push operations for a graph of
+/// `num_nodes` nodes: 512 * max(num_nodes, 1024). Generous — push work
+/// scales like 1/((1-alpha)*epsilon) in theory — but finite, so a
+/// pathological (tiny-epsilon) query terminates with completed == false
+/// instead of spinning.
+int64_t DefaultPushCap(NodeId num_nodes);
+
 /// \brief Forward-push parameters.
 struct PushOptions {
   double alpha = 0.85;       ///< Residual (walk-following) probability.
   double epsilon = 1e-7;     ///< Per-node residual threshold.
-  int64_t max_pushes = -1;   ///< Safety cap; -1 = 64·|V|/ε-free default.
+  /// Safety cap on push operations; any value <= 0 selects
+  /// DefaultPushCap(|V|). When the cap is hit the partial estimate and
+  /// residuals are returned with PushResult::completed == false.
+  int64_t max_pushes = -1;
   /// Dangling-node residual handling: when true (default), residual at a
   /// dangling node is re-injected through the seed distribution (matching
   /// DanglingPolicy::kTeleport); when false it is dropped.

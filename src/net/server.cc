@@ -332,11 +332,15 @@ void RpcServer::HandleRank(const std::shared_ptr<Connection>& connection,
     std::lock_guard<std::mutex> lock(pending_mu_);
     ++pending_;
   }
+  // Notify UNDER the mutex: Stop() destroys pending_cv_ right after its
+  // wait sees pending_ == 0, and it can only evaluate that predicate
+  // once this lock is released — which orders the notify_all strictly
+  // before any teardown. Notifying outside the lock leaves a window
+  // where the last decrement wakes Stop() (spuriously or via another
+  // completion) and the cv is destroyed mid-notify.
   auto finish_pending = [this] {
-    {
-      std::lock_guard<std::mutex> lock(pending_mu_);
-      --pending_;
-    }
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    --pending_;
     pending_cv_.notify_all();
   };
 

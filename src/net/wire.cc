@@ -1,6 +1,7 @@
 #include "net/wire.h"
 
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include "common/binary_io.h"
@@ -51,6 +52,12 @@ class Cursor {
     if (remaining_ < 8) return false;
     *value = d2pr::ReadF64(p_);
     Advance(8);
+    return true;
+  }
+  bool ReadU8(uint8_t* value) {
+    if (remaining_ < 1) return false;
+    *value = *p_;
+    Advance(1);
     return true;
   }
   bool ReadString(uint64_t length, std::string* value) {
@@ -149,6 +156,12 @@ std::vector<uint8_t> EncodeRankRequest(const WireRankRequest& wire) {
   }
   AppendU64(out, r.warm_start_tag.size());
   out.insert(out.end(), r.warm_start_tag.begin(), r.warm_start_tag.end());
+  // top_k rides as a trailing optional field: appended only when nonzero,
+  // so an exact-serving request is byte-identical to the pre-top-k format
+  // and an old server keeps accepting it. (A truncated request to an old
+  // server fails its trailing-bytes check — the right failure mode, since
+  // that server cannot honor the truncation.)
+  if (r.top_k != 0) AppendU32(out, static_cast<uint32_t>(r.top_k));
   return out;
 }
 
@@ -196,6 +209,16 @@ Result<WireRankRequest> DecodeRankRequest(std::span<const uint8_t> payload) {
       !cursor.ReadString(tag_len, &r.warm_start_tag)) {
     return Truncated("RankRequest");
   }
+  // Optional trailing top_k (see the encoder note): absent means 0, the
+  // exact-serving default every pre-top-k frame implies.
+  if (cursor.remaining() != 0) {
+    uint32_t top_k = 0;
+    if (!cursor.ReadU32(&top_k)) return Truncated("RankRequest");
+    if (top_k > static_cast<uint32_t>(std::numeric_limits<int32_t>::max())) {
+      return Status::InvalidArgument(StrCat("bad top_k ", top_k));
+    }
+    r.top_k = static_cast<int>(top_k);
+  }
   if (cursor.remaining() != 0) {
     return Status::InvalidArgument(
         StrCat("RankRequest payload has ", cursor.remaining(),
@@ -214,14 +237,26 @@ std::vector<uint8_t> EncodeRankResponse(const RankResponse& response) {
   AppendI64(out, response.pushes);
   AppendF64(out, response.residual);
   // Diagnostic booleans packed into one word; bit order matches the
-  // declaration order in RankResponse.
+  // declaration order in RankResponse. Bit 5 gates the truncated top-k
+  // section appended below — a response without it is byte-identical to
+  // the pre-top-k format.
   uint32_t flags = 0;
   if (response.converged) flags |= 1u << 0;
   if (response.transition_cache_hit) flags |= 1u << 1;
   if (response.transition_store_hit) flags |= 1u << 2;
   if (response.warm_start_hit) flags |= 1u << 3;
   if (response.served_partitioned) flags |= 1u << 4;
+  if (response.truncated) flags |= 1u << 5;
   AppendU32(out, flags);
+  if (response.truncated) {
+    AppendU64(out, response.top.size());
+    for (const RankedEntry& entry : response.top) {
+      AppendU32(out, static_cast<uint32_t>(entry.node));
+      AppendF64(out, entry.score);
+      out.push_back(entry.certified ? 1 : 0);
+    }
+    AppendF64(out, response.uncertainty_gap);
+  }
   return out;
 }
 
@@ -248,9 +283,36 @@ Result<RankResponse> DecodeRankResponse(std::span<const uint8_t> payload) {
   if (method > static_cast<uint32_t>(SolverMethod::kForwardPush)) {
     return Status::InvalidArgument(StrCat("bad SolverMethod ", method));
   }
-  if (flags > 0x1f) {
+  if (flags > 0x3f) {
     return Status::InvalidArgument(
         StrCat("unknown RankResponse flag bits ", flags));
+  }
+  response.truncated = (flags & (1u << 5)) != 0;
+  if (response.truncated) {
+    uint64_t num_entries = 0;
+    if (!cursor.ReadU64(&num_entries)) return Truncated("RankResponse");
+    // 13 bytes per entry (u32 node + f64 score + u8 certified); a count
+    // the remaining bytes cannot hold is a lie, caught before reserve.
+    if (num_entries > cursor.remaining() / 13) return Truncated("RankResponse");
+    response.top.reserve(static_cast<size_t>(num_entries));
+    for (uint64_t i = 0; i < num_entries; ++i) {
+      uint32_t node = 0;
+      double score = 0.0;
+      uint8_t certified = 0;
+      if (!cursor.ReadU32(&node) || !cursor.ReadF64(&score) ||
+          !cursor.ReadU8(&certified)) {
+        return Truncated("RankResponse");
+      }
+      if (certified > 1) {
+        return Status::InvalidArgument(
+            StrCat("bad certified byte ", certified));
+      }
+      response.top.push_back(
+          {static_cast<NodeId>(node), score, certified != 0});
+    }
+    if (!cursor.ReadF64(&response.uncertainty_gap)) {
+      return Truncated("RankResponse");
+    }
   }
   if (cursor.remaining() != 0) {
     return Status::InvalidArgument(

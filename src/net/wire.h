@@ -35,6 +35,15 @@
 // Codecs are pure functions over byte vectors — no sockets here — so the
 // fuzz suite (tests/net_wire_test.cc) can truncate and corrupt at every
 // boundary without a server in the loop.
+//
+// Top-k extension (same kWireVersion, by construction backward
+// compatible): a RankRequest payload may carry one trailing u32 top_k,
+// appended only when nonzero — so exact-serving requests stay
+// byte-identical to the pre-top-k format and old frames decode with
+// top_k = 0. A RankResponse sets flag bit 5 to gate a trailing truncated
+// section (u64 entry count; per entry u32 node + f64 score + u8
+// certified; then f64 uncertainty_gap); without the bit the layout is
+// unchanged, so pre-top-k responses decode identically.
 
 #ifndef D2PR_NET_WIRE_H_
 #define D2PR_NET_WIRE_H_

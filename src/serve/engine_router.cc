@@ -20,6 +20,7 @@ namespace {
 ScoreCacheOptions ToScoreCacheOptions(const RouterOptions& options) {
   ScoreCacheOptions cache;
   cache.capacity = options.score_cache_capacity;
+  cache.capacity_bytes = options.score_cache_capacity_bytes;
   cache.ttl = options.score_cache_ttl;
   cache.now = options.clock;
   return cache;
@@ -160,6 +161,14 @@ std::vector<EngineRouter::Unit> EngineRouter::RouteLocked(
       ++planned_load[shard];
       units.push_back(std::move(unit));
     }
+    if (units.size() > 1) {
+      // MergeParts needs the FULL per-shard score vectors: the dangling
+      // un-normalization reads every dangling node's score and the
+      // weighted sum runs over all nodes. Sub-requests therefore solve
+      // exact; the merge truncates at the end. A single-owner split
+      // passes through untouched and may truncate natively on its shard.
+      for (Unit& unit : units) unit.request.top_k = 0;
+    }
     if (!units.empty()) return units;
     // Unreachable (non-empty seeds always have owners); fall through to
     // the strategy path for safety.
@@ -227,6 +236,19 @@ RankResponse EngineRouter::MergeParts(const RankRequest& request,
         merged.transition_store_hit || part.response.transition_store_hit;
   }
   NormalizeL1(merged.scores);
+  if (request.top_k > 0) {
+    // The sub-solves ran exact (RouteLocked strips top_k from split
+    // units), so truncation happens here on the merged vector. The merge
+    // is accurate only to solver tolerance, so entries within 1e-9 of
+    // the boundary are served uncertified instead of claiming a
+    // membership the float error cannot back.
+    TruncatedTopK truncated =
+        TruncateToTopK(merged.scores, request.top_k, /*certify_margin=*/1e-9);
+    merged.top = std::move(truncated.entries);
+    merged.uncertainty_gap = truncated.uncertainty_gap;
+    merged.truncated = true;
+    merged.scores.clear();
+  }
   return merged;
 }
 
@@ -265,7 +287,7 @@ EngineRouter::PartitionTransition(const TransitionKey& key, bool* cache_hit,
 Result<RankResponse> EngineRouter::RankPartitioned(const RankRequest& request,
                                                    bool allow_pool) {
   const bool cacheable =
-      score_cache_.capacity() > 0 && request.warm_start_tag.empty();
+      score_cache_.enabled() && request.warm_start_tag.empty();
   std::string memo_key;
   if (cacheable) {
     memo_key = ScoreCache::KeyFor(request);
@@ -278,6 +300,15 @@ Result<RankResponse> EngineRouter::RankPartitioned(const RankRequest& request,
   // to D2prEngine::Rank; the two mode-specific rejections come after it
   // so they cost no O(|E|) build and no cache eviction.
   D2PR_RETURN_NOT_OK(ValidateRankRequestParameters(request));
+  if (request.top_k > 0) {
+    // The block solve produces one distributed score vector; certified
+    // truncation would need the whole vector gathered anyway, and the
+    // serving win of top-k (bounded push) does not exist in this mode.
+    // Fail cleanly instead of silently serving the full-vector cost.
+    return Status::InvalidArgument(
+        "top-k is not supported in partitioned-subgraph routing; "
+        "use a replicated or partitioned-teleport router");
+  }
   if (request.method == SolverMethod::kForwardPush) {
     // Forward push walks the whole forward adjacency from its seeds; it
     // has no block formulation here. Fail cleanly instead of serving a
@@ -384,7 +415,7 @@ Result<RankResponse> EngineRouter::RankPartitioned(const RankRequest& request,
 Result<RankResponse> EngineRouter::Rank(const RankRequest& request) {
   if (partition_) return RankPartitioned(request, /*allow_pool=*/true);
   const bool cacheable =
-      score_cache_.capacity() > 0 && request.warm_start_tag.empty();
+      score_cache_.enabled() && request.warm_start_tag.empty();
   std::string key;
   std::optional<RankResponse> memo;
   if (cacheable) {
@@ -445,7 +476,7 @@ Result<std::vector<RankResponse>> EngineRouter::RankBatch(
   // and routed, the rest alias to its response afterwards (the batched
   // analogue of ServingRuntime's single-flight).
   constexpr size_t kNoAlias = std::numeric_limits<size_t>::max();
-  const bool cache_on = score_cache_.capacity() > 0;
+  const bool cache_on = score_cache_.enabled();
   std::vector<char> memoized(requests.size(), 0);
   std::vector<size_t> alias_of(requests.size(), kNoAlias);
   std::vector<std::string> keys(requests.size());

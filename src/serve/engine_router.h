@@ -36,8 +36,9 @@
 //     partition's arc index. Power-iteration responses are BIT-IDENTICAL
 //     to the single-engine reference for any shard count and either
 //     scheme; Gauss-Seidel responses agree within solver tolerance
-//     (<= 1e-9 at tolerance 1e-11). Forward push and warm starts are
-//     whole-graph constructs: push requests fail with InvalidArgument,
+//     (<= 1e-9 at tolerance 1e-11). Forward push, top-k truncation
+//     (RankRequest::top_k > 0), and warm starts are whole-graph
+//     constructs: push and top-k requests fail with InvalidArgument,
 //     warm tags are accepted but solve cold (warm_start_hit stays
 //     false). Gauss-Seidel under DanglingPolicy::kRenormalize is also
 //     rejected — its fixed point depends on the sweep order (see
@@ -56,7 +57,10 @@
 //     satisfies x_s = ((1-a) + a*m_s) * (I - aP)^-1 v_s, so the router
 //     rescales each x_s by weight_s / ((1-a) + a*m_s), sums, and
 //     L1-renormalizes — recovering the full-teleport solution to within
-//     solver tolerance. Global (unseeded) requests and warm-tagged
+//     solver tolerance. Top-k requests that split strip top_k from the
+//     sub-requests (the merge needs full vectors) and truncate the
+//     merged vector, serving boundary-near entries uncertified (1e-9
+//     merge margin). Global (unseeded) requests and warm-tagged
 //     requests route whole, as in replicated mode;
 //     DanglingPolicy::kRenormalize breaks the linearity argument, so
 //     seeded kRenormalize requests also route whole.
@@ -187,6 +191,9 @@ struct RouterOptions {
   /// reach the cache. With the memo on, duplicate memoizable requests
   /// within one RankBatch also solve exactly once (in-batch dedup).
   size_t score_cache_capacity = 0;
+  /// Response memo byte budget (see ScoreCacheOptions::capacity_bytes);
+  /// 0 = no byte limit. Either nonzero budget enables the memo.
+  size_t score_cache_capacity_bytes = 0;
   std::chrono::nanoseconds score_cache_ttl{0};
   /// Injectable time source for the score cache (tests).
   std::function<std::chrono::steady_clock::time_point()> clock;

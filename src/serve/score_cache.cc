@@ -12,6 +12,12 @@ ScoreCache::ScoreCache(const ScoreCacheOptions& options) : options_(options) {
   }
 }
 
+ScoreCache::ScoreCache(size_t capacity) : ScoreCache([capacity] {
+  ScoreCacheOptions options;
+  options.capacity = capacity;
+  return options;
+}()) {}
+
 std::string ScoreCache::KeyFor(const RankRequest& request) {
   // '|' separates fields, ',' separates seeds; doubles are serialized at
   // full precision so distinct parameters never collide.
@@ -22,9 +28,21 @@ std::string ScoreCache::KeyFor(const RankRequest& request) {
       FormatGeneral(request.tolerance, 17), "|", request.max_iterations, "|",
       static_cast<int>(request.dangling), "|",
       static_cast<int>(request.method), "|",
-      FormatGeneral(request.push_epsilon, 17), "|");
+      FormatGeneral(request.push_epsilon, 17), "|", request.top_k, "|");
   for (NodeId seed : request.seeds) key += StrCat(seed, ",");
   return key;
+}
+
+size_t ScoreCache::ChargeFor(const std::string& key,
+                             const RankResponse& response) {
+  // The fixed term covers the hash-map node, the Entry bookkeeping, and
+  // the shared response's control block + struct body; the variable terms
+  // are the payloads that actually dominate at scale.
+  constexpr size_t kFixedOverhead =
+      sizeof(Entry) + sizeof(RankResponse) + 64;
+  return kFixedOverhead + key.size() +
+         response.scores.size() * sizeof(double) +
+         response.top.size() * sizeof(RankedEntry);
 }
 
 bool ScoreCache::Expired(const Entry& entry,
@@ -35,12 +53,37 @@ bool ScoreCache::Expired(const Entry& entry,
 void ScoreCache::DropExpired(std::chrono::steady_clock::time_point now) {
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (Expired(it->second, now)) {
+      bytes_in_use_ -= it->second.charge;
       it = entries_.erase(it);
       ++stats_.expirations;
     } else {
       ++it;
     }
   }
+}
+
+void ScoreCache::EvictOne(const std::string* protect) {
+  // LFU scan: budgets are small (hundreds of entries) and insertions are
+  // amortized behind full solves, so O(n) beats maintaining a
+  // frequency-ordered index.
+  auto victim = entries_.end();
+  for (auto candidate = entries_.begin(); candidate != entries_.end();
+       ++candidate) {
+    if (protect != nullptr && candidate->first == *protect) continue;
+    if (victim == entries_.end()) {
+      victim = candidate;
+      continue;
+    }
+    const Entry& c = candidate->second;
+    const Entry& v = victim->second;
+    if (c.uses < v.uses || (c.uses == v.uses && c.sequence < v.sequence)) {
+      victim = candidate;
+    }
+  }
+  if (victim == entries_.end()) return;
+  bytes_in_use_ -= victim->second.charge;
+  entries_.erase(victim);
+  ++stats_.evictions;
 }
 
 std::optional<RankResponse> ScoreCache::Lookup(const std::string& key) {
@@ -53,6 +96,7 @@ std::optional<RankResponse> ScoreCache::Lookup(const std::string& key) {
       return std::nullopt;
     }
     if (Expired(it->second, options_.now())) {
+      bytes_in_use_ -= it->second.charge;
       entries_.erase(it);
       ++stats_.expirations;
       ++stats_.misses;
@@ -67,7 +111,15 @@ std::optional<RankResponse> ScoreCache::Lookup(const std::string& key) {
 }
 
 void ScoreCache::Insert(const std::string& key, RankResponse response) {
-  if (options_.capacity == 0) return;
+  if (!enabled()) return;
+  const size_t charge = ChargeFor(key, response);
+  if (options_.capacity_bytes > 0 && charge > options_.capacity_bytes) {
+    // One entry bigger than the whole byte budget: admitting it would
+    // flush everything else and still break the budget. Reject it.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.oversize_rejections;
+    return;
+  }
   auto shared = std::make_shared<const RankResponse>(std::move(response));
   std::lock_guard<std::mutex> lock(mu_);
   const auto now = options_.now();
@@ -77,40 +129,44 @@ void ScoreCache::Insert(const std::string& key, RankResponse response) {
   if (it != entries_.end()) {
     // Refresh: new payload, new TTL window; use count carries over so a
     // hot entry does not become an eviction candidate on refresh.
+    bytes_in_use_ -= it->second.charge;
     it->second.response = std::move(shared);
     it->second.inserted_at = now;
+    it->second.charge = charge;
+    bytes_in_use_ += charge;
     ++stats_.insertions;
+    // A refreshed payload can be larger than the one it replaced; evict
+    // colder entries (never the entry just refreshed) until the byte
+    // budget holds again.
+    while (options_.capacity_bytes > 0 &&
+           bytes_in_use_ > options_.capacity_bytes && entries_.size() > 1) {
+      EvictOne(&key);
+    }
     return;
   }
 
-  while (entries_.size() >= options_.capacity) {
-    // LFU scan: capacities are small (hundreds) and insertions are
-    // amortized behind full solves, so O(n) beats maintaining a
-    // frequency-ordered index.
-    auto victim = entries_.begin();
-    for (auto candidate = std::next(entries_.begin());
-         candidate != entries_.end(); ++candidate) {
-      const Entry& c = candidate->second;
-      const Entry& v = victim->second;
-      if (c.uses < v.uses || (c.uses == v.uses && c.sequence < v.sequence)) {
-        victim = candidate;
-      }
-    }
-    entries_.erase(victim);
-    ++stats_.evictions;
+  while (!entries_.empty() &&
+         ((options_.capacity > 0 && entries_.size() >= options_.capacity) ||
+          (options_.capacity_bytes > 0 &&
+           bytes_in_use_ + charge > options_.capacity_bytes))) {
+    EvictOne();
   }
 
   Entry entry;
   entry.response = std::move(shared);
   entry.sequence = next_sequence_++;
+  entry.charge = charge;
   entry.inserted_at = now;
   entries_.emplace(key, std::move(entry));
+  bytes_in_use_ += charge;
   ++stats_.insertions;
 }
 
 ScoreCacheStats ScoreCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ScoreCacheStats snapshot = stats_;
+  snapshot.bytes_in_use = bytes_in_use_;
+  return snapshot;
 }
 
 size_t ScoreCache::size() const {
@@ -118,9 +174,15 @@ size_t ScoreCache::size() const {
   return entries_.size();
 }
 
+size_t ScoreCache::bytes_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_in_use_;
+}
+
 void ScoreCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+  bytes_in_use_ = 0;
 }
 
 }  // namespace d2pr

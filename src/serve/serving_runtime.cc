@@ -13,6 +13,7 @@ namespace {
 ScoreCacheOptions ToScoreCacheOptions(const ServingOptions& options) {
   ScoreCacheOptions cache;
   cache.capacity = options.score_cache_capacity;
+  cache.capacity_bytes = options.score_cache_capacity_bytes;
   cache.ttl = options.score_cache_ttl;
   cache.now = options.clock;
   return cache;
@@ -41,7 +42,7 @@ Result<RankResponse> ServingRuntime::Execute(
   // Warm-started requests depend on (and advance) per-tag trajectory
   // state, so their responses are not memoizable.
   const bool cacheable =
-      score_cache_.capacity() > 0 && request.warm_start_tag.empty();
+      score_cache_.enabled() && request.warm_start_tag.empty();
   std::string key;
   if (cacheable) {
     key = ScoreCache::KeyFor(request);

@@ -61,8 +61,12 @@ namespace d2pr {
 struct ServingOptions {
   /// Worker threads in the pool (0 is clamped to 1).
   size_t num_threads = 4;
-  /// Response memo capacity; 0 disables the score cache.
+  /// Response memo entry budget; 0 = no entry limit. The cache is
+  /// disabled only when this and score_cache_capacity_bytes are both 0.
   size_t score_cache_capacity = 256;
+  /// Response memo byte budget (see ScoreCacheOptions::capacity_bytes);
+  /// 0 = no byte limit.
+  size_t score_cache_capacity_bytes = 0;
   /// Response memo TTL; zero means entries never expire by age.
   std::chrono::nanoseconds score_cache_ttl{0};
   /// Injectable time source for the score cache (tests).

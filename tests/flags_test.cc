@@ -112,6 +112,36 @@ TEST(RankFlagsTest, PartitionRequiresShards) {
           .ok());
 }
 
+TEST(RankFlagsTopKTest, AcceptedAndRejectedCombinations) {
+  EXPECT_TRUE(ValidateArgs({"--graph=g.txt", "--top-k=10"}).ok());
+  EXPECT_TRUE(ValidateArgs({"--graph=g.txt", "--top-k=1",
+                            "--method=forward-push", "--seeds=3"})
+                  .ok());
+  EXPECT_TRUE(ValidateArgs({"--graph=g.txt", "--top-k=10", "--shards=2",
+                            "--route=partitioned"})
+                  .ok());
+
+  // k must be a positive count; 0 would silently mean "exact", so it is
+  // rejected rather than reinterpreted.
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--top-k=0"}).ok());
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--top-k=-5"}).ok());
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--top-k=ten"}).ok());
+}
+
+TEST(RankFlagsTopKTest, ExcludesTuneAndPartitionAndFullVectorOutputs) {
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--top-k=10", "--tune",
+                             "--significance=s.txt"})
+                   .ok());
+  EXPECT_FALSE(ValidateArgs({"--graph=g.txt", "--top-k=10",
+                             "--partition=range", "--shards=2"})
+                   .ok());
+  EXPECT_FALSE(
+      ValidateArgs({"--graph=g.txt", "--top-k=10", "--scores-out=s.bin"})
+          .ok());
+  EXPECT_FALSE(
+      ValidateArgs({"--graph=g.txt", "--top-k=10", "--top=20"}).ok());
+}
+
 TEST(RankFlagsTest, PartitionSchemeNamesValidated) {
   EXPECT_FALSE(
       ValidateArgs({"--graph=g.txt", "--partition=modulo", "--shards=2"})

@@ -151,6 +151,18 @@ TEST(NetFlagsTest, LoadGenRejectsOutOfRangeNumerics) {
   EXPECT_FALSE(LoadGen({"--port=9000", "--requests=many"}).ok());
 }
 
+TEST(NetFlagsTopKTest, LoadGenAcceptsPositiveRejectsNonPositive) {
+  EXPECT_TRUE(LoadGen({"--port=9000", "--top-k=10"}).ok());
+  EXPECT_TRUE(LoadGen({"--port=9000", "--top-k=1",
+                       "--method=forward-push"})
+                  .ok());
+  EXPECT_FALSE(LoadGen({"--port=9000", "--top-k=0"}).ok());
+  EXPECT_FALSE(LoadGen({"--port=9000", "--top-k=-3"}).ok());
+  EXPECT_FALSE(LoadGen({"--port=9000", "--top-k=many"}).ok());
+  // The server has no such flag: it serves whatever the requests ask.
+  EXPECT_FALSE(Server({"--top-k=10"}).ok());
+}
+
 TEST(NetFlagsTest, LoadGenRejectsUnknownMethod) {
   EXPECT_FALSE(LoadGen({"--port=9000", "--method=jacobi"}).ok());
   for (const char* method : {"power", "gauss-seidel", "forward-push"}) {

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -31,6 +32,7 @@ void ExpectRequestsEqual(const WireRankRequest& a, const WireRankRequest& b) {
   EXPECT_EQ(a.request.push_epsilon, b.request.push_epsilon);
   EXPECT_EQ(a.request.seeds, b.request.seeds);
   EXPECT_EQ(a.request.warm_start_tag, b.request.warm_start_tag);
+  EXPECT_EQ(a.request.top_k, b.request.top_k);
 }
 
 TEST(NetWireTest, RankRequestRoundTripsEverySolverMetricDanglingCombo) {
@@ -267,6 +269,195 @@ TEST(NetWireTest, RankRequestRejectsLyingSeedCount) {
   const size_t seed_count_offset = 64;
   for (int b = 0; b < 8; ++b) payload[seed_count_offset + b] = 0xff;
   EXPECT_FALSE(DecodeRankRequest(payload).ok());
+}
+
+// --- top-k extension ---
+
+TEST(NetWireTopKTest, RequestTopKRoundTrips) {
+  for (int top_k : {1, 10, 5000, std::numeric_limits<int32_t>::max()}) {
+    SCOPED_TRACE("top_k " + std::to_string(top_k));
+    WireRankRequest wire;
+    wire.request.seeds = {3, 9};
+    wire.request.method = SolverMethod::kForwardPush;
+    wire.request.top_k = top_k;
+    auto decoded = DecodeRankRequest(EncodeRankRequest(wire));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ExpectRequestsEqual(decoded.value(), wire);
+  }
+}
+
+TEST(NetWireTopKTest, ExactRequestIsByteIdenticalToOldFormat) {
+  // top_k = 0 must not be encoded at all: the exact-serving frame is the
+  // pre-top-k frame, so old servers and new servers read the same bytes.
+  WireRankRequest wire;
+  wire.request.seeds = {1, 2, 3};
+  wire.request.warm_start_tag = "tag";
+  const std::vector<uint8_t> exact = EncodeRankRequest(wire);
+  wire.request.top_k = 7;
+  const std::vector<uint8_t> truncated = EncodeRankRequest(wire);
+  EXPECT_EQ(truncated.size(), exact.size() + 4);
+  EXPECT_TRUE(std::equal(exact.begin(), exact.end(), truncated.begin()));
+
+  // And an old-format frame (no trailing field) decodes as top_k = 0.
+  auto decoded = DecodeRankRequest(exact);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().request.top_k, 0);
+}
+
+TEST(NetWireTopKTest, RequestRejectsOutOfRangeTopK) {
+  WireRankRequest wire;
+  wire.request.top_k = 1;
+  std::vector<uint8_t> payload = EncodeRankRequest(wire);
+  // Overwrite the trailing u32 with a value above INT32_MAX.
+  const size_t at = payload.size() - 4;
+  payload[at] = 0xff;
+  payload[at + 1] = 0xff;
+  payload[at + 2] = 0xff;
+  payload[at + 3] = 0xff;
+  auto decoded = DecodeRankRequest(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("top_k"), std::string::npos);
+}
+
+TEST(NetWireTopKTest, RequestWithTopKRejectsEveryRealTruncation) {
+  WireRankRequest wire;
+  wire.request.seeds = {3, 1, 4};
+  wire.request.warm_start_tag = "t";
+  wire.request.top_k = 12;
+  const std::vector<uint8_t> payload = EncodeRankRequest(wire);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    SCOPED_TRACE("truncated to " + std::to_string(len));
+    auto decoded = DecodeRankRequest({payload.data(), len});
+    if (len == payload.size() - 4) {
+      // Dropping exactly the optional field yields a valid old-format
+      // frame — the one truncation that is by construction decodable,
+      // and it must read back as exact serving, not a garbled k.
+      ASSERT_TRUE(decoded.ok());
+      EXPECT_EQ(decoded.value().request.top_k, 0);
+    } else {
+      EXPECT_FALSE(decoded.ok());
+    }
+  }
+}
+
+RankResponse TruncatedResponse() {
+  RankResponse response;
+  response.truncated = true;
+  response.top = {{7, 0.5, true}, {3, 0.25, true}, {11, 0.125, false}};
+  response.uncertainty_gap = 3e-4;
+  response.method = SolverMethod::kForwardPush;
+  response.pushes = 4200;
+  response.converged = true;
+  return response;
+}
+
+TEST(NetWireTopKTest, TruncatedResponseRoundTrips) {
+  const RankResponse response = TruncatedResponse();
+  auto decoded = DecodeRankResponse(EncodeRankResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded.value().truncated);
+  EXPECT_TRUE(decoded.value().scores.empty());
+  ASSERT_EQ(decoded.value().top.size(), response.top.size());
+  for (size_t i = 0; i < response.top.size(); ++i) {
+    EXPECT_EQ(decoded.value().top[i], response.top[i]) << "entry " << i;
+  }
+  EXPECT_EQ(decoded.value().uncertainty_gap, response.uncertainty_gap);
+  EXPECT_EQ(decoded.value().pushes, response.pushes);
+
+  // An empty truncated set (k-query against an empty graph) still rides
+  // the flag bit and round-trips.
+  RankResponse empty;
+  empty.truncated = true;
+  auto empty_decoded = DecodeRankResponse(EncodeRankResponse(empty));
+  ASSERT_TRUE(empty_decoded.ok());
+  EXPECT_TRUE(empty_decoded.value().truncated);
+  EXPECT_TRUE(empty_decoded.value().top.empty());
+}
+
+TEST(NetWireTopKTest, ExactResponseIsByteIdenticalToOldFormat) {
+  RankResponse response;
+  response.scores = {0.5, 0.5};
+  response.converged = true;
+  const std::vector<uint8_t> payload = EncodeRankResponse(response);
+  // flags is the final u32 of the pre-top-k layout; bit 5 must be clear
+  // and no truncated section may follow.
+  const size_t flags_at = payload.size() - 4;
+  EXPECT_EQ(payload[flags_at] & 0x20, 0);
+  auto decoded = DecodeRankResponse(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded.value().truncated);
+  EXPECT_TRUE(decoded.value().top.empty());
+  EXPECT_EQ(decoded.value().uncertainty_gap, 0.0);
+}
+
+TEST(NetWireTopKTest, TruncatedResponseRejectsEveryTruncation) {
+  const std::vector<uint8_t> payload =
+      EncodeRankResponse(TruncatedResponse());
+  for (size_t len = 0; len < payload.size(); ++len) {
+    SCOPED_TRACE("truncated to " + std::to_string(len));
+    EXPECT_FALSE(DecodeRankResponse({payload.data(), len}).ok());
+  }
+}
+
+TEST(NetWireTopKTest, TruncatedResponseRejectsTrailingGarbage) {
+  std::vector<uint8_t> payload = EncodeRankResponse(TruncatedResponse());
+  payload.push_back(0);
+  EXPECT_FALSE(DecodeRankResponse(payload).ok());
+}
+
+TEST(NetWireTopKTest, TruncatedResponseRejectsLyingEntryCount) {
+  std::vector<uint8_t> payload = EncodeRankResponse(TruncatedResponse());
+  // The entry count is the u64 right after the flags word: scores count
+  // (8, zero scores) + method(4) + iterations(4) + pushes(8) +
+  // residual(8) + flags(4) = offset 36.
+  const size_t count_at = 36;
+  for (int b = 0; b < 8; ++b) payload[count_at + b] = 0xff;
+  EXPECT_FALSE(DecodeRankResponse(payload).ok());
+}
+
+TEST(NetWireTopKTest, TruncatedResponseRejectsBadCertifiedByte) {
+  std::vector<uint8_t> payload = EncodeRankResponse(TruncatedResponse());
+  // First entry's certified byte: entries start at offset 44 (count at
+  // 36 + 8), each entry is node(4) + score(8) + certified(1).
+  const size_t certified_at = 44 + 4 + 8;
+  ASSERT_EQ(payload[certified_at], 1);
+  payload[certified_at] = 2;
+  auto decoded = DecodeRankResponse(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("certified"), std::string::npos);
+}
+
+TEST(NetWireTopKTest, ResponseRejectsUnknownFlagBits) {
+  std::vector<uint8_t> payload = EncodeRankResponse(RankResponse{});
+  const size_t flags_at = payload.size() - 4;
+  payload[flags_at] |= 0x40;  // bit 6: above the known mask
+  EXPECT_FALSE(DecodeRankResponse(payload).ok());
+}
+
+TEST(NetWireTopKTest, RandomCorruptionNeverCrashesTopKDecoders) {
+  // The corruption fuzz of NetWireTest, re-aimed at payloads that carry
+  // the optional field and the flag-gated section.
+  Rng rng(20260809);
+  WireRankRequest wire;
+  wire.request.seeds = {5, 10};
+  wire.request.top_k = 25;
+  const std::vector<uint8_t> request_payload = EncodeRankRequest(wire);
+  const std::vector<uint8_t> response_payload =
+      EncodeRankResponse(TruncatedResponse());
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<uint8_t> corrupted =
+        (trial % 2 == 0) ? request_payload : response_payload;
+    const int flips = 1 + static_cast<int>(rng.Next() % 4);
+    for (int f = 0; f < flips; ++f) {
+      corrupted[rng.Next() % corrupted.size()] ^=
+          static_cast<uint8_t>(1 + rng.Next() % 255);
+    }
+    if (trial % 2 == 0) {
+      (void)DecodeRankRequest(corrupted);
+    } else {
+      (void)DecodeRankResponse(corrupted);
+    }
+  }
 }
 
 TEST(NetWireTest, RandomCorruptionNeverCrashesDecoders) {

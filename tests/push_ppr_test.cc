@@ -145,6 +145,48 @@ TEST(PushPprTest, MaxPushesCapReported) {
   EXPECT_LE(push->pushes, 10);
 }
 
+TEST(PushPprTest, DefaultCapScalesWithGraphSizeAndHasAFloor) {
+  // The default cap is explicit API now: 512 pushes per node with a
+  // 1024-node floor, so tiny graphs still get enough budget to drain a
+  // pathological epsilon before the cap fires.
+  EXPECT_EQ(DefaultPushCap(0), int64_t{512} * 1024);
+  EXPECT_EQ(DefaultPushCap(100), int64_t{512} * 1024);
+  EXPECT_EQ(DefaultPushCap(1024), int64_t{512} * 1024);
+  EXPECT_EQ(DefaultPushCap(100000), int64_t{512} * 100000);
+}
+
+TEST(PushPprTest, DefaultCapAppliesWhenUnset) {
+  // max_pushes <= 0 selects the default cap rather than an unbounded
+  // solve; a reasonable epsilon finishes far below it, completed = true.
+  Rng rng(109);
+  auto graph = ErdosRenyi(100, 400, &rng);
+  ASSERT_TRUE(graph.ok());
+  TransitionMatrix t = Transition(*graph);
+  PushOptions options;
+  options.max_pushes = -1;
+  auto push = ForwardPushPpr(*graph, t, 0, options);
+  ASSERT_TRUE(push.ok());
+  EXPECT_TRUE(push->completed);
+  EXPECT_LT(push->pushes, DefaultPushCap(graph->num_nodes()));
+}
+
+TEST(PushPprTest, SinglePushBudgetReturnsPartialState) {
+  // The smallest possible budget still yields a usable partial result:
+  // exactly one push, honest completed = false, and the seed's estimate
+  // already holds that push's (1 - alpha) deposit.
+  Rng rng(110);
+  auto graph = BarabasiAlbert(200, 3, &rng);
+  ASSERT_TRUE(graph.ok());
+  TransitionMatrix t = Transition(*graph);
+  PushOptions options;
+  options.max_pushes = 1;
+  auto push = ForwardPushPpr(*graph, t, 0, options);
+  ASSERT_TRUE(push.ok());
+  EXPECT_FALSE(push->completed);
+  EXPECT_EQ(push->pushes, 1);
+  EXPECT_GT(push->scores[0], 0.0);
+}
+
 TEST(PushPprTest, ValidationErrors) {
   Rng rng(108);
   auto graph = ErdosRenyi(10, 20, &rng);

@@ -213,6 +213,149 @@ TEST(ScoreCacheTest, ZeroCapacityWithTtlConstruction) {
   EXPECT_EQ(stats.misses, 1);
 }
 
+// --- byte budgeting ---
+
+TEST(ScoreCacheTest, KeySeparatesTopK) {
+  RankRequest base;
+  base.seeds = {3};
+  RankRequest truncated = base;
+  truncated.top_k = 10;
+  EXPECT_NE(ScoreCache::KeyFor(base), ScoreCache::KeyFor(truncated));
+  RankRequest other_k = base;
+  other_k.top_k = 20;
+  EXPECT_NE(ScoreCache::KeyFor(truncated), ScoreCache::KeyFor(other_k));
+}
+
+TEST(ScoreCacheTest, CompatConstructorIsEntryCountOnly) {
+  ScoreCache cache(2);
+  EXPECT_EQ(cache.capacity(), 2u);
+  EXPECT_EQ(cache.capacity_bytes(), 0u);
+  EXPECT_TRUE(cache.enabled());
+  cache.Insert("a", MakeResponse(1.0));
+  cache.Insert("b", MakeResponse(2.0));
+  cache.Insert("c", MakeResponse(3.0));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ScoreCacheTest, BytesInUseTracksInsertsAndRemovals) {
+  ScoreCacheOptions options;
+  options.capacity = 8;
+  ScoreCache cache(options);
+  EXPECT_EQ(cache.bytes_in_use(), 0u);
+
+  const RankResponse response = MakeResponse(1.0);
+  const size_t charge = ScoreCache::ChargeFor("a", response);
+  EXPECT_GT(charge, response.scores.size() * sizeof(double));
+  cache.Insert("a", response);
+  EXPECT_EQ(cache.bytes_in_use(), charge);
+  EXPECT_EQ(cache.stats().bytes_in_use, charge);
+
+  cache.Insert("b", MakeResponse(2.0));
+  EXPECT_GT(cache.bytes_in_use(), charge);
+  cache.Clear();
+  EXPECT_EQ(cache.bytes_in_use(), 0u);
+}
+
+TEST(ScoreCacheTest, ChargeGrowsWithPayload) {
+  RankResponse small = MakeResponse(1.0);
+  RankResponse big = MakeResponse(1.0);
+  big.scores.assign(10000, 0.5);
+  EXPECT_GT(ScoreCache::ChargeFor("k", big), ScoreCache::ChargeFor("k", small));
+  RankResponse truncated;
+  truncated.truncated = true;
+  truncated.top.resize(10);
+  EXPECT_LT(ScoreCache::ChargeFor("k", truncated),
+            ScoreCache::ChargeFor("k", big));
+}
+
+TEST(ScoreCacheTest, ByteBudgetEvictsUntilTheNewEntryFits) {
+  const size_t one = ScoreCache::ChargeFor("a", MakeResponse(1.0));
+  ScoreCacheOptions options;
+  options.capacity = 0;  // byte-limited only
+  options.capacity_bytes = 2 * one + one / 2;  // room for two entries
+  ScoreCache cache(options);
+  EXPECT_TRUE(cache.enabled());
+
+  cache.Insert("a", MakeResponse(1.0));
+  cache.Insert("b", MakeResponse(2.0));
+  EXPECT_EQ(cache.size(), 2u);
+  // Make "b" hot so "a" is the LFU victim when the budget breaks.
+  EXPECT_TRUE(cache.Lookup("b").has_value());
+
+  cache.Insert("c", MakeResponse(3.0));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Lookup("a").has_value());
+  EXPECT_TRUE(cache.Lookup("b").has_value());
+  EXPECT_TRUE(cache.Lookup("c").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_LE(cache.bytes_in_use(), options.capacity_bytes);
+}
+
+TEST(ScoreCacheTest, OversizeResponseIsRejectedNotAdmitted) {
+  ScoreCacheOptions options;
+  options.capacity = 8;
+  options.capacity_bytes = 4096;
+  ScoreCache cache(options);
+  cache.Insert("small", MakeResponse(1.0));
+  ASSERT_EQ(cache.size(), 1u);
+
+  RankResponse huge = MakeResponse(2.0);
+  huge.scores.assign(100000, 0.1);  // ~800 KB against a 4 KB budget
+  cache.Insert("huge", huge);
+  // Rejected outright: the resident small entry was NOT flushed for an
+  // entry that could never fit anyway.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.Lookup("huge").has_value());
+  EXPECT_TRUE(cache.Lookup("small").has_value());
+  EXPECT_EQ(cache.stats().oversize_rejections, 1);
+  EXPECT_EQ(cache.stats().evictions, 0);
+}
+
+TEST(ScoreCacheTest, RefreshToLargerPayloadEvictsOthersNotItself) {
+  const size_t one = ScoreCache::ChargeFor("a", MakeResponse(1.0));
+  RankResponse big = MakeResponse(9.0);
+  big.scores.assign(64, 0.25);
+  const size_t big_charge = ScoreCache::ChargeFor("a", big);
+  ASSERT_GT(big_charge, one);
+
+  ScoreCacheOptions options;
+  options.capacity = 0;
+  options.capacity_bytes = big_charge + one;  // big + one small fit
+  ScoreCache cache(options);
+  cache.Insert("a", MakeResponse(1.0));
+  cache.Insert("b", MakeResponse(2.0));
+  cache.Insert("c", MakeResponse(3.0));
+  ASSERT_EQ(cache.size(), 3u);
+
+  // Refreshing "a" with the larger payload breaks the budget; the cache
+  // must evict colder entries, never the entry just refreshed.
+  cache.Insert("a", big);
+  EXPECT_TRUE(cache.Lookup("a").has_value());
+  EXPECT_LT(cache.size(), 3u);
+  EXPECT_LE(cache.bytes_in_use(), options.capacity_bytes);
+  auto refreshed = cache.Lookup("a");
+  ASSERT_TRUE(refreshed.has_value());
+  EXPECT_EQ(refreshed->scores.size(), 64u);
+}
+
+TEST(ScoreCacheTest, ByteBudgetAloneEnablesTheCache) {
+  ScoreCacheOptions options;
+  options.capacity = 0;
+  options.capacity_bytes = 1 << 20;
+  ScoreCache cache(options);
+  EXPECT_TRUE(cache.enabled());
+  cache.Insert("k", MakeResponse(1.0));
+  EXPECT_TRUE(cache.Lookup("k").has_value());
+
+  ScoreCacheOptions disabled;
+  disabled.capacity = 0;
+  disabled.capacity_bytes = 0;
+  ScoreCache off(disabled);
+  EXPECT_FALSE(off.enabled());
+  off.Insert("k", MakeResponse(1.0));
+  EXPECT_FALSE(off.Lookup("k").has_value());
+}
+
 // Expiry is strict: an entry is stale only *past* its TTL, so a lookup at
 // exactly the boundary tick still serves it (and a tick later does not).
 TEST(ScoreCacheTest, TtlBoundaryTickStillServes) {

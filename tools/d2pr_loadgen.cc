@@ -28,7 +28,9 @@ constexpr char kUsage[] =
     "  --p=P                decoupling weight of every request\n"
     "                       (default 0.5)\n"
     "  --alpha=A            residual probability (default 0.85)\n"
-    "  --method=NAME        power (default), gauss-seidel, forward-push\n";
+    "  --method=NAME        power (default), gauss-seidel, forward-push\n"
+    "  --top-k=K            request truncated top-K responses, K >= 1\n"
+    "                       (default: exact full-vector serving)\n";
 
 int UsageError(const char* message) {
   std::fprintf(stderr, "%s\n%s", message, kUsage);
@@ -53,6 +55,7 @@ int Run(const Flags& flags) {
   options.seed = static_cast<uint64_t>(*flags.GetInt("seed", 1));
   options.base.p = *flags.GetDouble("p", 0.5);
   options.base.alpha = *flags.GetDouble("alpha", 0.85);
+  options.base.top_k = static_cast<int>(*flags.GetInt("top-k", 0));
   const std::string method = flags.GetString("method");
   if (method == "gauss-seidel") {
     options.base.method = SolverMethod::kGaussSeidel;

@@ -115,7 +115,7 @@ Status ValidateLoadGenFlags(const Flags& flags) {
   static const std::set<std::string> kKnown = {
       "port", "host",   "connections",     "requests", "zipf-s",
       "zipf-n", "global-fraction", "deadline-ms", "seed",
-      "p",    "alpha",  "method",
+      "p",    "alpha",  "method", "top-k",
   };
   D2PR_RETURN_NOT_OK(CheckKnown(flags, kKnown));
   if (!flags.Has("port")) {
@@ -132,9 +132,14 @@ Status ValidateLoadGenFlags(const Flags& flags) {
   const auto seed = flags.GetInt("seed", 1);
   const auto p = flags.GetDouble("p", 0.5);
   const auto alpha = flags.GetDouble("alpha", 0.85);
+  const auto top_k = flags.GetInt("top-k", 0);
   if (!connections.ok() || !requests.ok() || !zipf_s.ok() || !zipf_n.ok() ||
-      !global_fraction.ok() || !seed.ok() || !p.ok() || !alpha.ok()) {
+      !global_fraction.ok() || !seed.ok() || !p.ok() || !alpha.ok() ||
+      !top_k.ok()) {
     return Status::InvalidArgument("bad numeric flag");
+  }
+  if (flags.Has("top-k") && *top_k < 1) {
+    return Status::InvalidArgument("--top-k must be >= 1");
   }
   if (*connections < 1) {
     return Status::InvalidArgument("--connections must be >= 1");

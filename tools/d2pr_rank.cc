@@ -53,6 +53,12 @@ constexpr char kUsage[] =
     "  --alpha=FLOAT        residual probability (default 0.85)\n"
     "  --beta=FLOAT         connection-strength blend, weighted graphs\n"
     "  --top=N              print the N best nodes (default 20)\n"
+    "  --top-k=K            serve a truncated top-K response: with\n"
+    "                       --method=forward-push, a degree-pruned\n"
+    "                       bounded push with certified set membership;\n"
+    "                       exact solvers solve fully and truncate.\n"
+    "                       Excludes --tune, --partition, --scores-out,\n"
+    "                       and --top\n"
     "  --method=NAME        solver: power (default), gauss-seidel,\n"
     "                       or forward-push\n"
     "  --seeds=a,b,...      personalized teleportation on these nodes\n"
@@ -131,6 +137,7 @@ int RunOrDie(const Flags& flags) {
   auto alpha = flags.GetDouble("alpha", 0.85);
   auto beta = flags.GetDouble("beta", 0.0);
   auto top = flags.GetInt("top", 20);
+  auto top_k = flags.GetInt("top-k", 0);
   auto threads = flags.GetInt("threads", 1);
   auto repeat = flags.GetInt("repeat", 1);
   auto shards = flags.GetInt("shards", 1);
@@ -184,6 +191,7 @@ int RunOrDie(const Flags& flags) {
   request.alpha = *alpha;
   request.beta = *beta;
   request.method = *method;
+  request.top_k = *top_k;
 
   EngineOptions engine_options;
   if (flags.Has("cache-dir")) {
@@ -382,6 +390,20 @@ int RunOrDie(const Flags& flags) {
     }
     std::fprintf(stderr, "wrote %zu scores to %s\n", ranked->scores.size(),
                  out_path.c_str());
+  }
+
+  if (ranked->truncated) {
+    // Truncated serving: the response IS the top list; print it with its
+    // certification column instead of re-ranking a score vector.
+    std::fprintf(stderr, "top-k uncertainty gap: %.3e\n",
+                 ranked->uncertainty_gap);
+    std::printf("rank  node  score         certified\n");
+    for (size_t i = 0; i < ranked->top.size(); ++i) {
+      std::printf("%4zu  %4d  %.6e  %s\n", i + 1, ranked->top[i].node,
+                  ranked->top[i].score,
+                  ranked->top[i].certified ? "yes" : "no");
+    }
+    return 0;
   }
 
   std::printf("rank  node  score\n");

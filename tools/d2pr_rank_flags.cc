@@ -47,10 +47,11 @@ Status ValidateRankFlags(const Flags& flags) {
   // should hear about instead of a silently ignored option.
   static const std::set<std::string> kKnown = {
       "graph",  "directed",   "weighted",   "p",
-      "alpha",  "beta",       "top",        "method",
-      "seeds",  "scores-out", "tune",       "significance",
-      "stats",  "threads",    "repeat",     "shards",
-      "route",  "cache-dir",  "cache-mode", "partition",
+      "alpha",  "beta",       "top",        "top-k",
+      "method", "seeds",      "scores-out", "tune",
+      "significance",         "stats",      "threads",
+      "repeat", "shards",     "route",      "cache-dir",
+      "cache-mode",           "partition",
   };
   for (const std::string& name : flags.FlagNames()) {
     if (!kKnown.contains(name)) {
@@ -86,16 +87,45 @@ Status ValidateRankFlags(const Flags& flags) {
   const auto alpha = flags.GetDouble("alpha", 0.85);
   const auto beta = flags.GetDouble("beta", 0.0);
   const auto top = flags.GetInt("top", 20);
+  const auto top_k = flags.GetInt("top-k", 0);
   const auto threads = flags.GetInt("threads", 1);
   const auto repeat = flags.GetInt("repeat", 1);
   const auto shards = flags.GetInt("shards", 1);
-  if (!p.ok() || !alpha.ok() || !beta.ok() || !top.ok() || !threads.ok() ||
-      !repeat.ok() || !shards.ok()) {
+  if (!p.ok() || !alpha.ok() || !beta.ok() || !top.ok() || !top_k.ok() ||
+      !threads.ok() || !repeat.ok() || !shards.ok()) {
     return Status::InvalidArgument("bad numeric flag");
   }
   if (*threads < 1) return Status::InvalidArgument("--threads must be >= 1");
   if (*repeat < 1) return Status::InvalidArgument("--repeat must be >= 1");
   if (*shards < 1) return Status::InvalidArgument("--shards must be >= 1");
+
+  // --- truncated serving (--top-k) ---
+  if (flags.Has("top-k")) {
+    if (*top_k < 1) {
+      return Status::InvalidArgument("--top-k must be >= 1");
+    }
+    if (flags.Has("tune")) {
+      return Status::InvalidArgument(
+          "--top-k cannot be combined with --tune (tuning correlates the "
+          "FULL ranking against significance; tune first, truncate after)");
+    }
+    if (flags.Has("partition")) {
+      return Status::InvalidArgument(
+          "--top-k is not supported with --partition (the block solve "
+          "produces one distributed full vector); use a replicated or "
+          "partitioned-teleport router");
+    }
+    if (flags.Has("scores-out")) {
+      return Status::InvalidArgument(
+          "--scores-out needs the full score vector, which a --top-k "
+          "response does not carry");
+    }
+    if (flags.Has("top")) {
+      return Status::InvalidArgument(
+          "--top and --top-k are mutually exclusive (--top-k already "
+          "bounds the served and printed entries)");
+    }
+  }
 
   if (flags.Has("shards") && flags.Has("tune")) {
     return Status::InvalidArgument(
