@@ -124,7 +124,7 @@ int Run(const Flags& flags) {
               sweep.connections, sweep.requests_per_connection);
   std::printf(
       "| backend                | threads | shards | attempted |  p50_us "
-      "|  p99_us |     req/s | coalesced |  shed |\n"
+      "|  p99_us |      ok/s | coalesced |  shed |\n"
       "|------------------------|--------:|-------:|----------:|--------:"
       "|--------:|----------:|----------:|------:|\n");
   for (size_t threads : {1, 2, 4}) {

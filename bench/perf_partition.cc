@@ -2,14 +2,22 @@
 // iteration pays (or saves) against the monolithic reference at 10k and
 // 100k nodes, for shard counts 1/2/4/8 and both partition schemes.
 //
-// Three questions, one sweep each:
+// The questions, one sweep each:
 //   * BM_WholeGraphPower vs BM_PartitionedPower — the per-solve overhead
 //     of the block formulation (in-CSR pull + global folds) as shard
 //     count grows; scores are bit-identical by contract, so this is a
-//     pure mechanics comparison.
-//   * BM_PartitionedPowerPooled — the same sweep with shard sweeps fanned
-//     across an EngineRouter worker pool, i.e. what partitioned serving
-//     actually ships.
+//     pure mechanics comparison. BM_PartitionedPower gathers each arc
+//     probability through the partition's in_arc_index permutation —
+//     the random-access pattern the slices were built to remove.
+//   * BM_PartitionedPowerSliced — the same sweep over materialized
+//     per-shard slices (core/transition_slices.h): the inner loop
+//     streams two contiguous arrays instead of gathering through the
+//     arc index. Same bits, different memory traffic.
+//   * BM_PartitionedPowerPooled — the sliced sweep fanned across an
+//     EngineRouter worker pool, i.e. what partitioned serving ships.
+//   * BM_SliceBuild / BM_SliceBuildLocal — the one-time slice
+//     materialization cost, from a prebuilt matrix (permutation copy)
+//     and matrix-free from the subgraphs + broadcast metric vector.
 //   * BM_PartitionBuild — the one-time partitioning cost a deployment
 //     amortizes over its whole serving lifetime.
 //
@@ -26,6 +34,7 @@
 #include "core/pagerank.h"
 #include "core/teleport.h"
 #include "core/transition.h"
+#include "core/transition_slices.h"
 #include "datagen/classic_generators.h"
 #include "graph/partition.h"
 #include "serve/engine_router.h"
@@ -107,6 +116,65 @@ BENCHMARK(BM_PartitionedPower)
                    {1, 2, 4, 8},
                    {static_cast<int>(PartitionScheme::kRange),
                     static_cast<int>(PartitionScheme::kHash)}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PartitionedPowerSliced(benchmark::State& state) {
+  const CsrGraph& graph = GraphOf(state.range(0));
+  const TransitionMatrix& transition = TransitionOf(graph);
+  const auto scheme = static_cast<PartitionScheme>(state.range(2));
+  auto partition = GraphPartition::Build(
+      graph, {.scheme = scheme,
+              .num_shards = static_cast<size_t>(state.range(1))});
+  D2PR_CHECK(partition.ok());
+  auto slices = BuildTransitionSlices(*partition, transition);
+  D2PR_CHECK(slices.ok());
+  const std::vector<double> teleport = UniformTeleport(graph.num_nodes());
+  for (auto _ : state) {
+    auto solved = SolvePagerankPartitioned(*slices, *partition, teleport,
+                                           SolveOptions());
+    D2PR_CHECK(solved.ok());
+    benchmark::DoNotOptimize(solved->scores.data());
+  }
+  state.counters["boundary_frac"] = partition->BoundaryFraction();
+}
+BENCHMARK(BM_PartitionedPowerSliced)
+    ->ArgsProduct({{10000, 100000},
+                   {1, 2, 4, 8},
+                   {static_cast<int>(PartitionScheme::kRange),
+                    static_cast<int>(PartitionScheme::kHash)}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SliceBuild(benchmark::State& state) {
+  const CsrGraph& graph = GraphOf(state.range(0));
+  const TransitionMatrix& transition = TransitionOf(graph);
+  auto partition = GraphPartition::Build(
+      graph, {.scheme = PartitionScheme::kRange,
+              .num_shards = static_cast<size_t>(state.range(1))});
+  D2PR_CHECK(partition.ok());
+  for (auto _ : state) {
+    auto slices = BuildTransitionSlices(*partition, transition);
+    D2PR_CHECK(slices.ok());
+    benchmark::DoNotOptimize(slices->in_probs.data());
+  }
+}
+BENCHMARK(BM_SliceBuild)
+    ->ArgsProduct({{10000, 100000}, {2, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SliceBuildLocal(benchmark::State& state) {
+  const CsrGraph& graph = GraphOf(state.range(0));
+  auto partition = GraphPartition::Build(
+      graph, {.scheme = PartitionScheme::kRange,
+              .num_shards = static_cast<size_t>(state.range(1))});
+  D2PR_CHECK(partition.ok());
+  for (auto _ : state) {
+    auto slices = BuildTransitionSlicesLocal(graph, *partition, {.p = 0.5});
+    D2PR_CHECK(slices.ok());
+    benchmark::DoNotOptimize(slices->in_probs.data());
+  }
+}
+BENCHMARK(BM_SliceBuildLocal)
+    ->ArgsProduct({{10000, 100000}, {2, 8}})
     ->Unit(benchmark::kMillisecond);
 
 void BM_PartitionedPowerPooled(benchmark::State& state) {

@@ -143,6 +143,86 @@ Result<std::shared_ptr<const TransitionMatrix>> TransitionResolver::Resolve(
   return shared;
 }
 
+Result<std::shared_ptr<const TransitionSlices>> TransitionResolver::ResolveSlices(
+    const TransitionKey& key, const GraphPartition& partition,
+    SliceBuild build, Outcome* outcome) {
+  // kFromMatrix resolves the whole-graph matrix FIRST, so the cache /
+  // store / spill behavior and every counter an owner reads off the
+  // Outcome are exactly the unsliced path's; the slice cache below then
+  // only adds (never replaces) work. kSubgraph must not touch the matrix
+  // machinery at all — that path's whole point is that no whole-graph
+  // matrix exists.
+  std::shared_ptr<const TransitionMatrix> matrix;
+  if (build == SliceBuild::kFromMatrix) {
+    auto resolved = Resolve(key, outcome);
+    if (!resolved.ok()) return resolved.status();
+    matrix = std::move(resolved).value();
+  } else {
+    *outcome = Outcome{};
+  }
+
+  // Same discipline as ResolveBounds: no cache, no single-flight.
+  const bool caching = cache_.capacity() > 0;
+  if (caching) {
+    std::unique_lock<std::mutex> lock(slices_mu_);
+    for (;;) {
+      const auto hit = std::find_if(
+          slices_cache_.begin(), slices_cache_.end(),
+          [&](const auto& entry) { return entry.first == key; });
+      if (hit != slices_cache_.end()) {
+        auto slices = hit->second;
+        std::rotate(slices_cache_.begin(), hit, hit + 1);  // MRU to front.
+        if (build == SliceBuild::kSubgraph) outcome->cache_hit = true;
+        return slices;
+      }
+      if (std::find(slices_building_.begin(), slices_building_.end(), key) ==
+          slices_building_.end()) {
+        break;
+      }
+      slices_cv_.wait(lock);
+    }
+    slices_building_.push_back(key);
+  }
+
+  Status error;
+  std::shared_ptr<const TransitionSlices> shared;
+  {
+    Result<TransitionSlices> built =
+        build == SliceBuild::kFromMatrix
+            ? BuildTransitionSlices(partition, *matrix)
+            : [&] {
+                TransitionConfig config;
+                config.p = key.p;
+                config.beta = key.beta;
+                config.metric = key.metric;
+                outcome->built = true;
+                return BuildTransitionSlicesLocal(*graph_, partition, config);
+              }();
+    ++slice_builds_;
+    if (built.ok()) {
+      shared =
+          std::make_shared<const TransitionSlices>(std::move(built).value());
+    } else {
+      error = built.status();
+    }
+  }
+
+  if (caching) {
+    {
+      std::lock_guard<std::mutex> lock(slices_mu_);
+      std::erase(slices_building_, key);
+      if (shared != nullptr) {
+        slices_cache_.insert(slices_cache_.begin(), {key, shared});
+        if (slices_cache_.size() > cache_.capacity()) slices_cache_.pop_back();
+      }
+    }
+    slices_cv_.notify_all();
+  }
+
+  if (!error.ok()) return error;
+  return shared;
+}
+
 std::shared_ptr<const DegreeBoundIndex> TransitionResolver::ResolveBounds(
     const TransitionKey& key,
     const std::shared_ptr<const TransitionMatrix>& transition) {
@@ -241,6 +321,10 @@ void TransitionResolver::Clear() {
   {
     std::lock_guard<std::mutex> lock(bounds_mu_);
     bounds_cache_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(slices_mu_);
+    slices_cache_.clear();
   }
   // The matrices are gone, so their pending lazy spills can never run.
   std::lock_guard<std::mutex> lock(persist_mu_);

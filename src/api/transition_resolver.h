@@ -39,7 +39,9 @@
 #include "api/transition_store.h"
 #include "common/result.h"
 #include "core/transition.h"
+#include "core/transition_slices.h"
 #include "graph/csr_graph.h"
+#include "graph/partition.h"
 #include "topk/degree_bound.h"
 
 namespace d2pr {
@@ -113,6 +115,27 @@ class TransitionResolver {
   Result<std::shared_ptr<const TransitionMatrix>> Resolve(
       const TransitionKey& key, Outcome* outcome);
 
+  /// \brief Returns the per-shard transition slices for `key` under
+  /// `partition` — what the sliced block solvers stream
+  /// (core/transition_slices.h). Slices are cached alongside the
+  /// transition (same capacity, MRU, single-flighted misses) and keyed by
+  /// TransitionKey alone: a resolver serves exactly one partition (its
+  /// owner's), so callers must pass the same partition on every call.
+  ///
+  /// Persistence contract: slices have NO sections of their own in the
+  /// TransitionStore. Under SliceBuild::kFromMatrix the whole-graph
+  /// matrix is resolved first — cache, store, spill, and every Outcome /
+  /// counter observable exactly as Resolve — and the slices are a cheap
+  /// permutation of it, rebuilt after any cache eviction. Under
+  /// SliceBuild::kSubgraph no whole-graph matrix is ever materialized
+  /// (and therefore nothing can touch the store): the slices build
+  /// shard-locally, a slice-cache hit reports Outcome::cache_hit, a
+  /// local build reports Outcome::built, and only slice_builds()
+  /// advances — builds()/store counters stay put.
+  Result<std::shared_ptr<const TransitionSlices>> ResolveSlices(
+      const TransitionKey& key, const GraphPartition& partition,
+      SliceBuild build, Outcome* outcome);
+
   /// \brief Returns the DegreeBoundIndex for `key`'s transition — the
   /// per-node score upper bounds the top-k solver prunes with — building
   /// it once per key and caching it alongside the transition (same
@@ -167,6 +190,10 @@ class TransitionResolver {
   int64_t bound_builds() const {
     return bound_builds_.load(std::memory_order_relaxed);
   }
+  /// Slice constructions (cache misses in ResolveSlices, either path).
+  int64_t slice_builds() const {
+    return slice_builds_.load(std::memory_order_relaxed);
+  }
 
   /// Cache passthroughs (see TransitionCache).
   size_t cache_capacity() const { return cache_.capacity(); }
@@ -207,10 +234,19 @@ class TransitionResolver {
       bounds_cache_;
   std::vector<TransitionKey> bounds_building_;
 
+  /// Guards the slice cache and its in-flight key list; same shape and
+  /// rationale as the bounds cache above.
+  std::mutex slices_mu_;
+  std::condition_variable slices_cv_;
+  std::vector<std::pair<TransitionKey, std::shared_ptr<const TransitionSlices>>>
+      slices_cache_;
+  std::vector<TransitionKey> slices_building_;
+
   std::atomic<int64_t> builds_{0};
   std::atomic<int64_t> store_loads_{0};
   std::atomic<int64_t> store_saves_{0};
   std::atomic<int64_t> bound_builds_{0};
+  std::atomic<int64_t> slice_builds_{0};
 };
 
 }  // namespace d2pr

@@ -36,6 +36,17 @@ Status ValidateBlockInputs(const TransitionMatrix& transition,
   return ValidateTeleportVector(teleport, transition.num_nodes());
 }
 
+/// Sliced-overload validation: option/teleport checks plus the slice
+/// shape contract (GraphPartition::ValidateSlices).
+Status ValidateBlockSliceInputs(const TransitionSlices& slices,
+                                const GraphPartition& partition,
+                                std::span<const double> teleport,
+                                const PagerankOptions& options) {
+  D2PR_RETURN_NOT_OK(ValidatePagerankOptions(options));
+  D2PR_RETURN_NOT_OK(partition.ValidateSlices(slices));
+  return ValidateTeleportVector(teleport, slices.num_nodes);
+}
+
 }  // namespace
 
 Status ValidateBlockGaussSeidelPolicy(DanglingPolicy dangling) {
@@ -134,6 +145,87 @@ Result<PagerankResult> SolvePagerankPartitioned(
   return result;
 }
 
+Result<PagerankResult> SolvePagerankPartitioned(
+    const TransitionSlices& slices, const GraphPartition& partition,
+    std::span<const double> teleport, const PagerankOptions& options,
+    const BlockParallelFor& parallel_for) {
+  D2PR_RETURN_NOT_OK(
+      ValidateBlockSliceInputs(slices, partition, teleport, options));
+  const NodeId n = slices.num_nodes;
+
+  PagerankResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<double> current(teleport.begin(), teleport.end());
+  NormalizeL1(current);  // mirrors the reference's defensive normalize
+  std::vector<double> next(static_cast<size_t>(n), 0.0);
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    // Same ascending dangling fold as the matrix overload (the slices
+    // carry the list so no TransitionMatrix is needed).
+    double dangling_mass = 0.0;
+    for (NodeId v : slices.dangling) {
+      dangling_mass += current[static_cast<size_t>(v)];
+    }
+
+    // One block sweep, streaming form: the in-row fold is unchanged —
+    // ascending global source order, bitwise the matrix overload's sum —
+    // but the per-arc probability now comes off the shard's contiguous
+    // slice in lockstep with in_sources, so the two hot arrays advance
+    // sequentially instead of one of them gathering through the global
+    // arc index.
+    RunShards(parallel_for, partition.num_shards(), [&](size_t s) {
+      const PartitionShard& shard = partition.shard(s);
+      const double* slice = slices.in_probs[s].data();
+      for (size_t k = 0; k < shard.owned.size(); ++k) {
+        const NodeId dst = shard.owned[k];
+        double value = 0.0;
+        const EdgeIndex begin = shard.in_offsets[k];
+        const EdgeIndex end = shard.in_offsets[k + 1];
+        for (EdgeIndex idx = begin; idx < end; ++idx) {
+          value += current[static_cast<size_t>(
+                       shard.in_sources[static_cast<size_t>(idx)])] *
+                   slice[static_cast<size_t>(idx)];
+        }
+        switch (options.dangling) {
+          case DanglingPolicy::kTeleport:
+            if (dangling_mass > 0.0) {
+              value += dangling_mass * teleport[static_cast<size_t>(dst)];
+            }
+            break;
+          case DanglingPolicy::kSelfLoop:
+            if (slices.is_dangling[static_cast<size_t>(dst)]) {
+              value += current[static_cast<size_t>(dst)];
+            }
+            break;
+          case DanglingPolicy::kRenormalize:
+            break;
+        }
+        next[static_cast<size_t>(dst)] =
+            options.alpha * value +
+            (1.0 - options.alpha) * teleport[static_cast<size_t>(dst)];
+      }
+    });
+    if (options.dangling == DanglingPolicy::kRenormalize) {
+      NormalizeL1(next);
+    }
+
+    result.iterations = iter;
+    result.residual = DiffL1(next, current);
+    current.swap(next);
+    if (result.residual < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.scores = std::move(current);
+  return result;
+}
+
 Result<PagerankResult> SolveGaussSeidelPartitioned(
     const TransitionMatrix& transition, const GraphPartition& partition,
     std::span<const double> teleport, const PagerankOptions& options,
@@ -195,6 +287,86 @@ Result<PagerankResult> SolveGaussSeidelPartitioned(
             break;
           case DanglingPolicy::kSelfLoop:
             if (transition.IsDangling(dst)) {
+              value /= (1.0 - options.alpha);
+            }
+            break;
+          case DanglingPolicy::kRenormalize:
+            break;
+        }
+        x[static_cast<size_t>(dst)] = value;
+      }
+    });
+    NormalizeL1(x);
+
+    result.iterations = iter;
+    result.residual = DiffL1(x, previous);
+    previous = x;
+    if (result.residual < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.scores = std::move(x);
+  return result;
+}
+
+Result<PagerankResult> SolveGaussSeidelPartitioned(
+    const TransitionSlices& slices, const GraphPartition& partition,
+    std::span<const double> teleport, const PagerankOptions& options,
+    const BlockParallelFor& parallel_for) {
+  D2PR_RETURN_NOT_OK(
+      ValidateBlockSliceInputs(slices, partition, teleport, options));
+  D2PR_RETURN_NOT_OK(ValidateBlockGaussSeidelPolicy(options.dangling));
+  const NodeId n = slices.num_nodes;
+
+  PagerankResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<double> x(teleport.begin(), teleport.end());
+  std::vector<double> frozen(x);
+  std::vector<double> previous(x);
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    // Lagged dangling mass, folded over the slices' ascending list.
+    double dangling_mass = 0.0;
+    for (NodeId v : slices.dangling) {
+      dangling_mass += x[static_cast<size_t>(v)];
+    }
+
+    // Exchange + sweep exactly as the matrix overload; the probability
+    // read streams off the shard's slice.
+    frozen = x;
+    RunShards(parallel_for, partition.num_shards(), [&](size_t s) {
+      const PartitionShard& shard = partition.shard(s);
+      const double* slice = slices.in_probs[s].data();
+      for (size_t k = 0; k < shard.owned.size(); ++k) {
+        const NodeId dst = shard.owned[k];
+        double incoming = 0.0;
+        const EdgeIndex begin = shard.in_offsets[k];
+        const EdgeIndex end = shard.in_offsets[k + 1];
+        for (EdgeIndex idx = begin; idx < end; ++idx) {
+          const NodeId src = shard.in_sources[static_cast<size_t>(idx)];
+          // Interior sources read the live (in-sweep updated) iterate,
+          // boundary sources the frozen exchange copy.
+          const double value = shard.in_interior[static_cast<size_t>(idx)]
+                                   ? x[static_cast<size_t>(src)]
+                                   : frozen[static_cast<size_t>(src)];
+          incoming += slice[static_cast<size_t>(idx)] * value;
+        }
+        double value = options.alpha * incoming +
+                       (1.0 - options.alpha) *
+                           teleport[static_cast<size_t>(dst)];
+        switch (options.dangling) {
+          case DanglingPolicy::kTeleport:
+            value += options.alpha * dangling_mass *
+                     teleport[static_cast<size_t>(dst)];
+            break;
+          case DanglingPolicy::kSelfLoop:
+            if (slices.is_dangling[static_cast<size_t>(dst)]) {
               value /= (1.0 - options.alpha);
             }
             break;

@@ -36,6 +36,16 @@
 // worker pool). The global folds (dangling mass, normalization, residual)
 // stay sequential on the calling thread — they are O(n) and their
 // summation order is part of the bit-parity contract.
+//
+// Each solver has two overloads. The TransitionMatrix forms gather each
+// arc's probability through the partition's global arc index
+// (probs[in_arc_index[idx]]) — convenient, but the random stride defeats
+// the prefetcher at scale (~65% overhead at 100k nodes). The
+// TransitionSlices forms stream a per-shard contiguous prob slice
+// (core/transition_slices.h) in lockstep with the in-CSR instead; since
+// a slice holds bitwise the same values at the same fold positions, the
+// sliced solves inherit the parity contracts verbatim (block power stays
+// bit-identical to SolvePagerank, GS within tolerance).
 
 #ifndef D2PR_CORE_BLOCK_SOLVER_H_
 #define D2PR_CORE_BLOCK_SOLVER_H_
@@ -75,6 +85,18 @@ Result<PagerankResult> SolvePagerankPartitioned(
     std::span<const double> teleport, const PagerankOptions& options,
     const BlockParallelFor& parallel_for = {});
 
+/// \brief Sliced block power iteration: identical semantics (and bits) to
+/// the TransitionMatrix overload, but each shard streams its contiguous
+/// in-CSR-aligned prob slice instead of gathering through the global arc
+/// index. Requires `slices` shaped for `partition`
+/// (GraphPartition::ValidateSlices) holding valid row-stochastic
+/// probabilities — both construction paths in core/transition_slices.h
+/// guarantee this.
+Result<PagerankResult> SolvePagerankPartitioned(
+    const TransitionSlices& slices, const GraphPartition& partition,
+    std::span<const double> teleport, const PagerankOptions& options,
+    const BlockParallelFor& parallel_for = {});
+
 /// \brief Block Gauss-Seidel: per-shard Gauss-Seidel sweeps with remote
 /// values frozen at sweep start (block Jacobi across shards). Converges
 /// to the same fixed point as SolvePagerankGaussSeidel; agreement is
@@ -91,6 +113,15 @@ Result<PagerankResult> SolvePagerankPartitioned(
 /// block power iteration, whose kRenormalize parity is bitwise.
 Result<PagerankResult> SolveGaussSeidelPartitioned(
     const TransitionMatrix& transition, const GraphPartition& partition,
+    std::span<const double> teleport, const PagerankOptions& options,
+    const BlockParallelFor& parallel_for = {});
+
+/// \brief Sliced block Gauss-Seidel: same method and policy rules as the
+/// TransitionMatrix overload (kRenormalize rejected), reading each
+/// shard's contiguous prob slice and the slices' dangling view instead of
+/// a matrix.
+Result<PagerankResult> SolveGaussSeidelPartitioned(
+    const TransitionSlices& slices, const GraphPartition& partition,
     std::span<const double> teleport, const PagerankOptions& options,
     const BlockParallelFor& parallel_for = {});
 

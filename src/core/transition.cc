@@ -1,12 +1,70 @@
 #include "core/transition.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
 #include "common/string_util.h"
 
 namespace d2pr {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Successful whole-graph materializations (see BuildCount()).
+std::atomic<uint64_t> g_build_count{0};
+
+}  // namespace
+
+double DecoupledArcExponent(double log_metric_target, double p) {
+  if (log_metric_target == kNegInf) {
+    // metric(j) = 0: limit semantics. p > 0 => j dominates the row
+    // (+inf); p < 0 => weight 0 (-inf); p = 0 => neutral (0^0 := 1).
+    return p > 0.0   ? std::numeric_limits<double>::infinity()
+           : p < 0.0 ? kNegInf
+                     : 0.0;
+  }
+  return -p * log_metric_target;
+}
+
+double DecoupledArcNumerator(double exponent, double max_exponent) {
+  if (std::isinf(max_exponent) && max_exponent > 0.0) {
+    // At least one +inf exponent: those destinations split the row.
+    return (std::isinf(exponent) && exponent > 0.0) ? 1.0 : 0.0;
+  }
+  if (exponent == kNegInf) return 0.0;
+  return std::exp(exponent - max_exponent);
+}
+
+double BlendedArcProb(double numerator, double row_sum, double beta,
+                      double arc_weight, double strength_total) {
+  const double t_decoupled = numerator / row_sum;
+  if (beta > 0.0) {
+    const double t_conn = arc_weight / strength_total;
+    return beta * t_conn + (1.0 - beta) * t_decoupled;
+  }
+  return t_decoupled;
+}
+
+Status ValidateTransitionConfig(const CsrGraph& graph,
+                                const TransitionConfig& config) {
+  if (!std::isfinite(config.p)) {
+    return Status::InvalidArgument(
+        StrCat("de-coupling weight p must be finite, got ", config.p));
+  }
+  if (config.beta < 0.0 || config.beta > 1.0) {
+    return Status::InvalidArgument(
+        StrCat("beta must lie in [0, 1], got ", config.beta));
+  }
+  const DegreeMetric metric = ResolveMetric(graph, config.metric);
+  if (metric == DegreeMetric::kOutStrength && !graph.weighted()) {
+    return Status::InvalidArgument(
+        "kOutStrength metric requires a weighted graph");
+  }
+  return Status::OK();
+}
 
 DegreeMetric ResolveMetric(const CsrGraph& graph, DegreeMetric metric) {
   if (metric != DegreeMetric::kAuto) return metric;
@@ -40,19 +98,8 @@ std::vector<double> MetricValues(const CsrGraph& graph, DegreeMetric metric) {
 
 Result<TransitionMatrix> TransitionMatrix::Build(
     const CsrGraph& graph, const TransitionConfig& config) {
-  if (!std::isfinite(config.p)) {
-    return Status::InvalidArgument(
-        StrCat("de-coupling weight p must be finite, got ", config.p));
-  }
-  if (config.beta < 0.0 || config.beta > 1.0) {
-    return Status::InvalidArgument(
-        StrCat("beta must lie in [0, 1], got ", config.beta));
-  }
+  D2PR_RETURN_NOT_OK(ValidateTransitionConfig(graph, config));
   const DegreeMetric metric = ResolveMetric(graph, config.metric);
-  if (metric == DegreeMetric::kOutStrength && !graph.weighted()) {
-    return Status::InvalidArgument(
-        "kOutStrength metric requires a weighted graph");
-  }
   // On unweighted graphs connection strength is uniform, which equals the
   // p = 0 de-coupled matrix; folding beta into 0 keeps one code path.
   const double beta = graph.weighted() ? config.beta : 0.0;
@@ -65,7 +112,6 @@ Result<TransitionMatrix> TransitionMatrix::Build(
   std::vector<uint8_t> dangling(static_cast<size_t>(n), 0);
 
   // Log-metric per node; metric 0 marked with -inf sentinel.
-  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
   std::vector<double> log_metric(static_cast<size_t>(n));
   for (NodeId v = 0; v < n; ++v) {
     log_metric[v] =
@@ -86,29 +132,13 @@ Result<TransitionMatrix> TransitionMatrix::Build(
     double max_exponent = kNegInf;
     for (EdgeIndex e = begin; e < end; ++e) {
       const NodeId j = graph.targets()[static_cast<size_t>(e)];
-      double exponent;
-      if (log_metric[j] == kNegInf) {
-        // metric(j) = 0: limit semantics. p > 0 => j dominates the row
-        // (+inf); p < 0 => weight 0 (-inf); p = 0 => neutral (0^0 := 1).
-        exponent = p > 0.0   ? std::numeric_limits<double>::infinity()
-                   : p < 0.0 ? kNegInf
-                             : 0.0;
-      } else {
-        exponent = -p * log_metric[j];
-      }
+      const double exponent = DecoupledArcExponent(log_metric[j], p);
       row.push_back(exponent);
       max_exponent = std::max(max_exponent, exponent);
     }
     double row_sum = 0.0;
     for (double& exponent : row) {
-      if (std::isinf(max_exponent) && max_exponent > 0.0) {
-        // At least one +inf exponent: those destinations split the row.
-        exponent = (std::isinf(exponent) && exponent > 0.0) ? 1.0 : 0.0;
-      } else if (exponent == kNegInf) {
-        exponent = 0.0;
-      } else {
-        exponent = std::exp(exponent - max_exponent);
-      }
+      exponent = DecoupledArcNumerator(exponent, max_exponent);
       row_sum += exponent;
     }
     if (row_sum == 0.0) {
@@ -124,18 +154,18 @@ Result<TransitionMatrix> TransitionMatrix::Build(
 
     for (EdgeIndex e = begin; e < end; ++e) {
       const size_t arc = static_cast<size_t>(e);
-      const double t_decoupled = row[static_cast<size_t>(e - begin)] / row_sum;
-      double prob = t_decoupled;
-      if (beta > 0.0) {
-        const double t_conn =
-            graph.weights()[arc] / strength_total;
-        prob = beta * t_conn + (1.0 - beta) * t_decoupled;
-      }
-      probs[arc] = prob;
+      probs[arc] = BlendedArcProb(
+          row[static_cast<size_t>(e - begin)], row_sum, beta,
+          beta > 0.0 ? graph.weights()[arc] : 0.0, strength_total);
     }
   }
 
+  g_build_count.fetch_add(1, std::memory_order_relaxed);
   return TransitionMatrix(n, std::move(probs), std::move(dangling));
+}
+
+uint64_t TransitionMatrix::BuildCount() {
+  return g_build_count.load(std::memory_order_relaxed);
 }
 
 std::vector<NodeId> TransitionMatrix::DanglingNodes() const {

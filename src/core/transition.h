@@ -21,6 +21,7 @@
 #ifndef D2PR_CORE_TRANSITION_H_
 #define D2PR_CORE_TRANSITION_H_
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -74,6 +75,12 @@ class TransitionMatrix {
   /// when p is not finite.
   static Result<TransitionMatrix> Build(const CsrGraph& graph,
                                         const TransitionConfig& config);
+
+  /// Process-wide count of successful Build() materializations. A test
+  /// seam: the partition suites prove the subgraph slice path
+  /// (core/transition_slices.h) never materializes a whole-graph matrix
+  /// by asserting this counter stays put across a local slice build.
+  static uint64_t BuildCount();
 
   // Storage is either owned vectors (Build) or spans into an external
   // backing such as the persistent store's mmap pages (TransitionStore).
@@ -145,6 +152,41 @@ DegreeMetric ResolveMetric(const CsrGraph& graph, DegreeMetric metric);
 /// \brief The metric values deg/outdeg/Θ/indeg per node, as configured.
 /// These are the quantities raised to -p in the D2PR formulas.
 std::vector<double> MetricValues(const CsrGraph& graph, DegreeMetric metric);
+
+/// \brief Validates a TransitionConfig against a graph — the exact checks
+/// TransitionMatrix::Build performs (finite p, beta in [0, 1], metric
+/// compatible with weightedness), shared with the partition slice builder
+/// so both construction paths reject identical inputs with identical
+/// messages.
+Status ValidateTransitionConfig(const CsrGraph& graph,
+                                const TransitionConfig& config);
+
+// --- The per-arc arithmetic of the de-coupled model, factored out. ---
+//
+// TransitionMatrix::Build and the partition slice builder
+// (core/transition_slices.h) must produce bitwise-equal probabilities for
+// every arc; the slice builder recomputes row entries in pull (in-CSR)
+// order instead of row order, so the arithmetic cannot live inline in
+// Build's loop. These are deliberately defined out-of-line in
+// transition.cc: one machine-code instance means no call site can differ
+// by FP contraction, which would silently break the bit-parity contract.
+
+/// \brief Softmax exponent of one arc: -p * log(metric(target)), with the
+/// metric-0 limit semantics (`log_metric_target == -inf`): the target
+/// dominates the row for p > 0 (+inf), vanishes for p < 0 (-inf), and is
+/// neutral for p = 0 (0^0 := 1).
+double DecoupledArcExponent(double log_metric_target, double p);
+
+/// \brief Unnormalized softmax weight of one arc given its row's max
+/// exponent: rows containing a +inf exponent split among their +inf arcs
+/// (1 vs 0); -inf arcs vanish; finite arcs get exp(exponent - max).
+double DecoupledArcNumerator(double exponent, double max_exponent);
+
+/// \brief Final arc probability: the de-coupled component
+/// numerator / row_sum, beta-blended with the connection-strength
+/// component weight / strength_total when beta > 0.
+double BlendedArcProb(double numerator, double row_sum, double beta,
+                      double arc_weight, double strength_total);
 
 }  // namespace d2pr
 

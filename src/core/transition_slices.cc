@@ -1,0 +1,213 @@
+#include "core/transition_slices.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace d2pr {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// The O(|V|) per-source state the subgraph path broadcasts: everything a
+/// destination shard needs to recompute any in-arc's probability without
+/// seeing the source's row. Each field is written only by the source
+/// node's owner shard (from its own rows) — the in-process stand-in for
+/// a per-key broadcast round.
+struct RowState {
+  std::vector<double> log_metric;       ///< log(metric(v)); -inf at 0.
+  std::vector<double> max_exponent;     ///< Row softmax max.
+  std::vector<double> row_sum;          ///< Softmax denominator.
+  std::vector<uint8_t> uniform_row;     ///< All-vanished fallback rows.
+  std::vector<double> strength_total;   ///< Θ(v); only when beta > 0.
+};
+
+/// Allocates slices shaped for `partition` with the dangling view filled
+/// from the graph's out-degrees (ascending by construction — the fold
+/// order the solvers' bit-parity contract requires).
+TransitionSlices ShapedSlices(const CsrGraph& graph,
+                              const GraphPartition& partition) {
+  TransitionSlices slices;
+  slices.num_nodes = graph.num_nodes();
+  slices.in_probs.resize(partition.num_shards());
+  for (size_t s = 0; s < partition.num_shards(); ++s) {
+    slices.in_probs[s].resize(
+        static_cast<size_t>(partition.shard(s).num_in_arcs()));
+  }
+  slices.is_dangling.assign(static_cast<size_t>(graph.num_nodes()), 0);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (graph.OutDegree(v) == 0) {
+      slices.is_dangling[static_cast<size_t>(v)] = 1;
+      slices.dangling.push_back(v);
+    }
+  }
+  return slices;
+}
+
+}  // namespace
+
+const char* SliceBuildName(SliceBuild build) {
+  switch (build) {
+    case SliceBuild::kFromMatrix:
+      return "matrix";
+    case SliceBuild::kSubgraph:
+      return "subgraph";
+  }
+  return "unknown";
+}
+
+Result<TransitionSlices> BuildTransitionSlices(
+    const GraphPartition& partition, const TransitionMatrix& transition) {
+  if (partition.num_nodes() != transition.num_nodes()) {
+    return Status::InvalidArgument(
+        StrCat("partition covers ", partition.num_nodes(),
+               " nodes but transition matrix has ", transition.num_nodes()));
+  }
+  TransitionSlices slices;
+  slices.num_nodes = transition.num_nodes();
+  slices.in_probs.resize(partition.num_shards());
+  const auto probs = transition.probs();
+  for (size_t s = 0; s < partition.num_shards(); ++s) {
+    const PartitionShard& shard = partition.shard(s);
+    std::vector<double>& slice = slices.in_probs[s];
+    slice.resize(shard.in_arc_index.size());
+    // A pure permutation copy: position idx of the slice is the
+    // probability the sweep used to gather at in_arc_index[idx].
+    for (size_t idx = 0; idx < shard.in_arc_index.size(); ++idx) {
+      slice[idx] = probs[static_cast<size_t>(shard.in_arc_index[idx])];
+    }
+  }
+  slices.is_dangling.assign(static_cast<size_t>(transition.num_nodes()), 0);
+  slices.dangling = transition.DanglingNodes();
+  for (NodeId v : slices.dangling) {
+    slices.is_dangling[static_cast<size_t>(v)] = 1;
+  }
+  return slices;
+}
+
+Result<TransitionSlices> BuildTransitionSlicesLocal(
+    const CsrGraph& graph, const GraphPartition& partition,
+    const TransitionConfig& config) {
+  D2PR_RETURN_NOT_OK(ValidateTransitionConfig(graph, config));
+  if (partition.num_nodes() != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        StrCat("partition covers ", partition.num_nodes(),
+               " nodes but the graph has ", graph.num_nodes()));
+  }
+  const DegreeMetric metric = ResolveMetric(graph, config.metric);
+  // Beta folds to 0 on unweighted graphs, exactly as in
+  // TransitionMatrix::Build (see the comment there).
+  const double beta = graph.weighted() ? config.beta : 0.0;
+  const double p = config.p;
+  const NodeId n = graph.num_nodes();
+
+  // --- Broadcast state, O(|V|). ---
+  // log_metric is the broadcast global-metric vector: row probabilities
+  // depend on *destination* metrics, which a shard cannot derive from its
+  // own rows (a boundary target's degree is invisible locally).
+  RowState state;
+  {
+    const std::vector<double> metric_values = MetricValues(graph, metric);
+    state.log_metric.resize(static_cast<size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      state.log_metric[static_cast<size_t>(v)] =
+          metric_values[static_cast<size_t>(v)] > 0.0
+              ? std::log(metric_values[static_cast<size_t>(v)])
+              : kNegInf;
+    }
+  }
+  state.max_exponent.assign(static_cast<size_t>(n), kNegInf);
+  state.row_sum.assign(static_cast<size_t>(n), 0.0);
+  state.uniform_row.assign(static_cast<size_t>(n), 0);
+  if (beta > 0.0) state.strength_total.assign(static_cast<size_t>(n), 0.0);
+
+  // Pass 1 — every shard normalizes its OWN rows (this loop nests
+  // shard-then-owned rather than scanning nodes so the data flow it
+  // documents is the distributed one: a shard touches only its rows).
+  // The per-arc numerators are recomputed in pass 2 instead of stored:
+  // that trades one exp per arc for never holding O(|E|) state.
+  const auto targets = graph.targets();
+  for (size_t s = 0; s < partition.num_shards(); ++s) {
+    for (NodeId i : partition.shard(s).owned) {
+      const EdgeIndex begin = graph.ArcBegin(i);
+      const EdgeIndex end = begin + graph.OutDegree(i);
+      if (begin == end) continue;  // dangling: no row to normalize
+      double max_exponent = kNegInf;
+      for (EdgeIndex e = begin; e < end; ++e) {
+        const NodeId j = targets[static_cast<size_t>(e)];
+        max_exponent = std::max(
+            max_exponent,
+            DecoupledArcExponent(state.log_metric[static_cast<size_t>(j)],
+                                 p));
+      }
+      // Summed in ascending arc order — the same left-to-right fold
+      // TransitionMatrix::Build performs, so the denominator is the same
+      // double bit for bit.
+      double row_sum = 0.0;
+      for (EdgeIndex e = begin; e < end; ++e) {
+        const NodeId j = targets[static_cast<size_t>(e)];
+        row_sum += DecoupledArcNumerator(
+            DecoupledArcExponent(state.log_metric[static_cast<size_t>(j)],
+                                 p),
+            max_exponent);
+      }
+      if (row_sum == 0.0) {
+        // All destinations vanished in the limit (metric 0, p < 0): the
+        // row falls back to uniform, mirroring Build.
+        state.uniform_row[static_cast<size_t>(i)] = 1;
+        row_sum = static_cast<double>(end - begin);
+      }
+      state.max_exponent[static_cast<size_t>(i)] = max_exponent;
+      state.row_sum[static_cast<size_t>(i)] = row_sum;
+      if (beta > 0.0) {
+        state.strength_total[static_cast<size_t>(i)] = graph.OutStrength(i);
+      }
+    }
+  }
+
+  // Pass 2 — every shard fills its own slice by streaming its in-CSR.
+  // Each probability is a pure function of the broadcast state, the
+  // destination's log-metric (an owned node), and — for weighted beta
+  // blends — the arc's weight, static structure that rides with the
+  // in-CSR. The kernel calls are the same out-of-line functions Build
+  // uses, so the recomputed numerator and blend match its bits exactly.
+  TransitionSlices slices = ShapedSlices(graph, partition);
+  const auto weights = graph.weighted() ? graph.weights()
+                                        : std::span<const double>{};
+  for (size_t s = 0; s < partition.num_shards(); ++s) {
+    const PartitionShard& shard = partition.shard(s);
+    std::vector<double>& slice = slices.in_probs[s];
+    for (size_t k = 0; k < shard.owned.size(); ++k) {
+      const NodeId dst = shard.owned[k];
+      const double dst_exponent_input =
+          state.log_metric[static_cast<size_t>(dst)];
+      const EdgeIndex begin = shard.in_offsets[k];
+      const EdgeIndex end = shard.in_offsets[k + 1];
+      for (EdgeIndex idx = begin; idx < end; ++idx) {
+        const NodeId src =
+            shard.in_sources[static_cast<size_t>(idx)];
+        const size_t si = static_cast<size_t>(src);
+        const double numerator =
+            state.uniform_row[si]
+                ? 1.0
+                : DecoupledArcNumerator(
+                      DecoupledArcExponent(dst_exponent_input, p),
+                      state.max_exponent[si]);
+        const double arc_weight =
+            beta > 0.0
+                ? weights[static_cast<size_t>(
+                      shard.in_arc_index[static_cast<size_t>(idx)])]
+                : 0.0;
+        slice[static_cast<size_t>(idx)] = BlendedArcProb(
+            numerator, state.row_sum[si], beta, arc_weight,
+            beta > 0.0 ? state.strength_total[si] : 0.0);
+      }
+    }
+  }
+  return slices;
+}
+
+}  // namespace d2pr

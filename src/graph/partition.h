@@ -25,6 +25,13 @@
 // core/block_solver.h) requires contributions to fold in ascending global
 // source order — the same order TransitionMatrix::Multiply produces.
 //
+// TransitionSlices (below, built by core/transition_slices.h) pairs each
+// shard's in-CSR with a contiguous slice of transition probabilities in
+// the same order, so a block sweep streams its per-arc data instead of
+// gathering it through the O(|E|) global arc index — the locality (and,
+// for the shard-local construction path, the O(|V|)-exchange memory
+// model) the distributed story depends on.
+//
 // Two schemes:
 //   * kRange — contiguous, balanced node ranges (locality-preserving for
 //     graphs with id-local structure, e.g. BFS- or time-ordered ids);
@@ -68,12 +75,12 @@ struct PartitionOptions {
   /// callers who want clamping decide that policy themselves).
   size_t num_shards = 2;
   /// Materialize each shard's out-CSR (the forward adjacency slice).
-  /// The pull-style block solvers consume only the in-CSR, so consumers
-  /// that exist purely to serve (EngineRouter's partitioned-subgraph
-  /// mode) pass false and save an O(|E|) copy of the arc arrays; the
-  /// boundary/dangling accounting is computed either way. Push-style
-  /// consumers (and the ROADMAP's per-shard transition-slice follow-up)
-  /// keep the default.
+  /// The pull-style block solvers consume only the in-CSR — and the
+  /// transition slices (TransitionSlices) are in-CSR-aligned too — so
+  /// consumers that exist purely to serve (EngineRouter's
+  /// partitioned-subgraph mode) pass false and save an O(|E|) copy of
+  /// the arc arrays; the boundary/dangling accounting is computed either
+  /// way. Push-style consumers keep the default.
   bool build_out_csr = true;
 };
 
@@ -132,6 +139,33 @@ struct PartitionShard {
   }
 };
 
+/// \brief Per-shard contiguous transition-probability slices, aligned
+/// position-for-position with each shard's in-CSR.
+///
+/// in_probs[s][idx] is the probability of the arc a shard's pull sweep
+/// reads at in-CSR position idx — the same value as
+/// TransitionMatrix::probs()[shard.in_arc_index[idx]], but laid out so
+/// the block solvers' inner loops stream it sequentially instead of
+/// gathering through the O(|E|) global arc index (the indirection that
+/// costs ~65% at 100k nodes; see results/partition_bench.md). The
+/// dangling view (bitmap + ascending list) rides along because the
+/// sliced solvers never see a TransitionMatrix at all.
+///
+/// Built by core/transition_slices.h, either by slicing a resolved
+/// whole-graph matrix or locally from each shard's rows plus an O(|V|)
+/// broadcast of per-node metric state — the two paths are bitwise
+/// identical (tests/partition_slice_test.cc).
+struct TransitionSlices {
+  NodeId num_nodes = 0;
+  /// One contiguous prob slice per shard, sized shard.num_in_arcs().
+  std::vector<std::vector<double>> in_probs;
+  /// is_dangling[v] != 0 iff node v has no outgoing arcs; size num_nodes.
+  std::vector<uint8_t> is_dangling;
+  /// Dangling nodes, ascending global ids (the fold order the solvers'
+  /// bit-parity contract requires).
+  std::vector<NodeId> dangling;
+};
+
 /// \brief A complete vertex partition of one graph.
 class GraphPartition {
  public:
@@ -149,6 +183,12 @@ class GraphPartition {
 
   /// The shard owning `node` (O(1), closed-form per scheme).
   size_t OwnerOf(NodeId node) const;
+
+  /// OK iff `slices` is shaped for this partition: matching node count,
+  /// one prob slice per shard, each sized to that shard's in-CSR, and a
+  /// node-sized dangling bitmap. The sliced block solvers call this
+  /// before trusting the slice layout.
+  Status ValidateSlices(const TransitionSlices& slices) const;
 
   /// Total cross-shard arcs (each boundary arc counted once, on its
   /// destination's shard).

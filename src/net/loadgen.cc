@@ -25,11 +25,17 @@ double PercentileUs(std::vector<double>& latencies_us, double q) {
 }
 
 struct WorkerTally {
+  size_t issued = 0;  ///< Requests sent, whatever their outcome.
   size_t ok = 0;
   size_t unavailable = 0;
   size_t deadline_exceeded = 0;
   size_t failed = 0;
-  std::vector<double> latencies_us;
+  /// Latencies of OK responses only. Shed and failed round-trips are
+  /// counted in `issued` but never sampled: a kUnavailable reject
+  /// returns in microseconds without serving anything, and folding it
+  /// into the percentiles (or the throughput numerator) makes a
+  /// saturated server look faster the harder it sheds.
+  std::vector<double> ok_latencies_us;
 };
 
 }  // namespace
@@ -79,7 +85,7 @@ Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options) {
         worker_errors[w] = client.status();
         return;
       }
-      tally.latencies_us.reserve(options.requests_per_connection);
+      tally.ok_latencies_us.reserve(options.requests_per_connection);
       for (size_t i = 0; i < options.requests_per_connection; ++i) {
         RankRequest request = options.base;
         const bool global =
@@ -92,13 +98,14 @@ Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options) {
         const auto before = std::chrono::steady_clock::now();
         auto response = client.value().Rank(request, options.deadline_ms);
         const auto after = std::chrono::steady_clock::now();
-        tally.latencies_us.push_back(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(after -
-                                                                 before)
-                .count() /
-            1000.0);
+        ++tally.issued;
         if (response.ok()) {
           ++tally.ok;
+          tally.ok_latencies_us.push_back(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(after -
+                                                                   before)
+                  .count() /
+              1000.0);
         } else if (response.status().code() == StatusCode::kUnavailable) {
           ++tally.unavailable;
         } else if (response.status().code() ==
@@ -126,26 +133,29 @@ Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options) {
   for (size_t w = 0; w < options.connections; ++w) {
     // A worker that could not even issue one request is a run-level
     // failure; one that died mid-run still contributed its tallies.
-    if (!worker_errors[w].ok() && tallies[w].latencies_us.empty()) {
+    if (!worker_errors[w].ok() && tallies[w].issued == 0) {
       return worker_errors[w];
     }
   }
 
   LoadGenReport report;
-  std::vector<double> all_latencies;
+  std::vector<double> ok_latencies;
   for (const WorkerTally& tally : tallies) {
+    report.attempted += tally.issued;
     report.ok += tally.ok;
     report.unavailable += tally.unavailable;
     report.deadline_exceeded += tally.deadline_exceeded;
     report.failed += tally.failed;
-    all_latencies.insert(all_latencies.end(), tally.latencies_us.begin(),
-                         tally.latencies_us.end());
+    ok_latencies.insert(ok_latencies.end(), tally.ok_latencies_us.begin(),
+                        tally.ok_latencies_us.end());
   }
-  report.attempted = all_latencies.size();
-  report.p50_us = PercentileUs(all_latencies, 0.50);
-  report.p99_us = PercentileUs(all_latencies, 0.99);
+  // Served metrics over OK responses only; offered load kept separately.
+  report.p50_us = PercentileUs(ok_latencies, 0.50);
+  report.p99_us = PercentileUs(ok_latencies, 0.99);
   report.elapsed_s = elapsed_s;
   report.requests_per_s =
+      elapsed_s > 0.0 ? static_cast<double>(report.ok) / elapsed_s : 0.0;
+  report.attempted_per_s =
       elapsed_s > 0.0 ? static_cast<double>(report.attempted) / elapsed_s
                       : 0.0;
   return report;

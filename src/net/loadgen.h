@@ -10,9 +10,13 @@
 // Shape: `connections` worker threads, each with its own RpcClient and
 // its own Rng stream (seed ⊕ worker index — deterministic regardless of
 // thread interleaving), each issuing `requests_per_connection` blocking
-// calls. Every call's latency is recorded; the report aggregates
-// percentiles and throughput plus the outcome tally (ok / unavailable /
-// deadline-exceeded / failed), so a saturation run can show sheds and
+// calls. The report separates offered load from served load: percentiles
+// and requests_per_s cover only OK responses (an admission reject's
+// round-trip is a few microseconds of socket ping-pong, not a serve —
+// mixing it in understates latency and inflates throughput exactly when
+// the server saturates), while `attempted` / `attempted_per_s` keep the
+// offered side visible next to the outcome tally (ok / unavailable /
+// deadline-exceeded / failed), so a saturation run shows sheds and
 // expiries without failing the run.
 
 #ifndef D2PR_NET_LOADGEN_H_
@@ -50,15 +54,18 @@ struct LoadGenOptions {
 
 /// \brief Aggregate outcome of one load-generation run.
 struct LoadGenReport {
+  /// Requests issued, whatever their outcome (== ok + unavailable +
+  /// deadline_exceeded + failed).
   size_t attempted = 0;
   size_t ok = 0;
   size_t unavailable = 0;        ///< Admission sheds.
   size_t deadline_exceeded = 0;  ///< Server-side expiries.
   size_t failed = 0;             ///< Everything else (transport, solver).
-  double p50_us = 0.0;           ///< Median request latency.
-  double p99_us = 0.0;
+  double p50_us = 0.0;           ///< Median OK-response latency; 0 if none.
+  double p99_us = 0.0;           ///< p99 over OK responses only.
   double elapsed_s = 0.0;
-  double requests_per_s = 0.0;  ///< attempted / elapsed.
+  double requests_per_s = 0.0;   ///< ok / elapsed: *served* throughput.
+  double attempted_per_s = 0.0;  ///< attempted / elapsed: offered load.
 };
 
 /// \brief Runs the configured load against a live server and aggregates.

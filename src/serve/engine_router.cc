@@ -267,18 +267,19 @@ Result<RankResponse> EngineRouter::ExecuteUnits(const RankRequest& request,
   return MergeParts(request, std::move(parts));
 }
 
-Result<std::shared_ptr<const TransitionMatrix>>
-EngineRouter::PartitionTransition(const TransitionKey& key, bool* cache_hit,
-                                  bool* store_hit) {
-  // The matrix is built from the whole graph: row probabilities depend
-  // on global destination metrics (a boundary target's degree is
-  // invisible inside one shard), and sharing one matrix is exactly what
-  // makes the block solve's bit-parity provable. Shards read their
-  // slices through the partition's arc index. Resolution itself —
-  // per-key single-flight over cache, store, build — is the shared
-  // TransitionResolver.
+Result<std::shared_ptr<const TransitionSlices>> EngineRouter::PartitionSlices(
+    const TransitionKey& key, bool* cache_hit, bool* store_hit) {
+  // Row probabilities depend on global destination metrics (a boundary
+  // target's degree is invisible inside one shard), so both SliceBuild
+  // paths consume global state: kFromMatrix resolves one shared
+  // whole-graph matrix (per-key single-flight over cache, store, build —
+  // the same TransitionResolver discipline the whole-graph engines use)
+  // and slices it; kSubgraph broadcasts the O(|V|) metric vector instead
+  // and never materializes a matrix. Either way the sweeps stream
+  // bitwise-identical per-arc probabilities.
   TransitionResolver::Outcome outcome;
-  auto resolved = partition_resolver_->Resolve(key, &outcome);
+  auto resolved = partition_resolver_->ResolveSlices(
+      key, *partition_, options_.partition_slice_build, &outcome);
   *cache_hit = outcome.cache_hit;
   *store_hit = outcome.store_hit;
   return resolved;
@@ -339,9 +340,9 @@ Result<RankResponse> EngineRouter::RankPartitioned(const RankRequest& request,
   key.metric = ResolveMetric(*graph_, request.metric);
   bool cache_hit = false;
   bool store_hit = false;
-  Result<std::shared_ptr<const TransitionMatrix>> transition =
-      PartitionTransition(key, &cache_hit, &store_hit);
-  if (!transition.ok()) return transition.status();
+  Result<std::shared_ptr<const TransitionSlices>> slices =
+      PartitionSlices(key, &cache_hit, &store_hit);
+  if (!slices.ok()) return slices.status();
 
   PagerankOptions solver;
   solver.alpha = request.alpha;
@@ -384,9 +385,9 @@ Result<RankResponse> EngineRouter::RankPartitioned(const RankRequest& request,
   Result<PagerankResult> solved = [&]() -> Result<PagerankResult> {
     try {
       return request.method == SolverMethod::kGaussSeidel
-                 ? SolveGaussSeidelPartitioned(**transition, *partition_,
+                 ? SolveGaussSeidelPartitioned(**slices, *partition_,
                                                teleport, solver, parallel)
-                 : SolvePagerankPartitioned(**transition, *partition_,
+                 : SolvePagerankPartitioned(**slices, *partition_,
                                             teleport, solver, parallel);
     } catch (const std::exception& e) {
       return Status::Internal(

@@ -29,11 +29,17 @@
 //     whose adjacency exceeds one machine's memory: each shard touches
 //     only its own CSR slice during a sweep. No whole-graph shard
 //     engines exist in this mode (shard() is invalid); the router keys
-//     one shared TransitionMatrix per (p, beta, metric) — built from
-//     global degree metrics, which per-shard local graphs cannot
-//     reproduce (a boundary target's degree is not visible inside one
-//     shard) — and shards read their arc slices from it through the
-//     partition's arc index. Power-iteration responses are BIT-IDENTICAL
+//     per-shard TransitionSlices per (p, beta, metric) — contiguous,
+//     in-CSR-aligned probability slices each sweep streams
+//     (core/transition_slices.h). Under the default
+//     SliceBuild::kFromMatrix the slices are cut from one shared
+//     whole-graph TransitionMatrix (resolved through the cache /
+//     persistent store exactly as before); under SliceBuild::kSubgraph
+//     they are built shard-locally from the shard rows plus a broadcast
+//     O(|V|) global-metric vector — global metrics are required either
+//     way because a boundary target's degree is not visible inside one
+//     shard — and no whole-graph matrix (or store access) ever exists.
+//     Power-iteration responses are BIT-IDENTICAL
 //     to the single-engine reference for any shard count and either
 //     scheme; Gauss-Seidel responses agree within solver tolerance
 //     (<= 1e-9 at tolerance 1e-11). Forward push, top-k truncation
@@ -119,6 +125,7 @@
 #include "api/rank_request.h"
 #include "common/result.h"
 #include "core/block_solver.h"
+#include "core/transition_slices.h"
 #include "graph/csr_graph.h"
 #include "graph/partition.h"
 #include "serve/score_cache.h"
@@ -181,6 +188,15 @@ struct RouterOptions {
   /// other policies). kHash matches ModuloShardMap, so seed ownership
   /// and subgraph ownership coincide under the default ShardMap.
   PartitionScheme partition_scheme = PartitionScheme::kRange;
+  /// How kPartitionedSubgraph constructs the per-shard transition slices
+  /// its block solves stream (ignored by the other policies).
+  /// kFromMatrix (default) resolves the shared whole-graph matrix
+  /// exactly as before — cache, persistent store, and every counter
+  /// unchanged — and slices it; kSubgraph builds slices shard-locally
+  /// from the partition plus an O(|V|) broadcast metric vector, never
+  /// materializing a whole-graph matrix (and therefore never touching
+  /// the persistent store). Responses are bit-identical either way.
+  SliceBuild partition_slice_build = SliceBuild::kFromMatrix;
   /// Options forwarded to every shard engine. The transition-cache
   /// capacity also sizes the router's virtual reference LRU (diagnostic
   /// normalization).
@@ -262,6 +278,11 @@ class EngineRouter {
   }
   int64_t partition_transition_store_saves() const {
     return partition_resolver_ ? partition_resolver_->store_saves() : 0;
+  }
+  /// Slice constructions in the partitioned-subgraph mode (cache misses
+  /// in the resolver's slice cache, under either SliceBuild path).
+  int64_t partition_slice_builds() const {
+    return partition_resolver_ ? partition_resolver_->slice_builds() : 0;
   }
   const ScoreCache& score_cache() const { return score_cache_; }
   size_t num_worker_threads() const { return pool_.num_threads(); }
@@ -351,13 +372,14 @@ class EngineRouter {
   Result<RankResponse> RankPartitioned(const RankRequest& request,
                                        bool allow_pool);
 
-  /// Shared transition matrix for `key`: cached, else mapped from the
-  /// persistent store (readable persist modes), else built — and spilled
-  /// back write-through when writable. Delegates to the same
-  /// TransitionResolver class the whole-graph engines use (single-flight;
-  /// concurrent requesters of one key wait rather than duplicating the
-  /// work).
-  Result<std::shared_ptr<const TransitionMatrix>> PartitionTransition(
+  /// Per-shard transition slices for `key`, under the configured
+  /// SliceBuild path. Delegates to the shared TransitionResolver
+  /// (single-flight; concurrent requesters of one key wait rather than
+  /// duplicating the work): kFromMatrix resolves the whole-graph matrix
+  /// exactly as the whole-graph engines do — cache, store, write-through
+  /// spill — then slices it; kSubgraph builds shard-locally and never
+  /// materializes (or persists) a whole-graph matrix.
+  Result<std::shared_ptr<const TransitionSlices>> PartitionSlices(
       const TransitionKey& key, bool* cache_hit, bool* store_hit);
 
   std::shared_ptr<const CsrGraph> graph_;

@@ -115,7 +115,14 @@ void ScoreCache::Insert(const std::string& key, RankResponse response) {
   const size_t charge = ChargeFor(key, response);
   if (options_.capacity_bytes > 0 && charge > options_.capacity_bytes) {
     // One entry bigger than the whole byte budget: admitting it would
-    // flush everything else and still break the budget. Reject it.
+    // flush everything else and still break the budget. Reject it here,
+    // before any eviction, so an oversize insert cannot even flush the
+    // cache on its way to rejection. (The paths below each re-enforce
+    // the budget locally, so the invariant `bytes_in_use_ <=
+    // capacity_bytes after every mutation` does not depend on this
+    // gate — it used to, through exactly this charge <= capacity_bytes
+    // coupling, which left the refresh path one refactor away from a
+    // permanent budget breach.)
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.oversize_rejections;
     return;
@@ -142,6 +149,19 @@ void ScoreCache::Insert(const std::string& key, RankResponse response) {
            bytes_in_use_ > options_.capacity_bytes && entries_.size() > 1) {
       EvictOne(&key);
     }
+    if (options_.capacity_bytes > 0 &&
+        bytes_in_use_ > options_.capacity_bytes) {
+      // Everything else is evicted and the refreshed entry alone still
+      // breaks the budget (charge > capacity_bytes): reject it — drop
+      // the entry — instead of leaving bytes_in_use_ permanently above
+      // the cap. The admission gate makes this unreachable today; it is
+      // enforced here regardless so the budget invariant is provable
+      // from this path alone. Evicting other entries did not invalidate
+      // `it` (unordered_map erase touches only erased iterators).
+      bytes_in_use_ -= charge;
+      entries_.erase(it);
+      ++stats_.oversize_rejections;
+    }
     return;
   }
 
@@ -150,6 +170,15 @@ void ScoreCache::Insert(const std::string& key, RankResponse response) {
           (options_.capacity_bytes > 0 &&
            bytes_in_use_ + charge > options_.capacity_bytes))) {
     EvictOne();
+  }
+  if (options_.capacity_bytes > 0 &&
+      bytes_in_use_ + charge > options_.capacity_bytes) {
+    // The loop above stopped with the cache empty (its first conjunct),
+    // so this entry alone exceeds the budget: reject rather than admit a
+    // breach. Same belt-and-braces as the refresh path — unreachable
+    // while the admission gate holds, load-bearing the day it drifts.
+    ++stats_.oversize_rejections;
+    return;
   }
 
   Entry entry;

@@ -503,6 +503,48 @@ TEST(NetServerTest, LoadGeneratorRunsCleanAgainstLoopbackServer) {
             report->attempted);
   EXPECT_GE(report->p99_us, report->p50_us);
   EXPECT_EQ(served.server->stats().protocol_errors.load(), 0);
+  // Served and offered throughput agree on a clean run (every attempt
+  // was served), and both reconstruct their counts from elapsed time.
+  EXPECT_EQ(report->ok, report->attempted);
+  EXPECT_NEAR(report->requests_per_s * report->elapsed_s,
+              static_cast<double>(report->ok), 1e-6);
+  EXPECT_NEAR(report->attempted_per_s * report->elapsed_s,
+              static_cast<double>(report->attempted), 1e-6);
+}
+
+TEST(NetServerTest, LoadGenReportsOkOnlyThroughputAndLatencyWhenSaturated) {
+  // max_queue_depth = 0 sheds every rank request at the door
+  // (queue_depth() >= 0 always holds), a deterministic stand-in for a
+  // fully saturated backend: each round-trip is a microsecond-scale
+  // admission reject, nothing is ever served. The old report divided
+  // *attempted* by elapsed and sampled every round-trip, so this exact
+  // scenario reported thousands of requests per second at microsecond
+  // percentiles while serving nothing; ok-only accounting reports zero.
+  ServerOptions server_options;
+  server_options.max_queue_depth = 0;
+  server_options.coalesce = false;
+  RuntimeServer served(/*graph_seed=*/17, server_options);
+
+  LoadGenOptions options;
+  options.port = served.server->port();
+  options.connections = 2;
+  options.requests_per_connection = 15;
+  options.zipf_s = 1.2;
+  options.seed = 7;
+  auto report = RunLoadGen(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // The offered side stays fully visible...
+  EXPECT_EQ(report->attempted, 30u);
+  EXPECT_EQ(report->unavailable, 30u);
+  EXPECT_EQ(report->failed, 0u);
+  EXPECT_GT(report->attempted_per_s, 0.0);
+  // ...while the served side truthfully reports nothing was served.
+  EXPECT_EQ(report->ok, 0u);
+  EXPECT_EQ(report->requests_per_s, 0.0);
+  EXPECT_EQ(report->p50_us, 0.0);
+  EXPECT_EQ(report->p99_us, 0.0);
+  EXPECT_EQ(served.server->stats().shed_unavailable.load(), 30);
 }
 
 TEST(NetServerTest, StopDrainsAdmittedRequestsBeforeExiting) {

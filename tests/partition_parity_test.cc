@@ -28,6 +28,7 @@
 #include "core/pagerank.h"
 #include "core/teleport.h"
 #include "core/transition.h"
+#include "core/transition_slices.h"
 #include "datagen/classic_generators.h"
 #include "graph/graph_builder.h"
 #include "graph/partition.h"
@@ -314,12 +315,16 @@ TEST(PartitionParityTest, RouterMatchesSingleEngineReference) {
 
     for (PartitionScheme scheme : kSchemes) {
       for (size_t shards : kShardCounts) {
+       for (SliceBuild slice_build :
+            {SliceBuild::kFromMatrix, SliceBuild::kSubgraph}) {
         SCOPED_TRACE(std::string(PartitionSchemeName(scheme)) + " x" +
-                     std::to_string(shards));
+                     std::to_string(shards) + " slices=" +
+                     SliceBuildName(slice_build));
         EngineRouter router = EngineRouter::Borrowing(
             *graph, {.num_shards = shards,
                      .policy = RoutingPolicy::kPartitionedSubgraph,
-                     .partition_scheme = scheme});
+                     .partition_scheme = scheme,
+                     .partition_slice_build = slice_build});
         ASSERT_TRUE(router.partitioned_subgraph());
         EXPECT_EQ(router.num_shards(), shards);
         EXPECT_EQ(router.partition().scheme(), scheme);
@@ -347,6 +352,14 @@ TEST(PartitionParityTest, RouterMatchesSingleEngineReference) {
                       kGsTolerance);
           }
         }
+        if (slice_build == SliceBuild::kSubgraph) {
+          // The matrix-free mode served the same bits without ever
+          // building (or store-loading) a whole-graph matrix.
+          EXPECT_EQ(router.partition_transition_builds(), 0);
+          EXPECT_EQ(router.partition_transition_store_loads(), 0);
+          EXPECT_GT(router.partition_slice_builds(), 0);
+        }
+       }
       }
     }
   }

@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
 #include <memory>
+#include <string>
 
 namespace d2pr {
 namespace {
@@ -354,6 +356,116 @@ TEST(ScoreCacheTest, ByteBudgetAloneEnablesTheCache) {
   EXPECT_FALSE(off.enabled());
   off.Insert("k", MakeResponse(1.0));
   EXPECT_FALSE(off.Lookup("k").has_value());
+}
+
+// Regression for the refresh-path budget audit: re-inserting an existing
+// key with a payload whose charge exceeds the WHOLE byte budget must not
+// leave bytes_in_use > capacity_bytes behind. The oversize admission
+// gate rejects such an insert before the refresh path runs, so the
+// resident entry keeps its old payload — and the budget invariant holds
+// after the mutation (previously it held only *because* of that gate;
+// the refresh loop itself would have parked the oversize payload and
+// stopped with the budget permanently broken).
+TEST(ScoreCacheTest, RefreshToOversizePayloadIsRejectedAndBudgetHolds) {
+  ScoreCacheOptions options;
+  options.capacity = 0;
+  options.capacity_bytes = 4096;
+  ScoreCache cache(options);
+  cache.Insert("hot", MakeResponse(1.0));
+  cache.Insert("cold", MakeResponse(2.0));
+  ASSERT_EQ(cache.size(), 2u);
+  ASSERT_LE(cache.bytes_in_use(), options.capacity_bytes);
+
+  RankResponse huge = MakeResponse(3.0);
+  huge.scores.assign(100000, 0.1);  // ~800 KB against a 4 KB budget
+  ASSERT_GT(ScoreCache::ChargeFor("hot", huge), options.capacity_bytes);
+  cache.Insert("hot", huge);
+
+  EXPECT_LE(cache.bytes_in_use(), options.capacity_bytes);
+  EXPECT_EQ(cache.stats().oversize_rejections, 1);
+  // Neither resident entry was sacrificed for a payload that could never
+  // fit, and "hot" still serves its original (pre-refresh) payload.
+  EXPECT_EQ(cache.size(), 2u);
+  auto hot = cache.Lookup("hot");
+  ASSERT_TRUE(hot.has_value());
+  EXPECT_EQ(hot->scores.size(), 3u);
+  EXPECT_TRUE(cache.Lookup("cold").has_value());
+}
+
+// A refresh that grows the sole resident entry up to (but within) the
+// budget keeps it: nothing to evict, invariant intact.
+TEST(ScoreCacheTest, RefreshGrowingSoleEntryWithinBudgetKeepsIt) {
+  RankResponse big = MakeResponse(5.0);
+  big.scores.assign(64, 0.25);
+  ScoreCacheOptions options;
+  options.capacity = 0;
+  options.capacity_bytes = ScoreCache::ChargeFor("only", big);
+  ScoreCache cache(options);
+
+  cache.Insert("only", MakeResponse(1.0));
+  cache.Insert("only", big);  // grows to exactly the budget
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_LE(cache.bytes_in_use(), options.capacity_bytes);
+  auto refreshed = cache.Lookup("only");
+  ASSERT_TRUE(refreshed.has_value());
+  EXPECT_EQ(refreshed->scores.size(), 64u);
+  EXPECT_EQ(cache.stats().oversize_rejections, 0);
+}
+
+// Randomized budget-invariant fuzz: a mix of fresh inserts, refreshes
+// (growing and shrinking), lookups, and TTL expiries, with
+// bytes_in_use <= capacity_bytes asserted after EVERY mutation. The
+// payload sizes straddle the budget so oversize rejections, eviction
+// cascades, and refresh-grow paths all fire.
+TEST(ScoreCacheTest, ByteBudgetInvariantHoldsUnderRandomizedChurn) {
+  CacheOnFakeClock fixture(0, seconds(20));
+  // Rebuild with a byte budget on the same fake clock.
+  ScoreCacheOptions options;
+  options.capacity = 0;
+  options.capacity_bytes = 3 * ScoreCache::ChargeFor("k0", MakeResponse(1.0));
+  options.ttl = seconds(20);
+  options.now = [now = fixture.now] { return *now; };
+  ScoreCache cache(options);
+
+  uint64_t state = 0x2545f4914f6cdd1dull;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int step = 0; step < 2000; ++step) {
+    const std::string key = "k" + std::to_string(next() % 6);
+    RankResponse response = MakeResponse(static_cast<double>(step));
+    // 0, 8, 64, 512, 4096 doubles: the largest overshoots the budget.
+    response.scores.assign(static_cast<size_t>(8) << (3 * (next() % 5)),
+                           0.5);
+    if (next() % 8 == 0) response.scores.clear();
+    switch (next() % 4) {
+      case 0:
+        (void)cache.Lookup(key);
+        break;
+      case 1:
+        fixture.Advance(seconds(next() % 9));
+        cache.Insert(key, std::move(response));
+        break;
+      default:
+        cache.Insert(key, std::move(response));
+        break;
+    }
+    ASSERT_LE(cache.bytes_in_use(), options.capacity_bytes)
+        << "budget broken at step " << step;
+    if (cache.size() == 0) {
+      ASSERT_EQ(cache.bytes_in_use(), 0u) << "phantom bytes at step " << step;
+    }
+  }
+  const ScoreCacheStats stats = cache.stats();
+  // The mix genuinely exercised all three budget paths.
+  EXPECT_GT(stats.oversize_rejections, 0);
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_GT(stats.insertions, 0);
+  cache.Clear();
+  EXPECT_EQ(cache.bytes_in_use(), 0u);
 }
 
 // Expiry is strict: an entry is stale only *past* its TTL, so a lookup at

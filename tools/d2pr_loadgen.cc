@@ -74,10 +74,13 @@ int Run(const Flags& flags) {
   std::printf("unavailable:        %zu\n", r.unavailable);
   std::printf("deadline_exceeded:  %zu\n", r.deadline_exceeded);
   std::printf("failed:             %zu\n", r.failed);
-  std::printf("p50_us:             %.1f\n", r.p50_us);
-  std::printf("p99_us:             %.1f\n", r.p99_us);
+  std::printf("p50_us:             %.1f (ok responses only)\n", r.p50_us);
+  std::printf("p99_us:             %.1f (ok responses only)\n", r.p99_us);
   std::printf("elapsed_s:          %.3f\n", r.elapsed_s);
-  std::printf("requests_per_s:     %.1f\n", r.requests_per_s);
+  std::printf("requests_per_s:     %.1f (served: ok / elapsed)\n",
+              r.requests_per_s);
+  std::printf("attempted_per_s:    %.1f (offered: attempted / elapsed)\n",
+              r.attempted_per_s);
   return r.failed == 0 ? 0 : 1;
 }
 
