@@ -1,0 +1,109 @@
+// ShardServer: socket hosting for one ShardWorker — the listening side
+// a `d2pr_server --shard-role` process runs and a SocketShardChannel
+// connects to.
+//
+// Deliberately simpler than net/RpcServer: shard traffic is strictly
+// call/response from a single coordinator, so each connection gets one
+// thread that reads a frame, hands it to the worker, and writes the
+// reply — no write queue, no completion fan-out, no admission control.
+// Multiple concurrent connections are accepted (that is how a second
+// coordinator's duplicate-claim handshake gets its AlreadyExists), but
+// only the claiming session can drive solves.
+//
+// Error discipline mirrors the front door: framing violations (bad
+// magic/version/type, oversize length, truncation) close the connection
+// and count as protocol errors; a well-formed frame the worker rejects
+// travels back as a kStatus reply. One deliberate exception — a kStatus
+// reply to a HANDSHAKE closes the connection after the write: a peer
+// whose identity declaration was rejected has nothing further to say on
+// this stream, and the close frees the shard for a correctly-configured
+// coordinator without touching any other connection.
+
+#ifndef D2PR_DIST_SHARD_SERVER_H_
+#define D2PR_DIST_SHARD_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "dist/shard_worker.h"
+#include "net/socket.h"
+
+namespace d2pr {
+
+/// \brief ShardServer construction knobs.
+struct ShardServerOptions {
+  /// TCP port on 127.0.0.1; 0 (default) binds an ephemeral port,
+  /// reported by port() after Start().
+  uint16_t port = 0;
+};
+
+/// \brief Cumulative server counters (atomic; read individually exact).
+struct ShardServerStats {
+  std::atomic<int64_t> connections_accepted{0};
+  std::atomic<int64_t> frames_handled{0};  ///< Replies written.
+  /// Framing violations and unanswerable frames (each closed its
+  /// connection).
+  std::atomic<int64_t> protocol_errors{0};
+  /// Handshakes the worker rejected (connection closed after the
+  /// kStatus reply).
+  std::atomic<int64_t> handshake_rejects{0};
+};
+
+/// \brief Accept loop + one thread per connection over one ShardWorker.
+class ShardServer {
+ public:
+  /// `worker` must outlive the server.
+  ShardServer(ShardWorker& worker, const ShardServerOptions& options = {});
+
+  /// Stops and joins everything (see Stop()).
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  /// Binds, listens, and starts the accept loop. IoError when the port
+  /// cannot be bound; FailedPrecondition when already started.
+  Status Start();
+
+  /// Stops accepting, tears down every connection, and joins all
+  /// threads. Idempotent.
+  void Stop();
+
+  /// The bound port; valid after a successful Start().
+  uint16_t port() const { return port_; }
+
+  const ShardServerStats& stats() const { return stats_; }
+
+ private:
+  struct Connection {
+    Socket socket;
+    std::thread thread;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(const std::shared_ptr<Connection>& connection,
+                       uint64_t session_id);
+
+  ShardWorker& worker_;
+  ShardServerOptions options_;
+  ShardServerStats stats_;
+
+  ListenSocket listener_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> next_session_id_{1};
+
+  std::mutex connections_mu_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+};
+
+}  // namespace d2pr
+
+#endif  // D2PR_DIST_SHARD_SERVER_H_

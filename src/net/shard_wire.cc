@@ -1,0 +1,338 @@
+#include "net/shard_wire.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "graph/types.h"
+#include "net/wire_internal.h"
+
+namespace d2pr {
+
+namespace {
+
+using wire_internal::Cursor;
+using wire_internal::Truncated;
+
+// Node-id lists travel as u32 counts + u32 ids; score slices as u32
+// counts + f64 values. Counts are checked against the bytes actually
+// remaining BEFORE any reserve, so a lying count is an InvalidArgument,
+// never an allocation.
+
+void AppendNodeList(std::vector<uint8_t>& out, const std::vector<NodeId>& ids) {
+  AppendU32(out, static_cast<uint32_t>(ids.size()));
+  for (NodeId id : ids) AppendU32(out, static_cast<uint32_t>(id));
+}
+
+Status ReadNodeList(Cursor& cursor, const char* what,
+                    std::vector<NodeId>* ids) {
+  uint32_t count = 0;
+  if (!cursor.ReadU32(&count)) return Truncated(what);
+  if (count > cursor.remaining() / 4) {
+    return Status::InvalidArgument(
+        StrCat(what, " count ", count, " exceeds payload"));
+  }
+  ids->clear();
+  ids->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t id = 0;
+    if (!cursor.ReadU32(&id)) return Truncated(what);
+    ids->push_back(static_cast<NodeId>(id));
+  }
+  return Status::OK();
+}
+
+void AppendScoreList(std::vector<uint8_t>& out,
+                     const std::vector<double>& values) {
+  AppendU32(out, static_cast<uint32_t>(values.size()));
+  for (double value : values) AppendF64(out, value);
+}
+
+Status ReadScoreList(Cursor& cursor, const char* what,
+                     std::vector<double>* values) {
+  uint32_t count = 0;
+  if (!cursor.ReadU32(&count)) return Truncated(what);
+  if (count > cursor.remaining() / 8) {
+    return Status::InvalidArgument(
+        StrCat(what, " count ", count, " exceeds payload"));
+  }
+  values->clear();
+  values->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    double value = 0.0;
+    if (!cursor.ReadF64(&value)) return Truncated(what);
+    values->push_back(value);
+  }
+  return Status::OK();
+}
+
+Status RejectTrailing(const Cursor& cursor, const char* what) {
+  if (cursor.remaining() != 0) {
+    return Status::InvalidArgument(
+        StrCat(what, " payload has ", cursor.remaining(), " trailing bytes"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// --- ShardHandshake ---
+
+std::vector<uint8_t> EncodeShardHandshake(const ShardHandshake& handshake) {
+  std::vector<uint8_t> out;
+  AppendU32(out, handshake.shard_id);
+  AppendU32(out, handshake.num_shards);
+  AppendU32(out, static_cast<uint32_t>(handshake.scheme));
+  AppendU32(out, static_cast<uint32_t>(handshake.slice_build));
+  AppendU64(out, handshake.graph_fingerprint);
+  AppendF64(out, handshake.p);
+  AppendF64(out, handshake.beta);
+  AppendU32(out, static_cast<uint32_t>(handshake.metric));
+  return out;
+}
+
+Result<ShardHandshake> DecodeShardHandshake(std::span<const uint8_t> payload) {
+  Cursor cursor(payload);
+  ShardHandshake h;
+  uint32_t scheme = 0;
+  uint32_t slice_build = 0;
+  uint32_t metric = 0;
+  if (!cursor.ReadU32(&h.shard_id) || !cursor.ReadU32(&h.num_shards) ||
+      !cursor.ReadU32(&scheme) || !cursor.ReadU32(&slice_build) ||
+      !cursor.ReadU64(&h.graph_fingerprint) || !cursor.ReadF64(&h.p) ||
+      !cursor.ReadF64(&h.beta) || !cursor.ReadU32(&metric)) {
+    return Truncated("ShardHandshake");
+  }
+  if (scheme > static_cast<uint32_t>(PartitionScheme::kHash)) {
+    return Status::InvalidArgument(StrCat("bad partition scheme ", scheme));
+  }
+  if (slice_build > static_cast<uint32_t>(SliceBuild::kSubgraph)) {
+    return Status::InvalidArgument(StrCat("bad slice build ", slice_build));
+  }
+  // The wire carries a RESOLVED transition key; kAuto means the
+  // coordinator never normalized its config against the graph, and two
+  // processes could silently resolve it differently.
+  if (metric == static_cast<uint32_t>(DegreeMetric::kAuto) ||
+      metric > static_cast<uint32_t>(DegreeMetric::kInDegree)) {
+    return Status::InvalidArgument(StrCat("bad degree metric ", metric));
+  }
+  if (h.num_shards == 0) {
+    return Status::InvalidArgument("handshake num_shards is zero");
+  }
+  if (h.shard_id >= h.num_shards) {
+    return Status::InvalidArgument(StrCat("handshake shard_id ", h.shard_id,
+                                          " not below num_shards ",
+                                          h.num_shards));
+  }
+  if (Status trailing = RejectTrailing(cursor, "ShardHandshake");
+      !trailing.ok()) {
+    return trailing;
+  }
+  h.scheme = static_cast<PartitionScheme>(scheme);
+  h.slice_build = static_cast<SliceBuild>(slice_build);
+  h.metric = static_cast<DegreeMetric>(metric);
+  return h;
+}
+
+// --- ShardHandshakeAck ---
+
+std::vector<uint8_t> EncodeShardHandshakeAck(const ShardHandshakeAck& ack) {
+  std::vector<uint8_t> out;
+  AppendU64(out, ack.num_nodes);
+  AppendU64(out, ack.num_arcs);
+  AppendU64(out, ack.num_owned);
+  AppendU64(out, ack.boundary_in_arcs);
+  AppendNodeList(out, ack.dangling_owned);
+  AppendNodeList(out, ack.boundary_sources);
+  return out;
+}
+
+Result<ShardHandshakeAck> DecodeShardHandshakeAck(
+    std::span<const uint8_t> payload) {
+  Cursor cursor(payload);
+  ShardHandshakeAck ack;
+  if (!cursor.ReadU64(&ack.num_nodes) || !cursor.ReadU64(&ack.num_arcs) ||
+      !cursor.ReadU64(&ack.num_owned) ||
+      !cursor.ReadU64(&ack.boundary_in_arcs)) {
+    return Truncated("ShardHandshakeAck");
+  }
+  if (Status s = ReadNodeList(cursor, "ShardHandshakeAck dangling",
+                              &ack.dangling_owned);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = ReadNodeList(cursor, "ShardHandshakeAck boundary",
+                              &ack.boundary_sources);
+      !s.ok()) {
+    return s;
+  }
+  if (Status trailing = RejectTrailing(cursor, "ShardHandshakeAck");
+      !trailing.ok()) {
+    return trailing;
+  }
+  return ack;
+}
+
+// --- ShardSolveBegin ---
+
+std::vector<uint8_t> EncodeShardSolveBegin(const ShardSolveBegin& begin) {
+  std::vector<uint8_t> out;
+  AppendU64(out, begin.solve_id);
+  AppendU32(out, begin.method);
+  AppendU32(out, static_cast<uint32_t>(begin.dangling));
+  AppendF64(out, begin.alpha);
+  AppendScoreList(out, begin.initial);
+  AppendScoreList(out, begin.teleport);
+  return out;
+}
+
+Result<ShardSolveBegin> DecodeShardSolveBegin(
+    std::span<const uint8_t> payload) {
+  Cursor cursor(payload);
+  ShardSolveBegin begin;
+  uint32_t dangling = 0;
+  if (!cursor.ReadU64(&begin.solve_id) || !cursor.ReadU32(&begin.method) ||
+      !cursor.ReadU32(&dangling) || !cursor.ReadF64(&begin.alpha)) {
+    return Truncated("ShardSolveBegin");
+  }
+  // Only the two block-iterative methods have a distributed sweep; push
+  // methods never reach this frame.
+  if (begin.method != static_cast<uint32_t>(SolverMethod::kPower) &&
+      begin.method != static_cast<uint32_t>(SolverMethod::kGaussSeidel)) {
+    return Status::InvalidArgument(
+        StrCat("bad solve method ", begin.method));
+  }
+  if (dangling > static_cast<uint32_t>(DanglingPolicy::kRenormalize)) {
+    return Status::InvalidArgument(StrCat("bad dangling policy ", dangling));
+  }
+  if (Status s = ReadScoreList(cursor, "ShardSolveBegin initial",
+                               &begin.initial);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = ReadScoreList(cursor, "ShardSolveBegin teleport",
+                               &begin.teleport);
+      !s.ok()) {
+    return s;
+  }
+  if (begin.initial.size() != begin.teleport.size()) {
+    return Status::InvalidArgument(
+        StrCat("ShardSolveBegin initial has ", begin.initial.size(),
+               " values but teleport has ", begin.teleport.size()));
+  }
+  if (Status trailing = RejectTrailing(cursor, "ShardSolveBegin");
+      !trailing.ok()) {
+    return trailing;
+  }
+  begin.dangling = static_cast<DanglingPolicy>(dangling);
+  return begin;
+}
+
+// --- ShardSweepRequest ---
+
+std::vector<uint8_t> EncodeShardSweepRequest(const ShardSweepRequest& request) {
+  std::vector<uint8_t> out;
+  AppendU64(out, request.solve_id);
+  AppendU32(out, request.sweep);
+  AppendF64(out, request.dangling_mass);
+  out.push_back(request.has_rescale ? 1 : 0);
+  AppendF64(out, request.rescale);
+  AppendScoreList(out, request.boundary);
+  return out;
+}
+
+Result<ShardSweepRequest> DecodeShardSweepRequest(
+    std::span<const uint8_t> payload) {
+  Cursor cursor(payload);
+  ShardSweepRequest request;
+  uint8_t has_rescale = 0;
+  if (!cursor.ReadU64(&request.solve_id) || !cursor.ReadU32(&request.sweep) ||
+      !cursor.ReadF64(&request.dangling_mass) ||
+      !cursor.ReadU8(&has_rescale) || !cursor.ReadF64(&request.rescale)) {
+    return Truncated("ShardSweepRequest");
+  }
+  if (has_rescale > 1) {
+    return Status::InvalidArgument(
+        StrCat("bad has_rescale byte ", has_rescale));
+  }
+  if (request.sweep == 0) {
+    return Status::InvalidArgument("sweep index is zero (sweeps are 1-based)");
+  }
+  if (Status s = ReadScoreList(cursor, "ShardSweepRequest boundary",
+                               &request.boundary);
+      !s.ok()) {
+    return s;
+  }
+  if (Status trailing = RejectTrailing(cursor, "ShardSweepRequest");
+      !trailing.ok()) {
+    return trailing;
+  }
+  request.has_rescale = has_rescale != 0;
+  return request;
+}
+
+// --- ShardSweepResponse ---
+
+std::vector<uint8_t> EncodeShardSweepResponse(
+    const ShardSweepResponse& response) {
+  std::vector<uint8_t> out;
+  AppendU64(out, response.solve_id);
+  AppendU32(out, response.sweep);
+  AppendScoreList(out, response.owned);
+  AppendF64(out, response.dangling_partial);
+  AppendF64(out, response.residual_partial);
+  return out;
+}
+
+Result<ShardSweepResponse> DecodeShardSweepResponse(
+    std::span<const uint8_t> payload) {
+  Cursor cursor(payload);
+  ShardSweepResponse response;
+  if (!cursor.ReadU64(&response.solve_id) ||
+      !cursor.ReadU32(&response.sweep)) {
+    return Truncated("ShardSweepResponse");
+  }
+  if (response.sweep == 0) {
+    return Status::InvalidArgument("sweep index is zero (sweeps are 1-based)");
+  }
+  if (Status s = ReadScoreList(cursor, "ShardSweepResponse owned",
+                               &response.owned);
+      !s.ok()) {
+    return s;
+  }
+  if (!cursor.ReadF64(&response.dangling_partial) ||
+      !cursor.ReadF64(&response.residual_partial)) {
+    return Truncated("ShardSweepResponse");
+  }
+  if (Status trailing = RejectTrailing(cursor, "ShardSweepResponse");
+      !trailing.ok()) {
+    return trailing;
+  }
+  return response;
+}
+
+// --- ShardSolveEnd ---
+
+std::vector<uint8_t> EncodeShardSolveEnd(const ShardSolveEnd& end) {
+  std::vector<uint8_t> out;
+  AppendU64(out, end.solve_id);
+  return out;
+}
+
+Result<ShardSolveEnd> DecodeShardSolveEnd(std::span<const uint8_t> payload) {
+  Cursor cursor(payload);
+  ShardSolveEnd end;
+  if (!cursor.ReadU64(&end.solve_id)) return Truncated("ShardSolveEnd");
+  if (Status trailing = RejectTrailing(cursor, "ShardSolveEnd");
+      !trailing.ok()) {
+    return trailing;
+  }
+  return end;
+}
+
+}  // namespace d2pr

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -91,6 +92,12 @@ Status Socket::RecvExact(void* data, size_t len, bool* clean_eof) {
     const ssize_t n = ::recv(fd_, p + got, len - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expiry (SetRecvTimeout). Bytes already read stay
+        // read — the caller decides whether the stream is resumable.
+        return Status::DeadlineExceeded(
+            StrCat("recv: timed out (", got, " of ", len, " bytes)"));
+      }
       return Errno("recv");
     }
     if (n == 0) {
@@ -101,6 +108,19 @@ Status Socket::RecvExact(void* data, size_t len, bool* clean_eof) {
                             len, " bytes)"));
     }
     got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Socket::SetRecvTimeout(int64_t ms) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("setsockopt on invalid socket");
+  }
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
   }
   return Status::OK();
 }

@@ -53,8 +53,17 @@ class Socket {
   /// Reads exactly `len` bytes. IoError on failure; when `clean_eof` is
   /// non-null it is set to true iff the peer closed before the FIRST
   /// byte — the one EOF that is a normal end of stream at a frame
-  /// boundary rather than a truncation.
+  /// boundary rather than a truncation. When a receive timeout is set
+  /// (SetRecvTimeout) and it expires, the status is DeadlineExceeded —
+  /// distinguishable from a dead peer, so callers can retry an idempotent
+  /// request instead of abandoning the connection.
   Status RecvExact(void* data, size_t len, bool* clean_eof = nullptr);
+
+  /// Arms SO_RCVTIMEO: a RecvExact blocked longer than `ms` milliseconds
+  /// returns DeadlineExceeded. 0 disables the timeout (blocking forever,
+  /// the default). The distributed coordinator sets its per-sweep
+  /// deadline this way.
+  Status SetRecvTimeout(int64_t ms);
 
   /// Unblocks any thread inside SendAll/RecvExact on this socket.
   /// Idempotent; the descriptor stays owned until destruction.

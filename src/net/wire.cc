@@ -7,9 +7,13 @@
 #include "common/binary_io.h"
 #include "common/check.h"
 #include "common/string_util.h"
+#include "net/wire_internal.h"
 
 namespace d2pr {
 namespace {
+
+using wire_internal::Cursor;
+using wire_internal::Truncated;
 
 void AppendU16(std::vector<uint8_t>& out, uint16_t value) {
   out.push_back(static_cast<uint8_t>(value & 0xff));
@@ -18,69 +22,6 @@ void AppendU16(std::vector<uint8_t>& out, uint16_t value) {
 
 uint16_t ReadU16(const uint8_t* p) {
   return static_cast<uint16_t>(p[0] | (p[1] << 8));
-}
-
-/// Bounds-checked forward reader over one payload. Every Read* returns
-/// false instead of walking past the end, so a decoder is a linear chain
-/// of reads with one truncation diagnostic at the end.
-class Cursor {
- public:
-  explicit Cursor(std::span<const uint8_t> bytes)
-      : p_(bytes.data()), remaining_(bytes.size()) {}
-
-  size_t remaining() const { return remaining_; }
-
-  bool ReadU32(uint32_t* value) {
-    if (remaining_ < 4) return false;
-    *value = d2pr::ReadU32(p_);
-    Advance(4);
-    return true;
-  }
-  bool ReadU64(uint64_t* value) {
-    if (remaining_ < 8) return false;
-    *value = d2pr::ReadU64(p_);
-    Advance(8);
-    return true;
-  }
-  bool ReadI64(int64_t* value) {
-    if (remaining_ < 8) return false;
-    *value = d2pr::ReadI64(p_);
-    Advance(8);
-    return true;
-  }
-  bool ReadF64(double* value) {
-    if (remaining_ < 8) return false;
-    *value = d2pr::ReadF64(p_);
-    Advance(8);
-    return true;
-  }
-  bool ReadU8(uint8_t* value) {
-    if (remaining_ < 1) return false;
-    *value = *p_;
-    Advance(1);
-    return true;
-  }
-  bool ReadString(uint64_t length, std::string* value) {
-    if (remaining_ < length) return false;
-    value->assign(reinterpret_cast<const char*>(p_),
-                  static_cast<size_t>(length));
-    Advance(static_cast<size_t>(length));
-    return true;
-  }
-
- private:
-  void Advance(size_t n) {
-    p_ += n;
-    remaining_ -= n;
-  }
-
-  const uint8_t* p_;
-  size_t remaining_;
-};
-
-Status Truncated(const char* what) {
-  return Status::InvalidArgument(
-      StrCat("truncated ", what, " payload"));
 }
 
 }  // namespace
@@ -123,7 +64,7 @@ Result<FrameHeader> DecodeFrameHeader(std::span<const uint8_t> bytes) {
                kWireVersion, ")"));
   }
   if (type < static_cast<uint16_t>(FrameType::kRankRequest) ||
-      type > static_cast<uint16_t>(FrameType::kInfoResponse)) {
+      type > static_cast<uint16_t>(FrameType::kSolveEnd)) {
     return Status::InvalidArgument(StrCat("unknown frame type ", type));
   }
   if (header.payload_len > kMaxPayloadBytes) {

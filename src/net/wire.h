@@ -69,6 +69,13 @@ inline constexpr size_t kFrameHeaderBytes = 20;
 inline constexpr uint32_t kMaxPayloadBytes = 64u << 20;
 
 /// \brief What a frame's payload contains.
+///
+/// Types 7..12 are the v2 distributed-block-solve vocabulary
+/// (net/shard_wire.h): coordinator-to-shard handshake, solve control, and
+/// per-sweep boundary exchange. They ride the same kWireVersion — adding
+/// frame types is backward compatible because every v1 frame's byte
+/// layout is untouched; an old peer receiving a v2 type rejects it as an
+/// unknown type, exactly as it rejects garbage today.
 enum class FrameType : uint16_t {
   kRankRequest = 1,   ///< client -> server: WireRankRequest
   kRankResponse = 2,  ///< server -> client: RankResponse
@@ -76,6 +83,12 @@ enum class FrameType : uint16_t {
   kUnavailable = 4,   ///< server -> client: Status; load was shed
   kInfoRequest = 5,   ///< client -> server: empty payload
   kInfoResponse = 6,  ///< server -> client: ServerInfo
+  kShardHandshake = 7,     ///< coordinator -> shard: ShardHandshake
+  kShardHandshakeAck = 8,  ///< shard -> coordinator: ShardHandshakeAck
+  kSolveBegin = 9,         ///< coordinator -> shard: ShardSolveBegin
+  kSweepRequest = 10,      ///< coordinator -> shard: ShardSweepRequest
+  kSweepResponse = 11,     ///< shard -> coordinator: ShardSweepResponse
+  kSolveEnd = 12,          ///< coordinator -> shard: ShardSolveEnd
 };
 
 /// \brief Decoded fixed header of one frame (magic/version validated and

@@ -1,0 +1,178 @@
+// Handshake rejection semantics: every way a cluster can be mis-wired
+// maps to a DISTINCT status code, so an operator diagnoses the
+// misconfiguration from the code alone — and a rejected connection never
+// poisons the shard for a correctly-configured coordinator.
+//
+//   wrong shard id (channels permuted)       -> NotFound
+//   wrong shard count                        -> OutOfRange
+//   wrong partition scheme                   -> FailedPrecondition
+//   graph fingerprint mismatch               -> FailedPrecondition
+//   transition key mismatch (p/beta/metric)  -> InvalidArgument
+//   shard claimed by another live session    -> AlreadyExists
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/teleport.h"
+#include "dist/coordinator.h"
+#include "dist_test_util.h"
+#include "graph/partition.h"
+
+namespace d2pr {
+namespace {
+
+class DistHandshakeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(47);
+    auto graph = BarabasiAlbert(150, 2, &rng);
+    ASSERT_TRUE(graph.ok());
+    graph_ = std::make_unique<CsrGraph>(std::move(graph).value());
+  }
+
+  std::unique_ptr<CsrGraph> graph_;
+};
+
+TEST_F(DistHandshakeTest, MatchingDeclarationsHandshakeClean) {
+  DistFleet fleet = MakeFleet(*graph_, 2);
+  DistributedCoordinator coordinator(fleet.raw,
+                                     MakeCoordinatorOptions(*graph_));
+  EXPECT_TRUE(coordinator.Handshake().ok());
+}
+
+TEST_F(DistHandshakeTest, PermutedChannelsAreNotFound) {
+  // Shard 1's worker answering for shard 0: the worker names the shard
+  // it actually hosts.
+  DistFleet fleet = MakeFleet(*graph_, 2);
+  std::swap(fleet.raw[0], fleet.raw[1]);
+  DistributedCoordinator coordinator(fleet.raw,
+                                     MakeCoordinatorOptions(*graph_));
+  const Status status = coordinator.Handshake();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(DistHandshakeTest, WrongShardCountIsOutOfRange) {
+  // Workers partitioned 2-way, coordinator only driving one of them as
+  // a 1-shard cluster.
+  DistFleet fleet = MakeFleet(*graph_, 2);
+  std::vector<ShardChannel*> first_only = {fleet.raw[0]};
+  DistributedCoordinator coordinator(first_only,
+                                     MakeCoordinatorOptions(*graph_));
+  const Status status = coordinator.Handshake();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(DistHandshakeTest, WrongSchemeIsFailedPrecondition) {
+  DistFleet fleet = MakeFleet(*graph_, 2, PartitionScheme::kHash);
+  DistributedCoordinator coordinator(
+      fleet.raw, MakeCoordinatorOptions(*graph_, PartitionScheme::kRange));
+  const Status status = coordinator.Handshake();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("scheme"), std::string::npos);
+}
+
+TEST_F(DistHandshakeTest, FingerprintMismatchIsFailedPrecondition) {
+  // The coordinator believes in a different graph than the workers hold.
+  DistFleet fleet = MakeFleet(*graph_, 2);
+  CoordinatorOptions options = MakeCoordinatorOptions(*graph_);
+  options.graph_fingerprint ^= 1;
+  DistributedCoordinator coordinator(fleet.raw, options);
+  const Status status = coordinator.Handshake();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("fingerprint"), std::string::npos);
+}
+
+TEST_F(DistHandshakeTest, TransitionKeyMismatchIsInvalidArgument) {
+  TransitionConfig worker_config;
+  worker_config.p = 0.5;
+  DistFleet fleet = MakeFleet(*graph_, 2, PartitionScheme::kRange,
+                              worker_config);
+  TransitionConfig coordinator_config;
+  coordinator_config.p = 0.75;
+  DistributedCoordinator coordinator(
+      fleet.raw, MakeCoordinatorOptions(*graph_, PartitionScheme::kRange,
+                                        coordinator_config));
+  const Status status = coordinator.Handshake();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("transition key"), std::string::npos);
+}
+
+TEST_F(DistHandshakeTest, DuplicateClaimIsAlreadyExistsAndLeavesOwnerAlive) {
+  // Coordinator A claims the fleet; coordinator B — a second set of
+  // connections to the same workers — is turned away per shard with
+  // AlreadyExists, and A keeps working: the rejection closed B's claim
+  // attempt, not A's session.
+  DistFleet fleet = MakeFleet(*graph_, 2);
+  DistributedCoordinator first(fleet.raw, MakeCoordinatorOptions(*graph_));
+  ASSERT_TRUE(first.Handshake().ok());
+
+  std::vector<std::unique_ptr<InProcessShardChannel>> second_connections;
+  std::vector<ShardChannel*> second_raw;
+  for (auto& worker : fleet.workers) {
+    second_connections.push_back(
+        std::make_unique<InProcessShardChannel>(*worker));
+    second_raw.push_back(second_connections.back().get());
+  }
+  DistributedCoordinator second(second_raw,
+                                MakeCoordinatorOptions(*graph_));
+  const Status status = second.Handshake();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+
+  PagerankOptions options;
+  options.tolerance = 1e-10;
+  options.max_iterations = 500;
+  auto solved = first.Solve(SolverMethod::kPower,
+                            UniformTeleport(graph_->num_nodes()), options);
+  EXPECT_TRUE(solved.ok()) << solved.status().ToString();
+}
+
+TEST_F(DistHandshakeTest, ReleasedClaimIsReclaimable) {
+  // When A's sessions close (CloseSession — what the hosting server does
+  // as A's connections die), B's handshake must succeed.
+  DistFleet fleet = MakeFleet(*graph_, 2);
+  DistributedCoordinator first(fleet.raw, MakeCoordinatorOptions(*graph_));
+  ASSERT_TRUE(first.Handshake().ok());
+  for (size_t s = 0; s < fleet.workers.size(); ++s) {
+    fleet.workers[s]->CloseSession(fleet.channels[s]->session_id());
+  }
+
+  std::vector<std::unique_ptr<InProcessShardChannel>> second_connections;
+  std::vector<ShardChannel*> second_raw;
+  for (auto& worker : fleet.workers) {
+    second_connections.push_back(
+        std::make_unique<InProcessShardChannel>(*worker));
+    second_raw.push_back(second_connections.back().get());
+  }
+  DistributedCoordinator second(second_raw,
+                                MakeCoordinatorOptions(*graph_));
+  EXPECT_TRUE(second.Handshake().ok());
+}
+
+TEST_F(DistHandshakeTest, SolveWithoutHandshakeIsFailedPrecondition) {
+  DistFleet fleet = MakeFleet(*graph_, 2);
+  DistributedCoordinator coordinator(fleet.raw,
+                                     MakeCoordinatorOptions(*graph_));
+  auto result = coordinator.Solve(
+      SolverMethod::kPower, UniformTeleport(graph_->num_nodes()), {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DistHandshakeTest, EmptyFleetIsInvalidArgument) {
+  std::vector<ShardChannel*> none;
+  DistributedCoordinator coordinator(none, MakeCoordinatorOptions(*graph_));
+  const Status status = coordinator.Handshake();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace d2pr

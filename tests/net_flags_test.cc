@@ -174,5 +174,120 @@ TEST(NetFlagsTest, LoadGenRejectsUnknownMethod) {
   }
 }
 
+// ------------------------------------------------------------ shard role
+
+Status Cluster(std::vector<const char*> args) {
+  return ValidateClusterFlags(ParseOrDie(std::move(args)));
+}
+
+TEST(NetFlagsDistTest, ShardRoleAcceptsFullConfiguration) {
+  EXPECT_TRUE(Server({"--shard-role", "--shard-id=1", "--shard-count=4",
+                      "--scheme=hash", "--p=0.75", "--beta=0.5",
+                      "--port=9100", "--nodes=5000"})
+                  .ok());
+  EXPECT_TRUE(Server({"--shard-role"}).ok());  // defaults: shard 0 of 1
+}
+
+TEST(NetFlagsDistTest, ShardRoleRejectsIdOutsideCount) {
+  EXPECT_FALSE(Server({"--shard-role", "--shard-id=2", "--shard-count=2"})
+                   .ok());
+  EXPECT_FALSE(Server({"--shard-role", "--shard-id=-1"}).ok());
+  EXPECT_FALSE(Server({"--shard-role", "--shard-count=0"}).ok());
+  EXPECT_TRUE(Server({"--shard-role", "--shard-id=1", "--shard-count=2"})
+                  .ok());
+}
+
+TEST(NetFlagsDistTest, ShardRoleRejectsServingPolicyFlags) {
+  // A shard process is not the front door: the serving knobs have
+  // nothing to configure and silently ignoring them would mislead.
+  EXPECT_FALSE(Server({"--shard-role", "--shards=2"}).ok());
+  EXPECT_FALSE(Server({"--shard-role", "--route=replicated"}).ok());
+  EXPECT_FALSE(Server({"--shard-role", "--max-queue=10"}).ok());
+  EXPECT_FALSE(Server({"--shard-role", "--coalesce=true"}).ok());
+  EXPECT_FALSE(Server({"--shard-role", "--threads=4"}).ok());
+}
+
+TEST(NetFlagsDistTest, ShardFlagsRequireShardRole) {
+  EXPECT_FALSE(Server({"--shard-id=1"}).ok());
+  EXPECT_FALSE(Server({"--shard-count=2"}).ok());
+  EXPECT_FALSE(Server({"--scheme=hash"}).ok());
+  EXPECT_FALSE(Server({"--p=0.5"}).ok());
+  EXPECT_FALSE(Server({"--beta=0.1"}).ok());
+}
+
+TEST(NetFlagsDistTest, ShardRoleRejectsBadSchemeAndTransition) {
+  EXPECT_FALSE(Server({"--shard-role", "--scheme=diagonal"}).ok());
+  EXPECT_FALSE(Server({"--shard-role", "--beta=1.5"}).ok());
+  EXPECT_FALSE(Server({"--shard-role", "--beta=-0.1"}).ok());
+  EXPECT_TRUE(Server({"--shard-role", "--scheme=range", "--beta=1"}).ok());
+}
+
+// --------------------------------------------------------------- cluster
+
+TEST(NetFlagsDistTest, ClusterRequiresShardPorts) {
+  EXPECT_FALSE(Cluster({}).ok());
+  EXPECT_FALSE(Cluster({"--method=power"}).ok());
+  EXPECT_TRUE(Cluster({"--shard-ports=9100,9101"}).ok());
+  EXPECT_TRUE(Cluster({"--shard-ports=9100"}).ok());
+}
+
+TEST(NetFlagsDistTest, ClusterAcceptsFullConfiguration) {
+  EXPECT_TRUE(Cluster({"--shard-ports=9100,9101,9102,9103",
+                       "--host=127.0.0.1", "--scheme=hash",
+                       "--method=gauss-seidel", "--dangling=self-loop",
+                       "--p=0.75", "--beta=0.25", "--alpha=0.9",
+                       "--tolerance=1e-9", "--max-iterations=500",
+                       "--deadline-ms=2000", "--retries=5",
+                       "--compare=false", "--nodes=5000",
+                       "--edges-per-node=4", "--gen-seed=7"})
+                  .ok());
+}
+
+TEST(NetFlagsDistTest, ClusterRejectsUnknownFlagAndPositionals) {
+  EXPECT_FALSE(Cluster({"--shard-ports=9100", "--bogus=1"}).ok());
+  EXPECT_FALSE(Cluster({"--shard-ports=9100", "stray"}).ok());
+  // Front-door serving flags mean nothing to the cluster launcher.
+  EXPECT_FALSE(Cluster({"--shard-ports=9100", "--shards=2"}).ok());
+  EXPECT_FALSE(Cluster({"--shard-ports=9100", "--port=9000"}).ok());
+}
+
+TEST(NetFlagsDistTest, ClusterRejectsBadSolverKnobs) {
+  EXPECT_FALSE(Cluster({"--shard-ports=9100", "--alpha=1.0"}).ok());
+  EXPECT_FALSE(Cluster({"--shard-ports=9100", "--alpha=-0.1"}).ok());
+  EXPECT_FALSE(Cluster({"--shard-ports=9100", "--tolerance=0"}).ok());
+  EXPECT_FALSE(Cluster({"--shard-ports=9100", "--max-iterations=0"}).ok());
+  EXPECT_FALSE(Cluster({"--shard-ports=9100", "--retries=-1"}).ok());
+  EXPECT_FALSE(Cluster({"--shard-ports=9100", "--compare=maybe"}).ok());
+  EXPECT_FALSE(Cluster({"--shard-ports=9100", "--method=jacobi"}).ok());
+  EXPECT_FALSE(Cluster({"--shard-ports=9100", "--dangling=ignore"}).ok());
+  EXPECT_FALSE(Cluster({"--shard-ports=9100", "--scheme=diagonal"}).ok());
+}
+
+TEST(NetFlagsDistTest, ClusterRejectsRenormalizeUnderGaussSeidel) {
+  // The same contract ValidateBlockGaussSeidelPolicy enforces in the
+  // solver, surfaced at flag time so the operator hears it before the
+  // fleet spins up.
+  EXPECT_FALSE(Cluster({"--shard-ports=9100", "--method=gauss-seidel",
+                        "--dangling=renormalize"})
+                   .ok());
+  EXPECT_TRUE(Cluster({"--shard-ports=9100", "--method=power",
+                       "--dangling=renormalize"})
+                  .ok());
+  EXPECT_TRUE(Cluster({"--shard-ports=9100", "--method=gauss-seidel",
+                       "--dangling=teleport"})
+                  .ok());
+}
+
+TEST(NetFlagsDistTest, ClusterFollowsServerGraphRules) {
+  EXPECT_TRUE(
+      Cluster({"--shard-ports=9100", "--graph=edges.txt", "--directed"})
+          .ok());
+  EXPECT_FALSE(
+      Cluster({"--shard-ports=9100", "--graph=edges.txt", "--nodes=100"})
+          .ok());
+  EXPECT_FALSE(Cluster({"--shard-ports=9100", "--directed"}).ok());
+  EXPECT_FALSE(Cluster({"--shard-ports=9100", "--nodes=1"}).ok());
+}
+
 }  // namespace
 }  // namespace d2pr

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "net/shard_wire.h"
 
 namespace d2pr {
 namespace {
@@ -487,6 +488,459 @@ TEST(NetWireTest, RandomCorruptionNeverCrashesDecoders) {
       (void)DecodeRankResponse(corrupted);
     }
   }
+}
+
+// --- v2 distributed-block-solve frames (net/shard_wire.h) ---
+
+ShardHandshake SampleHandshake() {
+  ShardHandshake handshake;
+  handshake.shard_id = 2;
+  handshake.num_shards = 4;
+  handshake.scheme = PartitionScheme::kHash;
+  handshake.slice_build = SliceBuild::kSubgraph;
+  handshake.graph_fingerprint = 0xfeedfacecafebeefull;
+  handshake.p = 0.5;
+  handshake.beta = 0.25;
+  handshake.metric = DegreeMetric::kOutStrength;
+  return handshake;
+}
+
+ShardHandshakeAck SampleAck() {
+  ShardHandshakeAck ack;
+  ack.num_nodes = 1000;
+  ack.num_arcs = 8000;
+  ack.num_owned = 250;
+  ack.boundary_in_arcs = 300;
+  ack.dangling_owned = {250, 260, 270};
+  ack.boundary_sources = {0, 5, 999};
+  return ack;
+}
+
+ShardSolveBegin SampleSolveBegin() {
+  ShardSolveBegin begin;
+  begin.solve_id = 77;
+  begin.method = static_cast<uint32_t>(SolverMethod::kGaussSeidel);
+  begin.dangling = DanglingPolicy::kSelfLoop;
+  begin.alpha = 0.85;
+  begin.initial = {0.25, 0.5};
+  begin.teleport = {0.125, 0.875};
+  return begin;
+}
+
+ShardSweepRequest SampleSweepRequest() {
+  ShardSweepRequest request;
+  request.solve_id = 77;
+  request.sweep = 3;
+  request.dangling_mass = 0.0625;
+  request.has_rescale = true;
+  request.rescale = 1.0 / 3.0;
+  request.boundary = {0.1, 0.2, 0.3};
+  return request;
+}
+
+ShardSweepResponse SampleSweepResponse() {
+  ShardSweepResponse response;
+  response.solve_id = 77;
+  response.sweep = 3;
+  response.owned = {0.4, 0.6};
+  response.dangling_partial = 0.03125;
+  response.residual_partial = 1e-7;
+  return response;
+}
+
+TEST(ShardWireTest, HandshakeRoundTripsEverySchemeBuildMetricCombo) {
+  for (PartitionScheme scheme :
+       {PartitionScheme::kRange, PartitionScheme::kHash}) {
+    for (SliceBuild build : {SliceBuild::kFromMatrix, SliceBuild::kSubgraph}) {
+      for (DegreeMetric metric :
+           {DegreeMetric::kOutDegree, DegreeMetric::kOutStrength,
+            DegreeMetric::kInDegree}) {
+        ShardHandshake handshake = SampleHandshake();
+        handshake.scheme = scheme;
+        handshake.slice_build = build;
+        handshake.metric = metric;
+        auto decoded = DecodeShardHandshake(EncodeShardHandshake(handshake));
+        ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+        EXPECT_EQ(decoded->shard_id, handshake.shard_id);
+        EXPECT_EQ(decoded->num_shards, handshake.num_shards);
+        EXPECT_EQ(decoded->scheme, scheme);
+        EXPECT_EQ(decoded->slice_build, build);
+        EXPECT_EQ(decoded->graph_fingerprint, handshake.graph_fingerprint);
+        EXPECT_EQ(decoded->p, handshake.p);
+        EXPECT_EQ(decoded->beta, handshake.beta);
+        EXPECT_EQ(decoded->metric, metric);
+      }
+    }
+  }
+}
+
+TEST(ShardWireTest, HandshakeKeyDoublesSurviveBitExact) {
+  // The key comparison shard-side is bitwise; the codec must not launder
+  // signed zero (or any other bit pattern).
+  ShardHandshake handshake = SampleHandshake();
+  handshake.p = -0.0;
+  handshake.beta = std::numeric_limits<double>::denorm_min();
+  auto decoded = DecodeShardHandshake(EncodeShardHandshake(handshake));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(std::signbit(decoded->p));
+  EXPECT_EQ(decoded->beta, std::numeric_limits<double>::denorm_min());
+}
+
+TEST(ShardWireTest, HandshakeRejectsUnresolvedAndOutOfRangeEnums) {
+  const std::vector<uint8_t> good = EncodeShardHandshake(SampleHandshake());
+  {
+    std::vector<uint8_t> bad = good;
+    bad[8] = 9;  // scheme u32 at offset 8
+    EXPECT_FALSE(DecodeShardHandshake(bad).ok());
+  }
+  {
+    std::vector<uint8_t> bad = good;
+    bad[12] = 9;  // slice_build u32 at offset 12
+    EXPECT_FALSE(DecodeShardHandshake(bad).ok());
+  }
+  {
+    // metric u32 at offset 40: kAuto (unresolved) must be rejected even
+    // though it is a valid enum value elsewhere — the wire carries only
+    // RESOLVED keys.
+    std::vector<uint8_t> bad = good;
+    bad[40] = static_cast<uint8_t>(DegreeMetric::kAuto);
+    auto decoded = DecodeShardHandshake(bad);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_NE(decoded.status().message().find("metric"), std::string::npos);
+    bad[40] = 200;
+    EXPECT_FALSE(DecodeShardHandshake(bad).ok());
+  }
+  {
+    std::vector<uint8_t> bad = good;
+    bad[4] = 0;  // num_shards = 0
+    EXPECT_FALSE(DecodeShardHandshake(bad).ok());
+  }
+  {
+    std::vector<uint8_t> bad = good;
+    bad[0] = 200;  // shard_id >= num_shards
+    EXPECT_FALSE(DecodeShardHandshake(bad).ok());
+  }
+}
+
+TEST(ShardWireTest, AckRoundTripsWithAndWithoutLists) {
+  const ShardHandshakeAck ack = SampleAck();
+  auto decoded = DecodeShardHandshakeAck(EncodeShardHandshakeAck(ack));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->num_nodes, ack.num_nodes);
+  EXPECT_EQ(decoded->num_arcs, ack.num_arcs);
+  EXPECT_EQ(decoded->num_owned, ack.num_owned);
+  EXPECT_EQ(decoded->boundary_in_arcs, ack.boundary_in_arcs);
+  EXPECT_EQ(decoded->dangling_owned, ack.dangling_owned);
+  EXPECT_EQ(decoded->boundary_sources, ack.boundary_sources);
+
+  // Empty lists (a dangling-free interior shard) are legal.
+  ShardHandshakeAck bare;
+  bare.num_nodes = 10;
+  bare.num_owned = 10;
+  auto bare_decoded = DecodeShardHandshakeAck(EncodeShardHandshakeAck(bare));
+  ASSERT_TRUE(bare_decoded.ok());
+  EXPECT_TRUE(bare_decoded->dangling_owned.empty());
+  EXPECT_TRUE(bare_decoded->boundary_sources.empty());
+}
+
+TEST(ShardWireTest, AckRejectsLyingListCounts) {
+  // Counts bigger than the remaining bytes must be rejected BEFORE any
+  // allocation sized from them. The dangling count is the u32 at offset
+  // 32 (after four u64s); the boundary count follows the dangling ids.
+  std::vector<uint8_t> payload = EncodeShardHandshakeAck(SampleAck());
+  for (int b = 0; b < 4; ++b) payload[32 + b] = 0xff;
+  auto decoded = DecodeShardHandshakeAck(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("count"), std::string::npos);
+
+  payload = EncodeShardHandshakeAck(SampleAck());
+  const size_t boundary_count_at = 32 + 4 + 3 * 4;
+  for (int b = 0; b < 4; ++b) payload[boundary_count_at + b] = 0xff;
+  EXPECT_FALSE(DecodeShardHandshakeAck(payload).ok());
+}
+
+TEST(ShardWireTest, SolveBeginRoundTripsBothMethodsEveryPolicy) {
+  for (SolverMethod method :
+       {SolverMethod::kPower, SolverMethod::kGaussSeidel}) {
+    for (DanglingPolicy dangling :
+         {DanglingPolicy::kTeleport, DanglingPolicy::kSelfLoop,
+          DanglingPolicy::kRenormalize}) {
+      ShardSolveBegin begin = SampleSolveBegin();
+      begin.method = static_cast<uint32_t>(method);
+      begin.dangling = dangling;
+      auto decoded = DecodeShardSolveBegin(EncodeShardSolveBegin(begin));
+      ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+      EXPECT_EQ(decoded->solve_id, begin.solve_id);
+      EXPECT_EQ(decoded->method, begin.method);
+      EXPECT_EQ(decoded->dangling, dangling);
+      EXPECT_EQ(decoded->alpha, begin.alpha);
+      EXPECT_EQ(decoded->initial, begin.initial);
+      EXPECT_EQ(decoded->teleport, begin.teleport);
+    }
+  }
+}
+
+TEST(ShardWireTest, SolveBeginRejectsNonBlockMethodsAndBadPolicy) {
+  {
+    // kForwardPush is a valid SolverMethod but has no distributed sweep;
+    // the codec rejects it at decode, not deep in the worker.
+    ShardSolveBegin begin = SampleSolveBegin();
+    begin.method = static_cast<uint32_t>(SolverMethod::kForwardPush);
+    EXPECT_FALSE(DecodeShardSolveBegin(EncodeShardSolveBegin(begin)).ok());
+    begin.method = 99;
+    EXPECT_FALSE(DecodeShardSolveBegin(EncodeShardSolveBegin(begin)).ok());
+  }
+  {
+    std::vector<uint8_t> bad = EncodeShardSolveBegin(SampleSolveBegin());
+    bad[12] = 9;  // dangling u32 at offset 12
+    EXPECT_FALSE(DecodeShardSolveBegin(bad).ok());
+  }
+  {
+    // initial/teleport slice lengths must agree.
+    ShardSolveBegin begin = SampleSolveBegin();
+    begin.teleport.push_back(0.0);
+    EXPECT_FALSE(DecodeShardSolveBegin(EncodeShardSolveBegin(begin)).ok());
+  }
+}
+
+TEST(ShardWireTest, SweepRequestRoundTripsWithAndWithoutRescale) {
+  for (bool has_rescale : {false, true}) {
+    ShardSweepRequest request = SampleSweepRequest();
+    request.has_rescale = has_rescale;
+    auto decoded = DecodeShardSweepRequest(EncodeShardSweepRequest(request));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->solve_id, request.solve_id);
+    EXPECT_EQ(decoded->sweep, request.sweep);
+    EXPECT_EQ(decoded->dangling_mass, request.dangling_mass);
+    EXPECT_EQ(decoded->has_rescale, has_rescale);
+    EXPECT_EQ(decoded->rescale, request.rescale);
+    EXPECT_EQ(decoded->boundary, request.boundary);
+  }
+}
+
+TEST(ShardWireTest, SweepFramesRejectZeroSweepAndBadRescaleByte) {
+  {
+    ShardSweepRequest request = SampleSweepRequest();
+    request.sweep = 0;  // sweeps are 1-based
+    EXPECT_FALSE(
+        DecodeShardSweepRequest(EncodeShardSweepRequest(request)).ok());
+  }
+  {
+    std::vector<uint8_t> bad = EncodeShardSweepRequest(SampleSweepRequest());
+    bad[20] = 2;  // has_rescale byte at offset 20: only 0/1 are booleans
+    EXPECT_FALSE(DecodeShardSweepRequest(bad).ok());
+  }
+  {
+    ShardSweepResponse response = SampleSweepResponse();
+    response.sweep = 0;
+    EXPECT_FALSE(
+        DecodeShardSweepResponse(EncodeShardSweepResponse(response)).ok());
+  }
+}
+
+TEST(ShardWireTest, SweepFramesRejectLyingScoreCounts) {
+  std::vector<uint8_t> request = EncodeShardSweepRequest(SampleSweepRequest());
+  // boundary count u32 at offset 8 + 4 + 8 + 1 + 8 = 29.
+  for (int b = 0; b < 4; ++b) request[29 + b] = 0xff;
+  EXPECT_FALSE(DecodeShardSweepRequest(request).ok());
+
+  std::vector<uint8_t> response =
+      EncodeShardSweepResponse(SampleSweepResponse());
+  // owned count u32 at offset 8 + 4 = 12.
+  for (int b = 0; b < 4; ++b) response[12 + b] = 0xff;
+  EXPECT_FALSE(DecodeShardSweepResponse(response).ok());
+}
+
+TEST(ShardWireTest, SweepResponseAndSolveEndRoundTrip) {
+  const ShardSweepResponse response = SampleSweepResponse();
+  auto decoded = DecodeShardSweepResponse(EncodeShardSweepResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->solve_id, response.solve_id);
+  EXPECT_EQ(decoded->sweep, response.sweep);
+  EXPECT_EQ(decoded->owned, response.owned);
+  EXPECT_EQ(decoded->dangling_partial, response.dangling_partial);
+  EXPECT_EQ(decoded->residual_partial, response.residual_partial);
+
+  ShardSolveEnd end;
+  end.solve_id = 0xabcdef0123456789ull;
+  auto end_decoded = DecodeShardSolveEnd(EncodeShardSolveEnd(end));
+  ASSERT_TRUE(end_decoded.ok());
+  EXPECT_EQ(end_decoded->solve_id, end.solve_id);
+}
+
+TEST(ShardWireTest, EveryDecoderRejectsEveryTruncationOffset) {
+  const std::vector<uint8_t> payloads[] = {
+      EncodeShardHandshake(SampleHandshake()),
+      EncodeShardHandshakeAck(SampleAck()),
+      EncodeShardSolveBegin(SampleSolveBegin()),
+      EncodeShardSweepRequest(SampleSweepRequest()),
+      EncodeShardSweepResponse(SampleSweepResponse()),
+      EncodeShardSolveEnd(ShardSolveEnd{77}),
+  };
+  for (size_t which = 0; which < 6; ++which) {
+    const std::vector<uint8_t>& payload = payloads[which];
+    for (size_t len = 0; len < payload.size(); ++len) {
+      SCOPED_TRACE("payload " + std::to_string(which) + " truncated to " +
+                   std::to_string(len));
+      const std::span<const uint8_t> cut(payload.data(), len);
+      bool ok = false;
+      switch (which) {
+        case 0: ok = DecodeShardHandshake(cut).ok(); break;
+        case 1: ok = DecodeShardHandshakeAck(cut).ok(); break;
+        case 2: ok = DecodeShardSolveBegin(cut).ok(); break;
+        case 3: ok = DecodeShardSweepRequest(cut).ok(); break;
+        case 4: ok = DecodeShardSweepResponse(cut).ok(); break;
+        case 5: ok = DecodeShardSolveEnd(cut).ok(); break;
+      }
+      EXPECT_FALSE(ok);
+    }
+  }
+}
+
+TEST(ShardWireTest, EveryDecoderRejectsTrailingGarbage) {
+  {
+    std::vector<uint8_t> padded = EncodeShardHandshake(SampleHandshake());
+    padded.push_back(0);
+    EXPECT_FALSE(DecodeShardHandshake(padded).ok());
+  }
+  {
+    std::vector<uint8_t> padded = EncodeShardHandshakeAck(SampleAck());
+    padded.push_back(0);
+    EXPECT_FALSE(DecodeShardHandshakeAck(padded).ok());
+  }
+  {
+    std::vector<uint8_t> padded = EncodeShardSolveBegin(SampleSolveBegin());
+    padded.push_back(0);
+    EXPECT_FALSE(DecodeShardSolveBegin(padded).ok());
+  }
+  {
+    std::vector<uint8_t> padded =
+        EncodeShardSweepRequest(SampleSweepRequest());
+    padded.push_back(0);
+    EXPECT_FALSE(DecodeShardSweepRequest(padded).ok());
+  }
+  {
+    std::vector<uint8_t> padded =
+        EncodeShardSweepResponse(SampleSweepResponse());
+    padded.push_back(0);
+    EXPECT_FALSE(DecodeShardSweepResponse(padded).ok());
+  }
+  {
+    std::vector<uint8_t> padded = EncodeShardSolveEnd(ShardSolveEnd{1});
+    padded.push_back(0);
+    EXPECT_FALSE(DecodeShardSolveEnd(padded).ok());
+  }
+}
+
+TEST(ShardWireTest, FrameHeaderAcceptsAllV2TypesAndStillRejectsBeyond) {
+  for (FrameType type :
+       {FrameType::kShardHandshake, FrameType::kShardHandshakeAck,
+        FrameType::kSolveBegin, FrameType::kSweepRequest,
+        FrameType::kSweepResponse, FrameType::kSolveEnd}) {
+    const std::vector<uint8_t> frame =
+        EncodeFrame(type, 9, std::vector<uint8_t>{});
+    auto header = DecodeFrameHeader(frame);
+    ASSERT_TRUE(header.ok()) << header.status().ToString();
+    EXPECT_EQ(header->type, type);
+  }
+  // One past the v2 range is still an unknown type.
+  std::vector<uint8_t> frame =
+      EncodeFrame(FrameType::kSolveEnd, 9, std::vector<uint8_t>{});
+  frame[10] = 13;
+  EXPECT_FALSE(DecodeFrameHeader(frame).ok());
+}
+
+TEST(ShardWireTest, RandomCorruptionNeverCrashesV2Decoders) {
+  // The same 2000-trial byte-flip fuzz the v1 codecs get, cycled across
+  // all six v2 payloads: reject or decode, never crash or over-read.
+  Rng rng(20260810);
+  const std::vector<uint8_t> payloads[] = {
+      EncodeShardHandshake(SampleHandshake()),
+      EncodeShardHandshakeAck(SampleAck()),
+      EncodeShardSolveBegin(SampleSolveBegin()),
+      EncodeShardSweepRequest(SampleSweepRequest()),
+      EncodeShardSweepResponse(SampleSweepResponse()),
+      EncodeShardSolveEnd(ShardSolveEnd{77}),
+  };
+  for (int trial = 0; trial < 2000; ++trial) {
+    const size_t which = static_cast<size_t>(trial) % 6;
+    std::vector<uint8_t> corrupted = payloads[which];
+    const int flips = 1 + static_cast<int>(rng.Next() % 4);
+    for (int f = 0; f < flips; ++f) {
+      corrupted[rng.Next() % corrupted.size()] ^=
+          static_cast<uint8_t>(1 + rng.Next() % 255);
+    }
+    switch (which) {
+      case 0: (void)DecodeShardHandshake(corrupted); break;
+      case 1: (void)DecodeShardHandshakeAck(corrupted); break;
+      case 2: (void)DecodeShardSolveBegin(corrupted); break;
+      case 3: (void)DecodeShardSweepRequest(corrupted); break;
+      case 4: (void)DecodeShardSweepResponse(corrupted); break;
+      case 5: (void)DecodeShardSolveEnd(corrupted); break;
+    }
+  }
+}
+
+// --- v1 backward-compat pin ---
+//
+// Adding the v2 frame types must leave every v1 byte layout untouched:
+// these goldens were captured from the encoder BEFORE the v2 vocabulary
+// landed (same kWireVersion). If any of them fails, a new client can no
+// longer talk to an old server.
+
+TEST(ShardWireTest, V1FramesStillEncodeByteIdentically) {
+  WireRankRequest wire;
+  wire.deadline_ms = 1500;
+  wire.request.p = 0.5;
+  wire.request.beta = 0.25;
+  wire.request.metric = DegreeMetric::kOutDegree;
+  wire.request.alpha = 0.85;
+  wire.request.tolerance = 1e-10;
+  wire.request.max_iterations = 100;
+  wire.request.dangling = DanglingPolicy::kSelfLoop;
+  wire.request.method = SolverMethod::kGaussSeidel;
+  wire.request.push_epsilon = 1e-6;
+  wire.request.seeds = {3, 17};
+  wire.request.warm_start_tag = "pin";
+  const std::vector<uint8_t> request_golden = {
+      0x5b, 0x00, 0x00, 0x00, 0x44, 0x32, 0x50, 0x52, 0x01, 0x00, 0x01,
+      0x00, 0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11, 0xdc, 0x05,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0xe0, 0x3f, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xd0, 0x3f,
+      0x01, 0x00, 0x00, 0x00, 0x33, 0x33, 0x33, 0x33, 0x33, 0x33, 0xeb,
+      0x3f, 0xbb, 0xbd, 0xd7, 0xd9, 0xdf, 0x7c, 0xdb, 0x3d, 0x64, 0x00,
+      0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x8d,
+      0xed, 0xb5, 0xa0, 0xf7, 0xc6, 0xb0, 0x3e, 0x02, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x03, 0x00, 0x00, 0x00, 0x11, 0x00, 0x00,
+      0x00, 0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x70, 0x69,
+      0x6e};
+  EXPECT_EQ(EncodeFrame(FrameType::kRankRequest, 0x1122334455667788ull,
+                        EncodeRankRequest(wire)),
+            request_golden);
+
+  const std::vector<uint8_t> status_golden = {
+      0x02, 0x00, 0x00, 0x00, 0x0c, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x6e, 0x6f, 0x20, 0x73, 0x75, 0x63, 0x68, 0x20, 0x6e, 0x6f,
+      0x64, 0x65};
+  EXPECT_EQ(EncodeStatusPayload(Status::NotFound("no such node")),
+            status_golden);
+
+  const std::vector<uint8_t> info_golden = {
+      0x2a, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x54, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+  EXPECT_EQ(EncodeServerInfo(ServerInfo{42, 84, 2, 4}), info_golden);
+
+  // And the goldens decode back to the exact originals: old bytes keep
+  // meaning the same thing.
+  auto request_header = DecodeFrameHeader(request_golden);
+  ASSERT_TRUE(request_header.ok());
+  EXPECT_EQ(request_header->request_id, 0x1122334455667788ull);
+  auto decoded_request = DecodeRankRequest(
+      {request_golden.data() + kFrameHeaderBytes,
+       request_golden.size() - kFrameHeaderBytes});
+  ASSERT_TRUE(decoded_request.ok());
+  ExpectRequestsEqual(decoded_request.value(), wire);
 }
 
 }  // namespace

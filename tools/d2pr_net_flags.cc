@@ -46,14 +46,115 @@ Status CheckDeadline(const Flags& flags) {
 
 }  // namespace
 
+namespace {
+
+/// Graph-source rules shared by the server (both roles) and the cluster
+/// launcher: --graph excludes the synthetic knobs, --directed/--weighted
+/// require --graph.
+Status CheckGraphFlags(const Flags& flags) {
+  const auto nodes = flags.GetInt("nodes", 10000);
+  const auto edges_per_node = flags.GetInt("edges-per-node", 8);
+  const auto gen_seed = flags.GetInt("gen-seed", 42);
+  const auto directed = flags.GetBool("directed", false);
+  const auto weighted = flags.GetBool("weighted", false);
+  if (!nodes.ok() || !edges_per_node.ok() || !gen_seed.ok()) {
+    return Status::InvalidArgument("bad numeric flag");
+  }
+  if (!directed.ok() || !weighted.ok()) {
+    return Status::InvalidArgument("bad boolean flag");
+  }
+  if (*nodes < 2) return Status::InvalidArgument("--nodes must be >= 2");
+  if (*edges_per_node < 1) {
+    return Status::InvalidArgument("--edges-per-node must be >= 1");
+  }
+  if (flags.Has("graph")) {
+    if (flags.GetString("graph").empty()) {
+      return Status::InvalidArgument("--graph requires a file path");
+    }
+    if (flags.Has("nodes") || flags.Has("edges-per-node") ||
+        flags.Has("gen-seed")) {
+      return Status::InvalidArgument(
+          "--graph excludes the synthetic-graph flags "
+          "(--nodes/--edges-per-node/--gen-seed)");
+    }
+  } else if (flags.Has("directed") || flags.Has("weighted")) {
+    return Status::InvalidArgument(
+        "--directed/--weighted only apply to --graph files (the "
+        "synthetic generator fixes its own graph kind)");
+  }
+  return Status::OK();
+}
+
+/// Transition-model knobs shared by the shard role and the cluster
+/// launcher (the solving tiers' vocabulary: p finite, beta in [0, 1]).
+Status CheckTransitionFlags(const Flags& flags) {
+  const auto p = flags.GetDouble("p", 0.5);
+  const auto beta = flags.GetDouble("beta", 0.0);
+  if (!p.ok() || !beta.ok()) {
+    return Status::InvalidArgument("bad numeric flag");
+  }
+  if (*beta < 0.0 || *beta > 1.0) {
+    return Status::InvalidArgument("--beta must lie in [0, 1]");
+  }
+  return Status::OK();
+}
+
+Status CheckScheme(const Flags& flags) {
+  const std::string scheme = flags.GetString("scheme");
+  if (!scheme.empty() && scheme != "range" && scheme != "hash") {
+    return Status::InvalidArgument(
+        StrCat("unknown --scheme '", scheme, "' (expected range or hash)"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status ValidateServerFlags(const Flags& flags) {
   static const std::set<std::string> kKnown = {
       "port",    "threads",        "shards", "route",    "max-queue",
       "coalesce", "graph",         "directed", "weighted",
       "nodes",   "edges-per-node", "gen-seed",
+      "shard-role", "shard-id",    "shard-count", "scheme", "p", "beta",
   };
   D2PR_RETURN_NOT_OK(CheckKnown(flags, kKnown));
   D2PR_RETURN_NOT_OK(CheckPort(flags, /*minimum=*/0));
+
+  const auto shard_role = flags.GetBool("shard-role", false);
+  if (!shard_role.ok()) return Status::InvalidArgument("bad boolean flag");
+  if (*shard_role) {
+    // Shard role: one partition shard behind the v2 wire. The serving
+    // policy flags belong to the front-door role only.
+    for (const char* excluded :
+         {"shards", "route", "max-queue", "coalesce", "threads"}) {
+      if (flags.Has(excluded)) {
+        return Status::InvalidArgument(
+            StrCat("--", excluded, " does not apply to --shard-role"));
+      }
+    }
+    const auto shard_id = flags.GetInt("shard-id", 0);
+    const auto shard_count = flags.GetInt("shard-count", 1);
+    if (!shard_id.ok() || !shard_count.ok()) {
+      return Status::InvalidArgument("bad numeric flag");
+    }
+    if (*shard_count < 1) {
+      return Status::InvalidArgument("--shard-count must be >= 1");
+    }
+    if (*shard_id < 0 || *shard_id >= *shard_count) {
+      return Status::InvalidArgument(
+          "--shard-id must lie in [0, shard-count)");
+    }
+    D2PR_RETURN_NOT_OK(CheckScheme(flags));
+    D2PR_RETURN_NOT_OK(CheckTransitionFlags(flags));
+    return CheckGraphFlags(flags);
+  }
+  for (const char* shard_only :
+       {"shard-id", "shard-count", "scheme", "p", "beta"}) {
+    if (flags.Has(shard_only)) {
+      return Status::InvalidArgument(
+          StrCat("--", shard_only, " requires --shard-role"));
+    }
+  }
 
   const auto threads = flags.GetInt("threads", 4);
   const auto shards = flags.GetInt("shards", 1);
@@ -161,6 +262,71 @@ Status ValidateLoadGenFlags(const Flags& flags) {
   if (!method.empty() && method != "power" && method != "gauss-seidel" &&
       method != "forward-push") {
     return Status::InvalidArgument(StrCat("unknown --method '", method, "'"));
+  }
+  return Status::OK();
+}
+
+Status ValidateClusterFlags(const Flags& flags) {
+  static const std::set<std::string> kKnown = {
+      "shard-ports", "host",     "scheme",  "method",    "dangling",
+      "p",           "beta",     "alpha",   "tolerance", "max-iterations",
+      "deadline-ms", "retries",  "compare", "graph",     "directed",
+      "weighted",    "nodes",    "edges-per-node",       "gen-seed",
+  };
+  D2PR_RETURN_NOT_OK(CheckKnown(flags, kKnown));
+  if (!flags.Has("shard-ports")) {
+    return Status::InvalidArgument(
+        "--shard-ports=P1,P2,... is required (one port per shard, "
+        "shard id = list position)");
+  }
+  if (flags.GetString("shard-ports").empty()) {
+    return Status::InvalidArgument("--shard-ports must list at least one port");
+  }
+  D2PR_RETURN_NOT_OK(CheckScheme(flags));
+  D2PR_RETURN_NOT_OK(CheckTransitionFlags(flags));
+  D2PR_RETURN_NOT_OK(CheckGraphFlags(flags));
+  if (flags.Has("deadline-ms")) D2PR_RETURN_NOT_OK(CheckDeadline(flags));
+
+  const auto alpha = flags.GetDouble("alpha", 0.85);
+  const auto tolerance = flags.GetDouble("tolerance", 1e-10);
+  const auto max_iterations = flags.GetInt("max-iterations", 200);
+  const auto retries = flags.GetInt("retries", 2);
+  const auto compare = flags.GetBool("compare", true);
+  if (!alpha.ok() || !tolerance.ok() || !max_iterations.ok() ||
+      !retries.ok()) {
+    return Status::InvalidArgument("bad numeric flag");
+  }
+  if (!compare.ok()) return Status::InvalidArgument("bad boolean flag");
+  if (*alpha < 0.0 || *alpha >= 1.0) {
+    return Status::InvalidArgument("--alpha must lie in [0, 1)");
+  }
+  if (*tolerance <= 0.0) {
+    return Status::InvalidArgument("--tolerance must be > 0");
+  }
+  if (*max_iterations < 1) {
+    return Status::InvalidArgument("--max-iterations must be >= 1");
+  }
+  if (*retries < 0) return Status::InvalidArgument("--retries must be >= 0");
+
+  const std::string method = flags.GetString("method");
+  if (!method.empty() && method != "power" && method != "gauss-seidel") {
+    return Status::InvalidArgument(
+        StrCat("unknown --method '", method,
+               "' (the distributed block solve supports power and "
+               "gauss-seidel)"));
+  }
+  const std::string dangling = flags.GetString("dangling");
+  if (!dangling.empty() && dangling != "teleport" &&
+      dangling != "self-loop" && dangling != "renormalize") {
+    return Status::InvalidArgument(
+        StrCat("unknown --dangling '", dangling,
+               "' (expected teleport, self-loop, or renormalize)"));
+  }
+  if (dangling == "renormalize" && method == "gauss-seidel") {
+    return Status::InvalidArgument(
+        "--dangling=renormalize is incompatible with "
+        "--method=gauss-seidel (the block Gauss-Seidel fixed point would "
+        "depend on sweep order)");
   }
   return Status::OK();
 }

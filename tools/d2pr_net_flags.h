@@ -24,11 +24,18 @@ namespace d2pr {
 inline constexpr double kMaxZipfExponent = 8.0;
 
 /// \brief Validates the d2pr_server flag set. OK means well-formed; any
-/// error corresponds to exit code 2 in the binary.
+/// error corresponds to exit code 2 in the binary. Covers both the
+/// front-door mode and --shard-role (which hosts one partition shard
+/// behind the v2 wire and excludes the serving-policy flags).
 Status ValidateServerFlags(const Flags& flags);
 
 /// \brief Validates the d2pr_loadgen flag set (same contract).
 Status ValidateLoadGenFlags(const Flags& flags);
+
+/// \brief Validates the d2pr_cluster flag set (same contract):
+/// --shard-ports is required, solver/transition knobs are range-checked,
+/// and the graph flags follow the server's rules.
+Status ValidateClusterFlags(const Flags& flags);
 
 }  // namespace d2pr
 

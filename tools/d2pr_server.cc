@@ -21,6 +21,8 @@
 #include "common/rng.h"
 #include "d2pr_net_flags.h"
 #include "datagen/classic_generators.h"
+#include "dist/shard_server.h"
+#include "dist/shard_worker.h"
 #include "graph/graph_io.h"
 #include "net/server.h"
 #include "serve/engine_router.h"
@@ -46,7 +48,16 @@ constexpr char kUsage[] =
     "  --nodes=N            synthetic graph size (default 10000;\n"
     "                       excludes --graph)\n"
     "  --edges-per-node=N   synthetic attachment degree (default 8)\n"
-    "  --gen-seed=N         synthetic generator seed (default 42)\n";
+    "  --gen-seed=N         synthetic generator seed (default 42)\n"
+    "shard role (hosts one partition shard for d2pr_cluster):\n"
+    "  --shard-role         serve one shard of the distributed block\n"
+    "                       solve instead of the rank front door\n"
+    "  --shard-id=N         which shard this process hosts (default 0)\n"
+    "  --shard-count=N      total shards of the partition (default 1)\n"
+    "  --scheme=NAME        partition scheme: range (default) or hash\n"
+    "  --p=X                transition degree-decoupling exponent\n"
+    "                       (default 0.5)\n"
+    "  --beta=X             weighted-blend beta in [0, 1] (default 0)\n";
 
 int UsageError(const char* message) {
   std::fprintf(stderr, "%s\n%s", message, kUsage);
@@ -88,6 +99,58 @@ int Run(const Flags& flags) {
   }
   std::fprintf(stderr, "serving %d nodes, %lld arcs\n", graph->num_nodes(),
                static_cast<long long>(graph->num_arcs()));
+
+  if (*flags.GetBool("shard-role", false)) {
+    // Shard role: host one PartitionShard behind the v2 wire and wait
+    // for a DistributedCoordinator (tools/d2pr_cluster.cc).
+    ShardWorkerOptions worker_options;
+    worker_options.shard_id =
+        static_cast<size_t>(*flags.GetInt("shard-id", 0));
+    worker_options.num_shards =
+        static_cast<size_t>(*flags.GetInt("shard-count", 1));
+    worker_options.scheme = flags.GetString("scheme") == "hash"
+                                ? PartitionScheme::kHash
+                                : PartitionScheme::kRange;
+    worker_options.config.p = *flags.GetDouble("p", 0.5);
+    worker_options.config.beta = *flags.GetDouble("beta", 0.0);
+    Result<std::unique_ptr<ShardWorker>> worker =
+        ShardWorker::Create(std::move(graph).value(), worker_options);
+    if (!worker.ok()) {
+      std::fprintf(stderr, "%s\n", worker.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "hosting shard %zu of %zu (%zu owned nodes)\n",
+                 worker_options.shard_id, worker_options.num_shards,
+                 (*worker)->shard().num_owned());
+
+    ShardServerOptions shard_server_options;
+    shard_server_options.port = port;
+    ShardServer shard_server(**worker, shard_server_options);
+    const Status started = shard_server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("listening on 127.0.0.1:%u\n", shard_server.port());
+    std::fflush(stdout);
+
+    std::signal(SIGINT, HandleSignal);
+    std::signal(SIGTERM, HandleSignal);
+    while (!g_stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    shard_server.Stop();
+    const ShardServerStats& stats = shard_server.stats();
+    std::fprintf(stderr,
+                 "shard served %lld frames (%lld connections, %lld swept, "
+                 "%lld handshake rejects, %lld protocol errors)\n",
+                 static_cast<long long>(stats.frames_handled.load()),
+                 static_cast<long long>(stats.connections_accepted.load()),
+                 static_cast<long long>((*worker)->sweeps_executed()),
+                 static_cast<long long>(stats.handshake_rejects.load()),
+                 static_cast<long long>(stats.protocol_errors.load()));
+    return 0;
+  }
 
   // Either backend shape works behind the same RankBackend seam; the
   // locals live to the end of main, outliving the server.
