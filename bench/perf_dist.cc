@@ -20,6 +20,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,6 +37,7 @@
 #include "dist/shard_worker.h"
 #include "graph/graph_fingerprint.h"
 #include "graph/partition.h"
+#include "graph/shard_cut.h"
 
 namespace d2pr {
 namespace {
@@ -87,8 +89,10 @@ void CheckBitwise(const PagerankResult& got, const PagerankResult& want) {
 /// The in-process reference: one SolvePagerankPartitioned per repeat.
 PagerankResult RunReference(const CsrGraph& graph, size_t shards,
                             const std::vector<double>& teleport, int repeats,
-                            double* best_ms) {
+                            double* best_ms,
+                            PartitionScheme scheme = PartitionScheme::kRange) {
   PartitionOptions popts;
+  popts.scheme = scheme;
   popts.num_shards = shards;
   popts.build_out_csr = false;
   Result<GraphPartition> partition = GraphPartition::Build(graph, popts);
@@ -170,6 +174,89 @@ void RunDistributed(const CsrGraph& graph, size_t shards, bool loopback,
   for (auto& server : fleet.servers) server->Stop();
 }
 
+/// One row of the pre-cut memory story (printed as a second table).
+struct CutMemoryRow {
+  size_t shards = 0;
+  int64_t cut_file_bytes = 0;    // all shard files on disk, summed
+  int64_t max_build_input = 0;   // largest per-worker load input
+  int64_t max_resident = 0;      // largest per-worker graph bytes, post-solve
+};
+
+/// The pre-cut fleet: `d2pr_partition_cut`-shaped shard files written
+/// once, each worker loading ONLY its own cut; the coordinator ships the
+/// global metric vector in the first solve begin. Uses the hash scheme —
+/// on a Barabási–Albert graph the range scheme concentrates the early
+/// hubs in shard 0, which is the skew story, not the memory story.
+CutMemoryRow RunCutFleet(const CsrGraph& graph, size_t shards,
+                         const std::vector<double>& teleport, int repeats) {
+  namespace fs = std::filesystem;
+  constexpr PartitionScheme kScheme = PartitionScheme::kHash;
+  const fs::path dir = fs::temp_directory_path() / "d2pr_perf_dist_cuts";
+  fs::create_directories(dir);
+
+  double reference_ms = 0.0;
+  const PagerankResult reference =
+      RunReference(graph, shards, teleport, repeats, &reference_ms, kScheme);
+
+  PartitionOptions popts;
+  popts.scheme = kScheme;
+  popts.num_shards = shards;
+  popts.build_out_csr = true;
+  auto partition = GraphPartition::Build(graph, popts);
+  D2PR_CHECK(partition.ok()) << partition.status().ToString();
+
+  const uint64_t fingerprint = GraphFingerprint(graph);
+  CutMemoryRow row;
+  row.shards = shards;
+  Fleet fleet;
+  for (size_t s = 0; s < shards; ++s) {
+    const std::string path =
+        (dir / ShardCutFileName(fingerprint, kScheme, shards, s)).string();
+    const Status saved = SaveShardCut(graph, *partition, s, path);
+    D2PR_CHECK(saved.ok()) << saved.ToString();
+    row.cut_file_bytes += static_cast<int64_t>(fs::file_size(path));
+    auto worker = ShardWorker::CreateFromCutFile(path, {});
+    D2PR_CHECK(worker.ok()) << worker.status().ToString();
+    row.max_build_input =
+        std::max(row.max_build_input, worker->get()->build_input_bytes());
+    fleet.workers.push_back(std::move(*worker));
+    fleet.channels.push_back(
+        std::make_unique<InProcessShardChannel>(*fleet.workers.back()));
+    fleet.raw.push_back(fleet.channels.back().get());
+  }
+
+  CoordinatorOptions options;
+  options.scheme = kScheme;
+  options.num_nodes = graph.num_nodes();
+  options.graph_fingerprint = fingerprint;
+  options.key = ResolveTransitionKey(graph, {});
+  options.metric_values = MetricValues(graph, options.key.metric);
+  DistributedCoordinator coordinator(fleet.raw, options);
+  D2PR_CHECK(coordinator.Handshake().ok());
+
+  double best_ms = 1e18;
+  Result<PagerankResult> result = Status::Internal("unset");
+  for (int r = 0; r < repeats; ++r) {
+    const int64_t t0 = NowUs();
+    result = coordinator.Solve(SolverMethod::kPower, teleport, SolveOptions());
+    D2PR_CHECK(result.ok()) << result.status().ToString();
+    best_ms = std::min(best_ms, (NowUs() - t0) / 1000.0);
+  }
+  CheckBitwise(*result, reference);
+
+  // Resident bytes are meaningful AFTER the first solve: the loaded cut
+  // (ghost rows, weights) is dropped once the slice is built, leaving
+  // only the in-CSR each sweep actually reads.
+  for (const auto& worker : fleet.workers) {
+    row.max_resident = std::max(row.max_resident, worker->resident_graph_bytes());
+  }
+
+  const CoordinatorStats& stats = coordinator.stats();
+  PrintRow("cut-file fleet (in-proc)", shards, best_ms, result->iterations,
+           stats.boundary_values, stats.owned_values);
+  return row;
+}
+
 int Run(const Flags& flags) {
   SweepConfig sweep;
   sweep.nodes = static_cast<NodeId>(*flags.GetInt("nodes", 50000));
@@ -193,6 +280,7 @@ int Run(const Flags& flags) {
       "|--------------------------|-------:|---------:|-----------:|"
       "--------------:|------------:|\n");
 
+  std::vector<CutMemoryRow> memory_rows;
   for (size_t shards : {1, 2, 4}) {
     double reference_ms = 0.0;
     const PagerankResult reference = RunReference(
@@ -203,6 +291,29 @@ int Run(const Flags& flags) {
                    sweep.repeats);
     RunDistributed(graph, shards, /*loopback=*/true, teleport, reference,
                    sweep.repeats);
+    memory_rows.push_back(
+        RunCutFleet(graph, shards, teleport, sweep.repeats));
+  }
+
+  // The memory story: what one pre-cut worker holds vs a worker handed
+  // the whole graph. `whole_graph_input` is the bytes a Create() worker
+  // ingests (and keeps resident) regardless of shard count.
+  ShardWorkerOptions whole_options;
+  auto whole = ShardWorker::Create(graph, whole_options);
+  D2PR_CHECK(whole.ok()) << whole.status().ToString();
+  std::printf(
+      "\npre-cut fleet memory (hash scheme; resident measured after the "
+      "first solve, when the loaded cut has been dropped):\n\n"
+      "| shards | cut_files_bytes | max_worker_input | "
+      "max_worker_resident | whole_graph_input |\n"
+      "|-------:|----------------:|-----------------:|"
+      "--------------------:|------------------:|\n");
+  for (const CutMemoryRow& row : memory_rows) {
+    std::printf("| %6zu | %15lld | %16lld | %19lld | %17lld |\n", row.shards,
+                static_cast<long long>(row.cut_file_bytes),
+                static_cast<long long>(row.max_build_input),
+                static_cast<long long>(row.max_resident),
+                static_cast<long long>((*whole)->build_input_bytes()));
   }
   return 0;
 }

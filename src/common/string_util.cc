@@ -4,6 +4,8 @@
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <limits>
 
 namespace d2pr {
 
@@ -16,6 +18,17 @@ std::string FormatDouble(double value, int digits) {
 std::string FormatGeneral(double value, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+  return std::string(buf);
+}
+
+std::string FormatExactDouble(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g (bits %016llx)",
+                std::numeric_limits<double>::max_digits10, value,
+                static_cast<unsigned long long>(bits));
   return std::string(buf);
 }
 

@@ -26,6 +26,16 @@ std::string FormatDouble(double value, int digits);
 /// digits (paper-style "0.988", "-0.05").
 std::string FormatGeneral(double value, int precision);
 
+/// \brief Formats a double losslessly for bitwise-comparison diagnostics:
+/// max_digits10 significant digits (round-trips every finite double)
+/// followed by the raw IEEE-754 bit pattern, e.g.
+/// "0.10000000000000001 (bits 3fb999999999999a)". Error messages about
+/// values compared BIT FOR BIT (the handshake's transition key) must use
+/// this — default stream precision prints two differing doubles as the
+/// same text, turning a real mismatch into an apparently absurd report
+/// ("worker has p=0.1, handshake declares p=0.1").
+std::string FormatExactDouble(double value);
+
 /// \brief Formats an integer with thousands separators ("4,465,272").
 std::string FormatWithCommas(int64_t value);
 

@@ -50,6 +50,11 @@ double BlendedArcProb(double numerator, double row_sum, double beta,
 
 Status ValidateTransitionConfig(const CsrGraph& graph,
                                 const TransitionConfig& config) {
+  return ValidateTransitionConfig(graph.weighted(), config);
+}
+
+Status ValidateTransitionConfig(bool weighted,
+                                const TransitionConfig& config) {
   if (!std::isfinite(config.p)) {
     return Status::InvalidArgument(
         StrCat("de-coupling weight p must be finite, got ", config.p));
@@ -58,8 +63,8 @@ Status ValidateTransitionConfig(const CsrGraph& graph,
     return Status::InvalidArgument(
         StrCat("beta must lie in [0, 1], got ", config.beta));
   }
-  const DegreeMetric metric = ResolveMetric(graph, config.metric);
-  if (metric == DegreeMetric::kOutStrength && !graph.weighted()) {
+  const DegreeMetric metric = ResolveMetric(weighted, config.metric);
+  if (metric == DegreeMetric::kOutStrength && !weighted) {
     return Status::InvalidArgument(
         "kOutStrength metric requires a weighted graph");
   }
@@ -67,9 +72,12 @@ Status ValidateTransitionConfig(const CsrGraph& graph,
 }
 
 DegreeMetric ResolveMetric(const CsrGraph& graph, DegreeMetric metric) {
+  return ResolveMetric(graph.weighted(), metric);
+}
+
+DegreeMetric ResolveMetric(bool weighted, DegreeMetric metric) {
   if (metric != DegreeMetric::kAuto) return metric;
-  return graph.weighted() ? DegreeMetric::kOutStrength
-                          : DegreeMetric::kOutDegree;
+  return weighted ? DegreeMetric::kOutStrength : DegreeMetric::kOutDegree;
 }
 
 std::vector<double> MetricValues(const CsrGraph& graph, DegreeMetric metric) {

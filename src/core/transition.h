@@ -149,6 +149,13 @@ class TransitionMatrix {
 /// through unchanged.
 DegreeMetric ResolveMetric(const CsrGraph& graph, DegreeMetric metric);
 
+/// \brief Metric resolution from weightedness alone — kAuto resolves to
+/// kOutStrength iff `weighted`. The graph overload delegates here;
+/// consumers that hold a shard cut instead of a CsrGraph (ShardWorker's
+/// --shard-file path) resolve from the cut's metadata and MUST agree
+/// bitwise with the graph path.
+DegreeMetric ResolveMetric(bool weighted, DegreeMetric metric);
+
 /// \brief The metric values deg/outdeg/Θ/indeg per node, as configured.
 /// These are the quantities raised to -p in the D2PR formulas.
 std::vector<double> MetricValues(const CsrGraph& graph, DegreeMetric metric);
@@ -160,6 +167,11 @@ std::vector<double> MetricValues(const CsrGraph& graph, DegreeMetric metric);
 /// messages.
 Status ValidateTransitionConfig(const CsrGraph& graph,
                                 const TransitionConfig& config);
+
+/// \brief The same validation from weightedness alone (identical checks,
+/// identical messages) — the graph overload delegates here. Used by the
+/// cut-loaded slice builder, where no CsrGraph exists.
+Status ValidateTransitionConfig(bool weighted, const TransitionConfig& config);
 
 // --- The per-arc arithmetic of the de-coupled model, factored out. ---
 //

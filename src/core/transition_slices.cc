@@ -1,5 +1,6 @@
 #include "core/transition_slices.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -208,6 +209,128 @@ Result<TransitionSlices> BuildTransitionSlicesLocal(
     }
   }
   return slices;
+}
+
+Result<std::vector<double>> BuildShardSliceFromCut(
+    const ShardCut& cut, std::span<const double> metric_values,
+    const TransitionConfig& config) {
+  D2PR_RETURN_NOT_OK(ValidateTransitionConfig(cut.meta.weighted, config));
+  if (metric_values.size() != static_cast<size_t>(cut.meta.num_nodes)) {
+    return Status::InvalidArgument(
+        StrCat("metric vector holds ", metric_values.size(),
+               " values but the cut's graph has ", cut.meta.num_nodes,
+               " nodes"));
+  }
+  const double beta = cut.meta.weighted ? config.beta : 0.0;
+  const double p = config.p;
+  const PartitionShard& shard = cut.shard;
+
+  // log_metric over the FULL broadcast vector: pass 1 folds the rows of
+  // owned and boundary sources, whose targets are arbitrary global ids.
+  std::vector<double> log_metric(metric_values.size());
+  for (size_t v = 0; v < metric_values.size(); ++v) {
+    log_metric[v] = metric_values[v] > 0.0 ? std::log(metric_values[v])
+                                           : kNegInf;
+  }
+
+  // Pass 1 over a compact slot space — slot k < owned for owned[k], slot
+  // owned + b for boundary_sources[b] — since those are the only sources
+  // the in-CSR can name. Each row folds in ascending arc order through
+  // the shared kernels, so every double matches the whole-graph pass bit
+  // for bit; ghost rows ARE the boundary sources' rows, in row order.
+  const size_t num_owned = shard.owned.size();
+  const size_t num_slots = num_owned + cut.boundary_sources.size();
+  std::vector<double> max_exponent(num_slots, kNegInf);
+  std::vector<double> row_sum(num_slots, 0.0);
+  std::vector<uint8_t> uniform_row(num_slots, 0);
+  std::vector<double> strength_total;
+  if (beta > 0.0) strength_total.assign(num_slots, 0.0);
+
+  const auto fold_row = [&](size_t slot, std::span<const NodeId> targets,
+                            std::span<const double> weights) {
+    if (targets.empty()) return;  // dangling: no row to normalize
+    double row_max = kNegInf;
+    for (NodeId j : targets) {
+      row_max = std::max(
+          row_max,
+          DecoupledArcExponent(log_metric[static_cast<size_t>(j)], p));
+    }
+    double sum = 0.0;
+    for (NodeId j : targets) {
+      sum += DecoupledArcNumerator(
+          DecoupledArcExponent(log_metric[static_cast<size_t>(j)], p),
+          row_max);
+    }
+    if (sum == 0.0) {
+      uniform_row[slot] = 1;
+      sum = static_cast<double>(targets.size());
+    }
+    max_exponent[slot] = row_max;
+    row_sum[slot] = sum;
+    if (beta > 0.0) {
+      // The ascending-arc-order weight sum CsrGraph::OutStrength
+      // performs, replayed over the cut's copy of the row.
+      double theta = 0.0;
+      for (double w : weights) theta += w;
+      strength_total[slot] = theta;
+    }
+  };
+
+  for (size_t k = 0; k < num_owned; ++k) {
+    const size_t begin = static_cast<size_t>(shard.out_offsets[k]);
+    const size_t end = static_cast<size_t>(shard.out_offsets[k + 1]);
+    fold_row(k,
+             std::span<const NodeId>(shard.out_targets)
+                 .subspan(begin, end - begin),
+             beta > 0.0 ? std::span<const double>(cut.out_weights)
+                              .subspan(begin, end - begin)
+                        : std::span<const double>{});
+  }
+  for (size_t b = 0; b < cut.boundary_sources.size(); ++b) {
+    const size_t begin = static_cast<size_t>(cut.ghost_offsets[b]);
+    const size_t end = static_cast<size_t>(cut.ghost_offsets[b + 1]);
+    fold_row(num_owned + b,
+             std::span<const NodeId>(cut.ghost_targets)
+                 .subspan(begin, end - begin),
+             beta > 0.0 ? std::span<const double>(cut.ghost_weights)
+                              .subspan(begin, end - begin)
+                        : std::span<const double>{});
+  }
+
+  // Pass 2 — stream the in-CSR; the kernel calls and operand values are
+  // the ones BuildTransitionSlicesLocal's pass 2 would produce.
+  std::vector<double> slice(shard.in_sources.size());
+  for (size_t k = 0; k < num_owned; ++k) {
+    const double dst_exponent_input =
+        log_metric[static_cast<size_t>(shard.owned[k])];
+    const size_t begin = static_cast<size_t>(shard.in_offsets[k]);
+    const size_t end = static_cast<size_t>(shard.in_offsets[k + 1]);
+    for (size_t idx = begin; idx < end; ++idx) {
+      const NodeId src = shard.in_sources[idx];
+      size_t slot;
+      if (shard.in_interior[idx]) {
+        slot = static_cast<size_t>(
+            std::lower_bound(shard.owned.begin(), shard.owned.end(), src) -
+            shard.owned.begin());
+      } else {
+        slot = num_owned +
+               static_cast<size_t>(std::lower_bound(
+                                       cut.boundary_sources.begin(),
+                                       cut.boundary_sources.end(), src) -
+                                   cut.boundary_sources.begin());
+      }
+      const double numerator =
+          uniform_row[slot]
+              ? 1.0
+              : DecoupledArcNumerator(
+                    DecoupledArcExponent(dst_exponent_input, p),
+                    max_exponent[slot]);
+      const double arc_weight = beta > 0.0 ? cut.in_weights[idx] : 0.0;
+      slice[idx] = BlendedArcProb(numerator, row_sum[slot], beta, arc_weight,
+                                  beta > 0.0 ? strength_total[slot] : 0.0);
+    }
+  }
+  return slice;
 }
 
 }  // namespace d2pr

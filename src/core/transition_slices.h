@@ -37,10 +37,14 @@
 #ifndef D2PR_CORE_TRANSITION_SLICES_H_
 #define D2PR_CORE_TRANSITION_SLICES_H_
 
+#include <span>
+#include <vector>
+
 #include "common/result.h"
 #include "core/transition.h"
 #include "graph/csr_graph.h"
 #include "graph/partition.h"
+#include "graph/shard_cut.h"
 
 namespace d2pr {
 
@@ -71,6 +75,26 @@ Result<TransitionSlices> BuildTransitionSlices(
 /// to BuildTransitionSlices over TransitionMatrix::Build(graph, config).
 Result<TransitionSlices> BuildTransitionSlicesLocal(
     const CsrGraph& graph, const GraphPartition& partition,
+    const TransitionConfig& config);
+
+/// \brief Builds ONE shard's probability slice from a loaded cut file and
+/// the broadcast global metric vector — no CsrGraph, no GraphPartition,
+/// no whole-graph anything (the --shard-file worker's only build path).
+///
+/// `metric_values` is the full O(|V|) per-node metric vector
+/// (MetricValues on the coordinator side, shipped in the solve-begin
+/// frame); it must hold exactly cut.meta.num_nodes values. The returned
+/// vector is aligned with cut.shard.in_sources — bitwise identical to
+/// BuildTransitionSlicesLocal's in_probs[shard] for the same graph,
+/// scheme, and config, because owned rows fold in the same arc order the
+/// whole-graph pass uses and boundary rows fold over the cut's ghost
+/// rows, which are those sources' rows verbatim.
+///
+/// Rejects exactly what the whole-graph builders reject (shared
+/// validation against cut.meta.weighted) plus a wrong-sized metric
+/// vector.
+Result<std::vector<double>> BuildShardSliceFromCut(
+    const ShardCut& cut, std::span<const double> metric_values,
     const TransitionConfig& config);
 
 }  // namespace d2pr

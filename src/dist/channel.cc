@@ -1,6 +1,7 @@
 #include "dist/channel.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <utility>
@@ -29,11 +30,42 @@ Result<std::unique_ptr<SocketShardChannel>> SocketShardChannel::Connect(
 
 Result<ShardFrame> SocketShardChannel::Call(const ShardFrame& request,
                                             int64_t deadline_ms) {
-  if (deadline_ms != armed_deadline_ms_) {
-    D2PR_RETURN_NOT_OK(socket_.SetRecvTimeout(deadline_ms > 0 ? deadline_ms
-                                                              : 0));
-    armed_deadline_ms_ = deadline_ms;
+  // A negative deadline is a budget the caller already spent. Fail before
+  // touching the wire: SetRecvTimeout treats non-positive values as "no
+  // timeout", so sending anyway would trade an expired budget for an
+  // unbounded wait.
+  if (deadline_ms < 0) {
+    return Status::DeadlineExceeded(
+        StrCat("call budget of ", deadline_ms, " ms already expired"));
   }
+  const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  // Arms SO_RCVTIMEO with the budget REMAINING before a receive. The
+  // deadline bounds the whole call, not each recv — the stale-reply
+  // drain loop below reads one frame per duplicate, and arming the full
+  // deadline per frame would let a storm of duplicates extend one call
+  // indefinitely (each stale frame granting a fresh budget).
+  auto arm_remaining = [&]() -> Status {
+    int64_t remaining = 0;  // 0 = no deadline
+    if (deadline_ms > 0) {
+      const int64_t elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      remaining = deadline_ms - elapsed;
+      if (remaining <= 0) {
+        return Status::DeadlineExceeded(
+            StrCat("call budget of ", deadline_ms, " ms exhausted after ",
+                   elapsed, " ms"));
+      }
+    }
+    if (remaining != armed_deadline_ms_) {
+      Status armed = socket_.SetRecvTimeout(remaining);
+      if (!armed.ok()) return armed;
+      armed_deadline_ms_ = remaining;
+    }
+    return Status::OK();
+  };
   const std::vector<uint8_t> frame =
       EncodeFrame(request.type, request.request_id, request.payload);
   D2PR_RETURN_NOT_OK(socket_.SendAll(frame.data(), frame.size()));
@@ -42,6 +74,7 @@ Result<ShardFrame> SocketShardChannel::Call(const ShardFrame& request,
   // replies of retried calls — drained, not errors; anything else means
   // the stream lost sync.
   for (;;) {
+    D2PR_RETURN_NOT_OK(arm_remaining());
     uint8_t header_bytes[kFrameHeaderBytes];
     D2PR_RETURN_NOT_OK(socket_.RecvExact(header_bytes, sizeof(header_bytes)));
     FrameHeader header;
@@ -53,6 +86,7 @@ Result<ShardFrame> SocketShardChannel::Call(const ShardFrame& request,
     reply.request_id = header.request_id;
     reply.payload.resize(header.payload_len);
     if (header.payload_len > 0) {
+      D2PR_RETURN_NOT_OK(arm_remaining());
       D2PR_RETURN_NOT_OK(
           socket_.RecvExact(reply.payload.data(), reply.payload.size()));
     }

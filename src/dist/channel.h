@@ -7,10 +7,13 @@
 //
 //   * SocketShardChannel — a real TCP connection to a ShardServer
 //     (dist/shard_server.h), with the per-call deadline armed as a
-//     receive timeout (Socket::SetRecvTimeout). Stale replies — a
-//     duplicate or late response whose request id predates the current
-//     call — are drained silently, which is what makes coordinator-side
-//     retries of idempotent sweep requests safe over a real stream.
+//     receive timeout (Socket::SetRecvTimeout) re-armed before every
+//     receive with the budget REMAINING, so the deadline bounds the
+//     whole call. Stale replies — a duplicate or late response whose
+//     request id predates the current call — are drained silently,
+//     which is what makes coordinator-side retries of idempotent sweep
+//     requests safe over a real stream; each stale frame spends the
+//     call's one budget rather than granting a fresh one.
 //   * InProcessShardChannel — a direct call into a ShardWorker, no
 //     sockets and no threads. The distributed test suites run whole
 //     shard fleets this way, and a FaultyChannel (tests/dist_test_util.h)
@@ -53,9 +56,12 @@ class ShardChannel {
   virtual ~ShardChannel() = default;
 
   /// Sends `request` and blocks for the reply carrying the same request
-  /// id. `deadline_ms` bounds the wait when > 0 (DeadlineExceeded on
-  /// expiry); 0 waits forever. Replies with older request ids are
-  /// drained and discarded, not errors.
+  /// id. `deadline_ms` > 0 bounds the WHOLE call — send plus every
+  /// receive, including stale-reply drains — with DeadlineExceeded on
+  /// expiry; 0 means no deadline (wait forever); a negative value is an
+  /// already-spent budget and returns DeadlineExceeded without sending.
+  /// Replies with older request ids are drained and discarded, not
+  /// errors.
   virtual Result<ShardFrame> Call(const ShardFrame& request,
                                   int64_t deadline_ms) = 0;
 };
@@ -74,6 +80,9 @@ class SocketShardChannel : public ShardChannel {
   explicit SocketShardChannel(Socket socket) : socket_(std::move(socket)) {}
 
   Socket socket_;
+  /// Last SO_RCVTIMEO value armed on socket_, to skip the setsockopt
+  /// when the wanted timeout (remaining budget, or 0 for none) is
+  /// already in place. -1 = never armed.
   int64_t armed_deadline_ms_ = -1;
 };
 

@@ -22,25 +22,11 @@ TransitionKey ResolveTransitionKey(const CsrGraph& graph,
 
 DistributedCoordinator::DistributedCoordinator(
     std::vector<ShardChannel*> channels, const CoordinatorOptions& options)
-    : channels_(std::move(channels)), options_(options) {
-  const NodeId n = options_.num_nodes;
-  const NodeId shards = static_cast<NodeId>(channels_.size());
-  if (shards > 0) {
-    range_base_ = n / shards;
-    range_extra_ = n % shards;
-  }
-}
+    : channels_(std::move(channels)), options_(options) {}
 
 size_t DistributedCoordinator::OwnerOf(NodeId node) const {
-  const size_t num_shards = channels_.size();
-  if (options_.scheme == PartitionScheme::kHash) {
-    return static_cast<size_t>(static_cast<uint32_t>(node)) % num_shards;
-  }
-  const NodeId pivot = range_extra_ * (range_base_ + 1);
-  return node < pivot
-             ? static_cast<size_t>(node / (range_base_ + 1))
-             : static_cast<size_t>(range_extra_ +
-                                   (node - pivot) / range_base_);
+  return PartitionOwnerOf(options_.scheme, node, options_.num_nodes,
+                          channels_.size());
 }
 
 int64_t DistributedCoordinator::NowMs() const {
@@ -109,6 +95,7 @@ Status DistributedCoordinator::Handshake() {
   }
 
   boundary_.assign(num_shards, {});
+  needs_metric_.assign(num_shards, 0);
   dangling_.clear();
 
   ShardHandshake handshake;
@@ -166,6 +153,19 @@ Status DistributedCoordinator::Handshake() {
             StrCat("shard ", s, " claims dangling node ", v,
                    " it does not own"));
       }
+    }
+    if (ack.needs_metric_values) {
+      // A cut-loaded shard will not accept a solve begin without the
+      // metric vector; fail HERE, before any solve moves an iterate.
+      if (options_.metric_values.size() != static_cast<size_t>(n)) {
+        return Status::FailedPrecondition(StrCat(
+            "shard ", s,
+            " was loaded from a cut file and needs the global metric "
+            "vector, but the coordinator holds ",
+            options_.metric_values.size(), " metric values for a ", n,
+            "-node graph (set CoordinatorOptions::metric_values)"));
+      }
+      needs_metric_[s] = 1;
     }
     boundary_[s] = ack.boundary_sources;
     dangling_.insert(dangling_.end(), ack.dangling_owned.begin(),
@@ -242,6 +242,13 @@ Result<PagerankResult> DistributedCoordinator::Solve(
       begin.initial.push_back(current[static_cast<size_t>(v)]);
       begin.teleport.push_back(teleport[static_cast<size_t>(v)]);
     }
+    if (needs_metric_[s]) {
+      // One O(|V|) broadcast, once per cut-loaded shard ever: the shard
+      // builds its transition slice from it and never asks again.
+      begin.metric_values = options_.metric_values;
+      stats_.metric_values_sent +=
+          static_cast<int64_t>(begin.metric_values.size());
+    }
     ShardFrame request;
     request.type = FrameType::kSolveBegin;
     request.request_id = next_request_id_++;
@@ -251,6 +258,7 @@ Result<PagerankResult> DistributedCoordinator::Solve(
       stats_.elapsed_ms += NowMs() - t0;
       return reply.status();
     }
+    needs_metric_[s] = 0;
   }
 
   // prev_norm > 0 means the previous iteration L1-normalized the global

@@ -70,6 +70,14 @@ struct CoordinatorOptions {
   uint64_t graph_fingerprint = 0;
   /// Resolved transition key (ResolveTransitionKey).
   TransitionKey key;
+  /// The FULL global per-node metric vector (MetricValues under
+  /// key.metric), broadcast in the first kSolveBegin to any shard whose
+  /// handshake ack set needs_metric_values — i.e. shards loaded from
+  /// pre-cut files, which hold no whole-graph structure to derive it
+  /// from. Must hold num_nodes values when any shard will ask; may stay
+  /// empty for whole-graph fleets (Handshake rejects the mismatch, not
+  /// Solve, so misconfiguration surfaces before any iterate moves).
+  std::vector<double> metric_values;
   /// Per-call deadline for every shard round-trip, in milliseconds;
   /// 0 = wait forever (the in-process fleets run without deadlines).
   int64_t sweep_deadline_ms = 0;
@@ -87,6 +95,7 @@ struct CoordinatorStats {
   int64_t retries = 0;          ///< Idempotent resends after timeouts.
   int64_t boundary_values = 0;  ///< Boundary doubles shipped down, total.
   int64_t owned_values = 0;     ///< Owned doubles shipped up, total.
+  int64_t metric_values_sent = 0;  ///< Metric doubles broadcast, total.
   int64_t elapsed_ms = 0;       ///< Wall clock inside Solve().
 };
 
@@ -141,15 +150,14 @@ class DistributedCoordinator {
   uint64_t next_request_id_ = 1;
   uint64_t next_solve_id_ = 1;
 
-  /// Closed-form kRange bookkeeping (mirrors GraphPartition).
-  NodeId range_base_ = 0;
-  NodeId range_extra_ = 0;
-
   /// Per-shard owned nodes, ascending (closed-form, computed once).
   std::vector<std::vector<NodeId>> owned_;
   /// Per-shard boundary sources (from the acks; the order boundary
   /// values are shipped in).
   std::vector<std::vector<NodeId>> boundary_;
+  /// 1 while shard s still needs the metric vector in its next solve
+  /// begin (from the acks; cleared after a solve begin it accepted).
+  std::vector<uint8_t> needs_metric_;
   /// All dangling nodes, ascending global ids (merged from the acks).
   std::vector<NodeId> dangling_;
 };

@@ -30,6 +30,19 @@ bool SameBits(double a, double b) {
   return ab == bb;
 }
 
+template <typename T>
+int64_t VectorBytes(const std::vector<T>& v) {
+  return static_cast<int64_t>(v.size() * sizeof(T));
+}
+
+int64_t ShardBytes(const PartitionShard& shard) {
+  return VectorBytes(shard.owned) + VectorBytes(shard.out_offsets) +
+         VectorBytes(shard.out_targets) + VectorBytes(shard.out_arc_begin) +
+         VectorBytes(shard.in_offsets) + VectorBytes(shard.in_sources) +
+         VectorBytes(shard.in_arc_index) + VectorBytes(shard.in_interior) +
+         VectorBytes(shard.dangling_owned);
+}
+
 }  // namespace
 
 ShardWorker::ShardWorker(ShardWorkerOptions options, uint64_t fingerprint,
@@ -72,13 +85,63 @@ Result<std::unique_ptr<ShardWorker>> ShardWorker::Create(
   worker->num_arcs_ = static_cast<uint64_t>(graph.num_arcs());
   worker->shard_ = partition->shard(options.shard_id);
   worker->probs_ = std::move(slices.in_probs[options.shard_id]);
+  worker->slice_ready_ = true;
+  // The whole graph's CSR bytes: what this path forces every shard
+  // process to ingest (the cut path's build_input_bytes is its cut).
+  worker->build_input_bytes_ =
+      static_cast<int64_t>((graph.num_nodes() + 1) * sizeof(EdgeIndex)) +
+      static_cast<int64_t>(graph.num_arcs()) *
+          static_cast<int64_t>(sizeof(NodeId) +
+                               (graph.weighted() ? sizeof(double) : 0));
+  worker->InitDerivedIndexes(worker->shard_);
+  return worker;
+}
 
-  const PartitionShard& shard = worker->shard_;
-  worker->owned_dangling_.assign(shard.owned.size(), 0);
+Result<std::unique_ptr<ShardWorker>> ShardWorker::CreateFromCutFile(
+    const std::string& path, const TransitionConfig& config) {
+  Result<ShardCut> loaded = LoadShardCut(path);
+  if (!loaded.ok()) return loaded.status();
+  auto cut = std::make_unique<ShardCut>(std::move(*loaded));
+
+  // Fail a bad config at create time, not at the first solve.
+  if (Status s = ValidateTransitionConfig(cut->meta.weighted, config);
+      !s.ok()) {
+    return s;
+  }
+
+  ShardWorkerOptions options;
+  options.shard_id = cut->meta.shard_id;
+  options.num_shards = cut->meta.num_shards;
+  options.scheme = cut->meta.scheme;
+  options.config = config;
+
+  // Same normalization as the graph path, resolved from the cut's
+  // weightedness — bitwise the key Create() would compute for the
+  // source graph.
+  ResolvedKey key;
+  key.p = config.p;
+  key.beta = cut->meta.weighted ? config.beta : 0.0;
+  key.metric = ResolveMetric(cut->meta.weighted, config.metric);
+
+  auto worker = std::unique_ptr<ShardWorker>(
+      new ShardWorker(options, cut->meta.graph_fingerprint, key));
+  worker->num_nodes_ = static_cast<uint64_t>(cut->meta.num_nodes);
+  worker->num_arcs_ = static_cast<uint64_t>(cut->meta.num_arcs);
+  worker->build_input_bytes_ = cut->payload_bytes();
+  worker->InitDerivedIndexes(cut->shard);
+  // The cut stays intact (ghost rows + weights next to the shard) until
+  // the first solve begin ships the metric vector and the slice builds;
+  // until then live_shard() reads through it.
+  worker->cut_ = std::move(cut);
+  return worker;
+}
+
+void ShardWorker::InitDerivedIndexes(const PartitionShard& shard) {
+  owned_dangling_.assign(shard.owned.size(), 0);
   for (NodeId v : shard.dangling_owned) {
     const auto it =
         std::lower_bound(shard.owned.begin(), shard.owned.end(), v);
-    worker->owned_dangling_[static_cast<size_t>(it - shard.owned.begin())] = 1;
+    owned_dangling_[static_cast<size_t>(it - shard.owned.begin())] = 1;
   }
 
   // Distinct boundary sources, ascending — the published order of every
@@ -90,25 +153,23 @@ Result<std::unique_ptr<ShardWorker>> ShardWorker::Create(
   std::sort(boundary.begin(), boundary.end());
   boundary.erase(std::unique(boundary.begin(), boundary.end()),
                  boundary.end());
-  worker->boundary_sources_ = std::move(boundary);
+  boundary_sources_ = std::move(boundary);
 
   // Slot of each in-CSR position in the [owned | boundary] scratch.
-  worker->src_slot_.resize(shard.in_sources.size());
+  src_slot_.resize(shard.in_sources.size());
   for (size_t idx = 0; idx < shard.in_sources.size(); ++idx) {
     const NodeId src = shard.in_sources[idx];
     if (shard.in_interior[idx]) {
       const auto it =
           std::lower_bound(shard.owned.begin(), shard.owned.end(), src);
-      worker->src_slot_[idx] = static_cast<size_t>(it - shard.owned.begin());
+      src_slot_[idx] = static_cast<size_t>(it - shard.owned.begin());
     } else {
-      const auto it = std::lower_bound(worker->boundary_sources_.begin(),
-                                       worker->boundary_sources_.end(), src);
-      worker->src_slot_[idx] =
-          shard.owned.size() +
-          static_cast<size_t>(it - worker->boundary_sources_.begin());
+      const auto it = std::lower_bound(boundary_sources_.begin(),
+                                       boundary_sources_.end(), src);
+      src_slot_[idx] = shard.owned.size() +
+                       static_cast<size_t>(it - boundary_sources_.begin());
     }
   }
-  return worker;
 }
 
 ShardFrame ShardWorker::StatusReply(uint64_t request_id,
@@ -184,12 +245,17 @@ ShardFrame ShardWorker::HandleHandshake(const ShardFrame& request,
   }
   if (!SameBits(h.p, key_.p) || !SameBits(h.beta, key_.beta) ||
       h.metric != key_.metric) {
+    // The comparison is bitwise, so the report must be too: default
+    // stream precision prints 0.1 and 0.1+1ulp as the same "0.1",
+    // which made real mismatches read as absurd self-contradictions.
     return StatusReply(
         request.request_id,
         Status::InvalidArgument(StrCat(
-            "transition key mismatch: worker resolved (p=", key_.p,
-            ", beta=", key_.beta, ", metric=", static_cast<int>(key_.metric),
-            "), handshake declares (p=", h.p, ", beta=", h.beta,
+            "transition key mismatch: worker resolved (p=",
+            FormatExactDouble(key_.p), ", beta=", FormatExactDouble(key_.beta),
+            ", metric=", static_cast<int>(key_.metric),
+            "), handshake declares (p=", FormatExactDouble(h.p),
+            ", beta=", FormatExactDouble(h.beta),
             ", metric=", static_cast<int>(h.metric), ")")));
   }
   if (claimed_by_ != 0 && claimed_by_ != session_id) {
@@ -200,13 +266,17 @@ ShardFrame ShardWorker::HandleHandshake(const ShardFrame& request,
   }
   claimed_by_ = session_id;
 
+  const PartitionShard& shard = live_shard();
   ShardHandshakeAck ack;
   ack.num_nodes = num_nodes_;
   ack.num_arcs = num_arcs_;
-  ack.num_owned = shard_.owned.size();
-  ack.boundary_in_arcs = static_cast<uint64_t>(shard_.boundary_in_arcs);
-  ack.dangling_owned = shard_.dangling_owned;
+  ack.num_owned = shard.owned.size();
+  ack.boundary_in_arcs = static_cast<uint64_t>(shard.boundary_in_arcs);
+  ack.dangling_owned = shard.dangling_owned;
   ack.boundary_sources = boundary_sources_;
+  // A cut-loaded worker asks for the metric vector until its first
+  // slice build; a whole-graph worker never does.
+  ack.needs_metric_values = !slice_ready_;
 
   ShardFrame reply;
   reply.type = FrameType::kShardHandshakeAck;
@@ -227,17 +297,45 @@ ShardFrame ShardWorker::HandleSolveBegin(const ShardFrame& request,
   if (!decoded.ok()) return StatusReply(request.request_id, decoded.status());
   ShardSolveBegin begin = std::move(*decoded);
 
-  if (begin.initial.size() != shard_.owned.size()) {
+  if (begin.initial.size() != live_shard().owned.size()) {
     return StatusReply(
         request.request_id,
         Status::InvalidArgument(StrCat(
             "solve begin carries ", begin.initial.size(),
-            " owned values, shard owns ", shard_.owned.size(), " nodes")));
+            " owned values, shard owns ", live_shard().owned.size(),
+            " nodes")));
   }
   if (begin.method == static_cast<uint32_t>(SolverMethod::kGaussSeidel)) {
     if (Status s = ValidateBlockGaussSeidelPolicy(begin.dangling); !s.ok()) {
       return StatusReply(request.request_id, s);
     }
+  }
+
+  if (!slice_ready_) {
+    // Cut-loaded worker, first solve: build the slice from the cut plus
+    // the broadcast metric vector the ack asked for. Wrong-sized (or
+    // otherwise bad) vectors reject from BuildShardSliceFromCut with
+    // its own message.
+    if (begin.metric_values.empty()) {
+      return StatusReply(
+          request.request_id,
+          Status::FailedPrecondition(
+              "worker loaded from a cut file has no transition slice yet; "
+              "solve begin must carry the global metric vector the "
+              "handshake ack requested (needs_metric_values)"));
+    }
+    Result<std::vector<double>> slice =
+        BuildShardSliceFromCut(*cut_, begin.metric_values, options_.config);
+    if (!slice.ok()) return StatusReply(request.request_id, slice.status());
+    probs_ = std::move(*slice);
+    // The cut has served its purpose: keep the shard, drop the ghost
+    // rows, weights, and the forward slice the sweeps never read.
+    shard_ = std::move(cut_->shard);
+    cut_.reset();
+    shard_.out_offsets = std::vector<EdgeIndex>();
+    shard_.out_targets = std::vector<NodeId>();
+    shard_.out_arc_begin = std::vector<EdgeIndex>();
+    slice_ready_ = true;
   }
 
   solve_active_ = true;
@@ -442,6 +540,19 @@ void ShardWorker::CloseSession(uint64_t session_id) {
 int64_t ShardWorker::sweeps_executed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return sweeps_executed_;
+}
+
+int64_t ShardWorker::resident_graph_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t bytes = ShardBytes(live_shard()) + VectorBytes(boundary_sources_) +
+                  VectorBytes(src_slot_) + VectorBytes(owned_dangling_);
+  if (cut_) {
+    bytes += VectorBytes(cut_->boundary_sources) +
+             VectorBytes(cut_->ghost_offsets) +
+             VectorBytes(cut_->ghost_targets) + VectorBytes(cut_->out_weights) +
+             VectorBytes(cut_->in_weights) + VectorBytes(cut_->ghost_weights);
+  }
+  return bytes;
 }
 
 }  // namespace d2pr

@@ -5,7 +5,17 @@
 //
 // A worker owns one PartitionShard (in-CSR only) plus its matrix-free
 // transition slice (BuildTransitionSlicesLocal — no whole-graph
-// TransitionMatrix is ever materialized on the shard). Per solve it
+// TransitionMatrix is ever materialized on the shard). It comes into
+// being two ways: Create() derives the shard from a whole CsrGraph
+// in-process (tests, single-machine fleets), and CreateFromCutFile()
+// loads one pre-cut shard file (graph/shard_cut.h) — the deployment
+// path, where no whole-graph structure of ANY kind exists in the
+// process (tests/dist_cut_test.cc pins this via GraphBuilder::
+// BuildCount and TransitionMatrix::BuildCount). A cut-loaded worker
+// defers its transition-slice build until the first kSolveBegin, whose
+// trailing section carries the O(|V|) global metric vector the ack
+// requested (needs_metric_values); the slice it builds is bitwise the
+// one the whole-graph path builds. Per solve it
 // retains its owned slice of the iterate across sweeps, so a sweep
 // request carries only the O(boundary) remote values, the globally
 // folded dangling mass, and — after iterations the coordinator
@@ -50,6 +60,7 @@
 #include "dist/channel.h"
 #include "graph/csr_graph.h"
 #include "graph/partition.h"
+#include "graph/shard_cut.h"
 
 namespace d2pr {
 
@@ -70,14 +81,19 @@ class ShardWorker {
   /// Builds the worker's shard of `graph` (in-CSR only) and its
   /// matrix-free transition slice. Errors surface from the partition
   /// build, the slice build, or shard_id >= num_shards.
-  ///
-  /// The worker currently derives its shard from the whole graph — every
-  /// shard process loads the full edge list and keeps one shard of it
-  /// (the per-shard transition state is genuinely O(|V| + shard arcs);
-  /// the build-time graph is not). Shipping pre-cut shard files instead
-  /// is the ROADMAP follow-up.
   static Result<std::unique_ptr<ShardWorker>> Create(
       const CsrGraph& graph, const ShardWorkerOptions& options);
+
+  /// Loads one pre-cut shard file (`d2pr_partition_cut` output) instead
+  /// of deriving the shard from a whole graph: shard id, shard count,
+  /// scheme, fingerprint, and node/arc totals all come from the cut's
+  /// validated metadata; only the transition config is the caller's.
+  /// The transition slice is NOT built here — it needs the global
+  /// metric vector, which the coordinator ships in the first
+  /// kSolveBegin after the handshake ack sets needs_metric_values.
+  /// Errors surface from the cut load/validation or an invalid config.
+  static Result<std::unique_ptr<ShardWorker>> CreateFromCutFile(
+      const std::string& path, const TransitionConfig& config);
 
   /// Handles one frame from logical connection `session_id` and returns
   /// the reply frame — application errors (handshake rejections, order
@@ -94,10 +110,24 @@ class ShardWorker {
 
   uint64_t graph_fingerprint() const { return graph_fingerprint_; }
   size_t shard_id() const { return options_.shard_id; }
-  const PartitionShard& shard() const { return shard_; }
+  const PartitionShard& shard() const { return live_shard(); }
 
   /// Sweeps executed (cache hits from retried sweeps excluded).
   int64_t sweeps_executed() const;
+
+  /// Bytes of graph-shaped structure resident in this worker right now:
+  /// the shard's CSR arrays, boundary/slot indexes, and — until the
+  /// first solve builds the slice — the cut's ghost rows and weights.
+  /// The per-worker evidence behind the ~1/N resident-memory claim
+  /// (tests/dist_cut_test.cc, results/dist_bench.md). Excludes the
+  /// transition slice and iterate (per-key solve state, not graph).
+  int64_t resident_graph_bytes() const;
+
+  /// Bytes of graph-shaped INPUT this worker consumed at creation:
+  /// the whole graph's CSR bytes for Create(), the cut file's payload
+  /// for CreateFromCutFile() — the build-time contrast the pre-cut
+  /// pipeline exists to win.
+  int64_t build_input_bytes() const { return build_input_bytes_; }
 
  private:
   /// The worker's resolved transition key fields (compared bitwise
@@ -110,6 +140,18 @@ class ShardWorker {
 
   ShardWorker(ShardWorkerOptions options, uint64_t fingerprint,
               ResolvedKey key);
+
+  /// The shard structure to read from: the cut's copy before the first
+  /// slice build (CreateFromCutFile keeps the loaded cut intact so
+  /// BuildShardSliceFromCut sees ghost rows and weights together), the
+  /// worker's own afterwards.
+  const PartitionShard& live_shard() const {
+    return cut_ ? cut_->shard : shard_;
+  }
+
+  /// Fills owned_dangling_, boundary_sources_, and src_slot_ from a
+  /// shard's in-CSR (shared by both factories).
+  void InitDerivedIndexes(const PartitionShard& shard);
 
   ShardFrame StatusReply(uint64_t request_id, const Status& status) const;
 
@@ -130,6 +172,15 @@ class ShardWorker {
   uint64_t num_arcs_ = 0;
 
   PartitionShard shard_;
+  /// Held only between CreateFromCutFile and the first solve begin;
+  /// its PartitionShard moves into shard_ once the slice is built and
+  /// the ghost rows / weights are dropped.
+  std::unique_ptr<ShardCut> cut_;
+  /// True once probs_ holds this shard's slice (immediately for
+  /// Create(); after the first metric-carrying solve begin for
+  /// CreateFromCutFile()).
+  bool slice_ready_ = false;
+  int64_t build_input_bytes_ = 0;
   /// This shard's contiguous in-CSR-aligned probability slice.
   std::vector<double> probs_;
   /// dangling flag per owned local index (ascending owned order).

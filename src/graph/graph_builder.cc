@@ -1,11 +1,19 @@
 #include "graph/graph_builder.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 
 #include "common/string_util.h"
 
 namespace d2pr {
+
+namespace {
+
+/// Successful whole-graph freezes (see BuildCount()).
+std::atomic<uint64_t> g_build_count{0};
+
+}  // namespace
 
 GraphBuilder::GraphBuilder(NodeId num_nodes, GraphKind kind, bool weighted)
     : num_nodes_(num_nodes), kind_(kind), weighted_(weighted) {
@@ -87,8 +95,13 @@ Result<CsrGraph> GraphBuilder::Build(DuplicatePolicy policy) {
   srcs_.clear();
   dsts_.clear();
   weights_.clear();
+  g_build_count.fetch_add(1, std::memory_order_relaxed);
   return CsrGraph(std::move(offsets), std::move(targets), std::move(weights),
                   kind_);
+}
+
+uint64_t GraphBuilder::BuildCount() {
+  return g_build_count.load(std::memory_order_relaxed);
 }
 
 }  // namespace d2pr

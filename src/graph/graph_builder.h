@@ -46,6 +46,12 @@ class GraphBuilder {
   /// The builder is left empty and reusable afterwards.
   Result<CsrGraph> Build(DuplicatePolicy policy = DuplicatePolicy::kSum);
 
+  /// Process-wide count of successful Build() calls — a test seam
+  /// mirroring TransitionMatrix::BuildCount(): the cut-file suites prove
+  /// a --shard-file worker never constructs a whole CsrGraph by
+  /// asserting this counter stays put across its load and solve.
+  static uint64_t BuildCount();
+
  private:
   NodeId num_nodes_;
   GraphKind kind_;

@@ -14,6 +14,27 @@ const char* PartitionSchemeName(PartitionScheme scheme) {
   return "unknown";
 }
 
+size_t PartitionOwnerOf(PartitionScheme scheme, NodeId node, NodeId num_nodes,
+                        size_t num_shards) {
+  D2PR_DCHECK(num_shards > 0);
+  D2PR_DCHECK(node >= 0 && node < num_nodes);
+  if (scheme == PartitionScheme::kHash) {
+    // Matches serve/ModuloShardMap, so seed ownership and node ownership
+    // agree across the serving stack.
+    return static_cast<size_t>(static_cast<uint32_t>(node)) % num_shards;
+  }
+  // Range, closed-form: the first `extra` shards hold base + 1 nodes
+  // (covering ids below the pivot), the rest hold base. When base == 0
+  // (more shards than nodes) every node sits below the pivot.
+  const NodeId base = num_nodes / static_cast<NodeId>(num_shards);
+  const NodeId extra = num_nodes % static_cast<NodeId>(num_shards);
+  const NodeId pivot = extra * (base + 1);
+  if (node < pivot) {
+    return static_cast<size_t>(node / (base + 1));
+  }
+  return static_cast<size_t>(extra + (node - pivot) / base);
+}
+
 Result<GraphPartition> GraphPartition::Build(const CsrGraph& graph,
                                              const PartitionOptions& options) {
   if (options.num_shards == 0) {
@@ -26,13 +47,6 @@ Result<GraphPartition> GraphPartition::Build(const CsrGraph& graph,
   partition.scheme_ = options.scheme;
   partition.num_nodes_ = n;
   partition.shards_.resize(num_shards);
-
-  // Balanced contiguous ranges: the first n % num_shards shards own one
-  // extra node, so sizes differ by at most one even when shards > nodes
-  // (trailing shards then own empty ranges). Stored as (base, extra) so
-  // kRange ownership resolves closed-form.
-  partition.range_base_ = n / static_cast<NodeId>(num_shards);
-  partition.range_extra_ = n % static_cast<NodeId>(num_shards);
 
   // Owner of every node, and each owner's local index for the in-CSR
   // scatter below.
@@ -132,20 +146,7 @@ Result<GraphPartition> GraphPartition::Build(const CsrGraph& graph,
 }
 
 size_t GraphPartition::OwnerOf(NodeId node) const {
-  D2PR_DCHECK(node >= 0 && node < num_nodes_);
-  if (scheme_ == PartitionScheme::kHash) {
-    // Matches serve/ModuloShardMap, so seed ownership and node ownership
-    // agree across the serving stack.
-    return static_cast<size_t>(static_cast<uint32_t>(node)) % num_shards();
-  }
-  // Range, closed-form: the first range_extra_ shards hold base + 1
-  // nodes (covering ids below the pivot), the rest hold base. When
-  // base == 0 (more shards than nodes) every node sits below the pivot.
-  const NodeId pivot = range_extra_ * (range_base_ + 1);
-  if (node < pivot) {
-    return static_cast<size_t>(node / (range_base_ + 1));
-  }
-  return static_cast<size_t>(range_extra_ + (node - pivot) / range_base_);
+  return PartitionOwnerOf(scheme_, node, num_nodes_, num_shards());
 }
 
 Status GraphPartition::ValidateSlices(const TransitionSlices& slices) const {

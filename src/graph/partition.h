@@ -68,6 +68,16 @@ enum class PartitionScheme {
 /// \brief Human-readable scheme name ("range", "hash").
 const char* PartitionSchemeName(PartitionScheme scheme);
 
+/// \brief The shard owning `node` under `scheme` for a `num_shards`-way
+/// partition of `num_nodes` nodes (O(1), closed-form per scheme).
+///
+/// This is THE ownership rule: GraphPartition, the
+/// DistributedCoordinator, and the shard-cut loader
+/// (graph/shard_cut.h) all delegate here, so the three consumers that
+/// must agree on ownership can never drift.
+size_t PartitionOwnerOf(PartitionScheme scheme, NodeId node, NodeId num_nodes,
+                        size_t num_shards);
+
 /// \brief Partitioner knobs.
 struct PartitionOptions {
   PartitionScheme scheme = PartitionScheme::kRange;
@@ -205,11 +215,6 @@ class GraphPartition {
   PartitionScheme scheme_ = PartitionScheme::kRange;
   NodeId num_nodes_ = 0;
   EdgeIndex boundary_arcs_ = 0;
-  /// kRange bookkeeping: the first range_extra_ shards own
-  /// range_base_ + 1 nodes, the rest range_base_ — which makes OwnerOf
-  /// closed-form (two integer divisions) instead of a search.
-  NodeId range_base_ = 0;
-  NodeId range_extra_ = 0;
   std::vector<PartitionShard> shards_;
 };
 

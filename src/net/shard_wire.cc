@@ -149,6 +149,9 @@ std::vector<uint8_t> EncodeShardHandshakeAck(const ShardHandshakeAck& ack) {
   AppendU64(out, ack.boundary_in_arcs);
   AppendNodeList(out, ack.dangling_owned);
   AppendNodeList(out, ack.boundary_sources);
+  // Trailing section, appended only when set: keeps the false encoding
+  // byte-identical to the previous revision.
+  if (ack.needs_metric_values) out.push_back(1);
   return out;
 }
 
@@ -171,6 +174,17 @@ Result<ShardHandshakeAck> DecodeShardHandshakeAck(
       !s.ok()) {
     return s;
   }
+  if (cursor.remaining() != 0) {
+    uint8_t needs_metric = 0;
+    if (!cursor.ReadU8(&needs_metric)) return Truncated("ShardHandshakeAck");
+    // The encoder writes this byte only when the flag is set; an
+    // explicit 0 is non-canonical and treated as trailing garbage.
+    if (needs_metric != 1) {
+      return Status::InvalidArgument(
+          StrCat("bad needs_metric_values byte ", needs_metric));
+    }
+    ack.needs_metric_values = true;
+  }
   if (Status trailing = RejectTrailing(cursor, "ShardHandshakeAck");
       !trailing.ok()) {
     return trailing;
@@ -188,6 +202,9 @@ std::vector<uint8_t> EncodeShardSolveBegin(const ShardSolveBegin& begin) {
   AppendF64(out, begin.alpha);
   AppendScoreList(out, begin.initial);
   AppendScoreList(out, begin.teleport);
+  // Trailing section, appended only when non-empty: the empty encoding
+  // stays byte-identical to the previous revision.
+  if (!begin.metric_values.empty()) AppendScoreList(out, begin.metric_values);
   return out;
 }
 
@@ -224,6 +241,19 @@ Result<ShardSolveBegin> DecodeShardSolveBegin(
     return Status::InvalidArgument(
         StrCat("ShardSolveBegin initial has ", begin.initial.size(),
                " values but teleport has ", begin.teleport.size()));
+  }
+  if (cursor.remaining() != 0) {
+    if (Status s = ReadScoreList(cursor, "ShardSolveBegin metric",
+                                 &begin.metric_values);
+        !s.ok()) {
+      return s;
+    }
+    // The section exists only to carry values; an empty list would be
+    // indistinguishable from (and longer than) its own absence.
+    if (begin.metric_values.empty()) {
+      return Status::InvalidArgument(
+          "ShardSolveBegin metric section present but empty");
+    }
   }
   if (Status trailing = RejectTrailing(cursor, "ShardSolveBegin");
       !trailing.ok()) {

@@ -110,6 +110,13 @@ struct ShardHandshakeAck {
   /// ids. Every kSweepRequest lays its boundary values out in exactly
   /// this order.
   std::vector<NodeId> boundary_sources;
+  /// True when the shard was loaded from a pre-cut file and has not yet
+  /// built its transition slice: the coordinator must ship the global
+  /// metric vector in its next kSolveBegin. Encoded as a TRAILING byte
+  /// appended only when true, so the false encoding is byte-identical to
+  /// the previous wire revision (old coordinators keep working against
+  /// whole-graph workers, which never set it).
+  bool needs_metric_values = false;
 };
 
 /// \brief Coordinator -> shard: per-solve constants (kSolveBegin).
@@ -126,6 +133,13 @@ struct ShardSolveBegin {
   std::vector<double> initial;
   /// Owned slice of the teleport vector, ascending owned order.
   std::vector<double> teleport;
+  /// The FULL global per-node metric vector (MetricValues under the
+  /// handshaken key's metric) — the one O(|V|) broadcast a cut-loaded
+  /// shard needs to build its transition slice, shipped only to shards
+  /// whose ack set needs_metric_values. Encoded as a TRAILING score list
+  /// appended only when non-empty, so the empty encoding is
+  /// byte-identical to the previous wire revision.
+  std::vector<double> metric_values;
 };
 
 /// \brief Coordinator -> shard: one synchronized sweep (kSweepRequest).

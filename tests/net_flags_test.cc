@@ -289,5 +289,85 @@ TEST(NetFlagsDistTest, ClusterFollowsServerGraphRules) {
   EXPECT_FALSE(Cluster({"--shard-ports=9100", "--nodes=1"}).ok());
 }
 
+// ------------------------------------------------------ pre-cut shards
+
+TEST(NetFlagsDistTest, ShardFileAcceptsMinimalConfiguration) {
+  EXPECT_TRUE(
+      Server({"--shard-role", "--shard-file=/cuts/s0.d2psc"}).ok());
+  EXPECT_TRUE(Server({"--shard-role", "--shard-file=/cuts/s0.d2psc",
+                      "--port=9100", "--p=0.75", "--beta=0.5"})
+                  .ok());
+}
+
+TEST(NetFlagsDistTest, ShardFileRequiresShardRole) {
+  EXPECT_FALSE(Server({"--shard-file=/cuts/s0.d2psc"}).ok());
+}
+
+TEST(NetFlagsDistTest, ShardFileRejectsEmptyPath) {
+  EXPECT_FALSE(Server({"--shard-role", "--shard-file="}).ok());
+}
+
+TEST(NetFlagsDistTest, ShardFileExcludesTopologyAndGraphFlags) {
+  // The cut file's metadata fixes the shard topology AND the graph;
+  // contradicting flags are rejected, not silently ignored.
+  const std::vector<const char*> conflicts[] = {
+      {"--shard-role", "--shard-file=/c/s0.d2psc", "--shard-id=0"},
+      {"--shard-role", "--shard-file=/c/s0.d2psc", "--shard-count=2"},
+      {"--shard-role", "--shard-file=/c/s0.d2psc", "--scheme=range"},
+      {"--shard-role", "--shard-file=/c/s0.d2psc", "--graph=edges.txt"},
+      {"--shard-role", "--shard-file=/c/s0.d2psc", "--directed"},
+      {"--shard-role", "--shard-file=/c/s0.d2psc", "--weighted"},
+      {"--shard-role", "--shard-file=/c/s0.d2psc", "--nodes=100"},
+      {"--shard-role", "--shard-file=/c/s0.d2psc", "--edges-per-node=4"},
+      {"--shard-role", "--shard-file=/c/s0.d2psc", "--gen-seed=7"},
+  };
+  for (const auto& args : conflicts) {
+    const Status status = Server(args);
+    EXPECT_FALSE(status.ok()) << args[2];
+    EXPECT_NE(status.message().find("does not apply to --shard-file"),
+              std::string::npos)
+        << status.ToString();
+  }
+}
+
+TEST(NetFlagsDistTest, ClusterAcceptsCutDirAndRejectsEmptyPath) {
+  EXPECT_TRUE(
+      Cluster({"--shard-ports=9100,9101", "--cut-dir=/cuts"}).ok());
+  EXPECT_FALSE(Cluster({"--shard-ports=9100", "--cut-dir="}).ok());
+}
+
+// --------------------------------------------------------- partition cut
+
+Status PartitionCut(std::vector<const char*> args) {
+  return ValidatePartitionCutFlags(ParseOrDie(std::move(args)));
+}
+
+TEST(NetFlagsDistTest, PartitionCutRequiresOutDir) {
+  EXPECT_FALSE(PartitionCut({}).ok());
+  EXPECT_FALSE(PartitionCut({"--shards=2"}).ok());
+  EXPECT_TRUE(PartitionCut({"--out-dir=/cuts"}).ok());
+}
+
+TEST(NetFlagsDistTest, PartitionCutAcceptsFullConfiguration) {
+  EXPECT_TRUE(PartitionCut({"--out-dir=/cuts", "--shards=8",
+                            "--scheme=hash", "--nodes=5000",
+                            "--edges-per-node=4", "--gen-seed=7"})
+                  .ok());
+  EXPECT_TRUE(PartitionCut({"--out-dir=/cuts", "--graph=edges.txt",
+                            "--directed", "--weighted"})
+                  .ok());
+}
+
+TEST(NetFlagsDistTest, PartitionCutRejectsBadValues) {
+  EXPECT_FALSE(PartitionCut({"--out-dir=/cuts", "--shards=0"}).ok());
+  EXPECT_FALSE(PartitionCut({"--out-dir=/cuts", "--shards=-1"}).ok());
+  EXPECT_FALSE(PartitionCut({"--out-dir=/cuts", "--scheme=diagonal"}).ok());
+  EXPECT_FALSE(PartitionCut({"--out-dir=/cuts", "--graph=e.txt",
+                             "--nodes=100"})
+                   .ok());
+  EXPECT_FALSE(PartitionCut({"--out-dir=/cuts", "--bogus=1"}).ok());
+  EXPECT_FALSE(PartitionCut({"--out-dir="}).ok());
+}
+
 }  // namespace
 }  // namespace d2pr

@@ -659,6 +659,85 @@ TEST(ShardWireTest, AckRejectsLyingListCounts) {
   EXPECT_FALSE(DecodeShardHandshakeAck(payload).ok());
 }
 
+TEST(ShardWireTest, AckNeedsMetricTrailingByteIsBackwardCompatible) {
+  // needs_metric_values rides a TRAILING byte appended only when true:
+  // the false encoding must stay byte-identical to the pre-cut-file
+  // revision, and a decoder reading the short (old) payload must default
+  // to false.
+  ShardHandshakeAck ack = SampleAck();
+  ack.needs_metric_values = false;
+  const std::vector<uint8_t> old_bytes = EncodeShardHandshakeAck(ack);
+  ack.needs_metric_values = true;
+  const std::vector<uint8_t> new_bytes = EncodeShardHandshakeAck(ack);
+
+  ASSERT_EQ(new_bytes.size(), old_bytes.size() + 1);
+  EXPECT_TRUE(std::equal(old_bytes.begin(), old_bytes.end(),
+                         new_bytes.begin()));
+  EXPECT_EQ(new_bytes.back(), 1);
+
+  auto old_decoded = DecodeShardHandshakeAck(old_bytes);
+  ASSERT_TRUE(old_decoded.ok());
+  EXPECT_FALSE(old_decoded->needs_metric_values);
+  auto new_decoded = DecodeShardHandshakeAck(new_bytes);
+  ASSERT_TRUE(new_decoded.ok());
+  EXPECT_TRUE(new_decoded->needs_metric_values);
+  EXPECT_EQ(new_decoded->boundary_sources, ack.boundary_sources);
+}
+
+TEST(ShardWireTest, AckRejectsBadNeedsMetricByte) {
+  ShardHandshakeAck ack = SampleAck();
+  ack.needs_metric_values = true;
+  std::vector<uint8_t> payload = EncodeShardHandshakeAck(ack);
+  payload.back() = 2;
+  auto decoded = DecodeShardHandshakeAck(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("needs_metric_values"),
+            std::string::npos);
+}
+
+TEST(ShardWireTest, SolveBeginMetricValuesAreTrailingAndBackwardCompatible) {
+  // The metric vector rides a trailing score list appended only when
+  // non-empty — same compatibility contract as the ack's trailing byte.
+  ShardSolveBegin begin = SampleSolveBegin();
+  const std::vector<uint8_t> old_bytes = EncodeShardSolveBegin(begin);
+  begin.metric_values = {1.0, 2.5, 0x1.fffffffffffffp+1, -0.0};
+  const std::vector<uint8_t> new_bytes = EncodeShardSolveBegin(begin);
+
+  ASSERT_GT(new_bytes.size(), old_bytes.size());
+  EXPECT_TRUE(std::equal(old_bytes.begin(), old_bytes.end(),
+                         new_bytes.begin()));
+
+  auto old_decoded = DecodeShardSolveBegin(old_bytes);
+  ASSERT_TRUE(old_decoded.ok());
+  EXPECT_TRUE(old_decoded->metric_values.empty());
+  auto new_decoded = DecodeShardSolveBegin(new_bytes);
+  ASSERT_TRUE(new_decoded.ok()) << new_decoded.status().ToString();
+  EXPECT_EQ(new_decoded->metric_values, begin.metric_values);  // bit-exact
+}
+
+TEST(ShardWireTest, SolveBeginRejectsPresentButEmptyMetricSection) {
+  // An empty trailing list would be indistinguishable from its own
+  // absence (and one count longer); the codec forbids encoding it by
+  // construction and rejects it on decode.
+  std::vector<uint8_t> payload = EncodeShardSolveBegin(SampleSolveBegin());
+  payload.insert(payload.end(), {0, 0, 0, 0});  // score list, count 0
+  auto decoded = DecodeShardSolveBegin(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("metric section present"),
+            std::string::npos);
+}
+
+TEST(ShardWireTest, SolveBeginRejectsTruncatedMetricSection) {
+  ShardSolveBegin begin = SampleSolveBegin();
+  begin.metric_values = {1.0, 2.0, 3.0};
+  const std::vector<uint8_t> full = EncodeShardSolveBegin(begin);
+  const std::vector<uint8_t> base = EncodeShardSolveBegin(SampleSolveBegin());
+  for (size_t len = base.size() + 1; len < full.size(); ++len) {
+    std::vector<uint8_t> cut(full.begin(), full.begin() + len);
+    EXPECT_FALSE(DecodeShardSolveBegin(cut).ok()) << "length " << len;
+  }
+}
+
 TEST(ShardWireTest, SolveBeginRoundTripsBothMethodsEveryPolicy) {
   for (SolverMethod method :
        {SolverMethod::kPower, SolverMethod::kGaussSeidel}) {

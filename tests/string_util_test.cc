@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
 namespace d2pr {
 namespace {
 
@@ -81,6 +87,37 @@ TEST(ParseInt64Test, AcceptsValidRejectsGarbage) {
   EXPECT_FALSE(ParseInt64("4.5", &value));
   EXPECT_FALSE(ParseInt64("", &value));
   EXPECT_FALSE(ParseInt64("12a", &value));
+}
+
+TEST(FormatExactDoubleTest, DistinguishesValuesDefaultPrecisionMerges) {
+  // 0.1 and its nearest-neighbor double print identically at stream
+  // default precision — the exact formatter must keep them apart, which
+  // is the whole reason handshake-mismatch messages use it.
+  const double a = 0.1;
+  const double b = std::nextafter(a, 1.0);
+  EXPECT_NE(FormatExactDouble(a), FormatExactDouble(b));
+  EXPECT_EQ(FormatExactDouble(0.1),
+            "0.10000000000000001 (bits 3fb999999999999a)");
+}
+
+TEST(FormatExactDoubleTest, TextRoundTripsBitExact) {
+  const double cases[] = {0.0,  -0.0, 0.1,   1.0 / 3.0,
+                          0.85, 1e300, 5e-324 /* min subnormal */};
+  for (const double value : cases) {
+    const std::string text = FormatExactDouble(value);
+    // max_digits10 digits round-trip any double exactly.
+    double parsed = 0.0;
+    ASSERT_TRUE(ParseDouble(text.substr(0, text.find(" (")), &parsed))
+        << text;
+    EXPECT_EQ(std::memcmp(&parsed, &value, sizeof(double)), 0) << text;
+    // And the bit pattern rides along for absolute certainty.
+    uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    char expected_bits[32];
+    std::snprintf(expected_bits, sizeof(expected_bits), "(bits %016llx)",
+                  static_cast<unsigned long long>(bits));
+    EXPECT_NE(text.find(expected_bits), std::string::npos) << text;
+  }
 }
 
 }  // namespace

@@ -19,6 +19,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -34,6 +35,7 @@
 #include "graph/graph_fingerprint.h"
 #include "graph/graph_io.h"
 #include "graph/partition.h"
+#include "graph/shard_cut.h"
 
 namespace d2pr {
 namespace {
@@ -54,6 +56,10 @@ constexpr char kUsage[] =
     "  --retries=N          resends after a timeout (default 2)\n"
     "  --compare=BOOL       check parity against the in-process block\n"
     "                       solve (default true)\n"
+    "  --cut-dir=DIR        cross-check a directory of pre-cut shard\n"
+    "                       files (d2pr_partition_cut output) against\n"
+    "                       the graph and fleet shape before contacting\n"
+    "                       any server\n"
     "  --graph=EDGELIST / --nodes/--edges-per-node/--gen-seed as in\n"
     "  d2pr_server (the shard processes must load the same graph)\n";
 
@@ -141,6 +147,52 @@ int Run(const Flags& flags) {
     options.dangling = DanglingPolicy::kRenormalize;
   }
 
+  const uint64_t fingerprint = GraphFingerprint(*graph);
+  if (flags.Has("cut-dir")) {
+    // Preflight a directory of pre-cut shard files: every shard id must
+    // have exactly one cut that matches this graph, scheme, and fleet
+    // size — so a stale or mis-cut directory fails here, before any
+    // server is contacted (each server still validates the one file it
+    // loads).
+    std::vector<int> cuts_seen(ports->size(), 0);
+    std::error_code ec;
+    std::filesystem::directory_iterator dir(flags.GetString("cut-dir"), ec);
+    if (ec) {
+      std::fprintf(stderr, "--cut-dir %s: %s\n",
+                   flags.GetString("cut-dir").c_str(), ec.message().c_str());
+      return 1;
+    }
+    for (const std::filesystem::directory_entry& entry : dir) {
+      if (entry.path().extension() != ".d2psc") continue;
+      Result<ShardCutMetadata> meta =
+          ReadShardCutMetadata(entry.path().string());
+      if (!meta.ok()) {
+        std::fprintf(stderr, "%s: %s\n", entry.path().string().c_str(),
+                     meta.status().ToString().c_str());
+        return 1;
+      }
+      if (meta->graph_fingerprint != fingerprint ||
+          meta->scheme != scheme ||
+          meta->num_shards != ports->size()) {
+        continue;  // a cut of some other graph or fleet shape
+      }
+      if (meta->shard_id < cuts_seen.size()) ++cuts_seen[meta->shard_id];
+    }
+    for (size_t s = 0; s < cuts_seen.size(); ++s) {
+      if (cuts_seen[s] != 1) {
+        std::fprintf(stderr,
+                     "--cut-dir holds %d cuts for shard %zu of %zu "
+                     "(fingerprint %016llx, %s scheme); expected exactly 1\n",
+                     cuts_seen[s], s, ports->size(),
+                     static_cast<unsigned long long>(fingerprint),
+                     PartitionSchemeName(scheme));
+        return 1;
+      }
+    }
+    std::fprintf(stderr, "cut-dir ok: %zu matching shard cuts\n",
+                 ports->size());
+  }
+
   // Connect the fleet.
   std::vector<std::unique_ptr<SocketShardChannel>> sockets;
   std::vector<ShardChannel*> channels;
@@ -159,8 +211,12 @@ int Run(const Flags& flags) {
   CoordinatorOptions coord_options;
   coord_options.scheme = scheme;
   coord_options.num_nodes = graph->num_nodes();
-  coord_options.graph_fingerprint = GraphFingerprint(*graph);
+  coord_options.graph_fingerprint = fingerprint;
   coord_options.key = ResolveTransitionKey(*graph, config);
+  // Always carried: any shard loaded from a cut file will ask for the
+  // global metric vector in its handshake ack (whole-graph shards never
+  // do, and the coordinator only ships it when asked).
+  coord_options.metric_values = MetricValues(*graph, coord_options.key.metric);
   coord_options.sweep_deadline_ms = *flags.GetInt("deadline-ms", 0);
   coord_options.max_retries = static_cast<int>(*flags.GetInt("retries", 2));
   DistributedCoordinator coordinator(channels, coord_options);

@@ -116,6 +116,7 @@ Status ValidateServerFlags(const Flags& flags) {
       "coalesce", "graph",         "directed", "weighted",
       "nodes",   "edges-per-node", "gen-seed",
       "shard-role", "shard-id",    "shard-count", "scheme", "p", "beta",
+      "shard-file",
   };
   D2PR_RETURN_NOT_OK(CheckKnown(flags, kKnown));
   D2PR_RETURN_NOT_OK(CheckPort(flags, /*minimum=*/0));
@@ -131,6 +132,27 @@ Status ValidateServerFlags(const Flags& flags) {
         return Status::InvalidArgument(
             StrCat("--", excluded, " does not apply to --shard-role"));
       }
+    }
+    if (flags.Has("shard-file")) {
+      // Pre-cut path: shard id, count, scheme, and graph identity all
+      // come from the cut file's validated metadata — passing any of
+      // them here could only contradict the file, so they are rejected
+      // rather than silently ignored. Only the transition model stays
+      // the command line's to choose.
+      if (flags.GetString("shard-file").empty()) {
+        return Status::InvalidArgument("--shard-file requires a file path");
+      }
+      for (const char* excluded :
+           {"shard-id", "shard-count", "scheme", "graph", "directed",
+            "weighted", "nodes", "edges-per-node", "gen-seed"}) {
+        if (flags.Has(excluded)) {
+          return Status::InvalidArgument(StrCat(
+              "--", excluded,
+              " does not apply to --shard-file (the cut file's metadata "
+              "fixes the shard topology and the graph)"));
+        }
+      }
+      return CheckTransitionFlags(flags);
     }
     const auto shard_id = flags.GetInt("shard-id", 0);
     const auto shard_count = flags.GetInt("shard-count", 1);
@@ -149,7 +171,7 @@ Status ValidateServerFlags(const Flags& flags) {
     return CheckGraphFlags(flags);
   }
   for (const char* shard_only :
-       {"shard-id", "shard-count", "scheme", "p", "beta"}) {
+       {"shard-id", "shard-count", "scheme", "p", "beta", "shard-file"}) {
     if (flags.Has(shard_only)) {
       return Status::InvalidArgument(
           StrCat("--", shard_only, " requires --shard-role"));
@@ -272,6 +294,7 @@ Status ValidateClusterFlags(const Flags& flags) {
       "p",           "beta",     "alpha",   "tolerance", "max-iterations",
       "deadline-ms", "retries",  "compare", "graph",     "directed",
       "weighted",    "nodes",    "edges-per-node",       "gen-seed",
+      "cut-dir",
   };
   D2PR_RETURN_NOT_OK(CheckKnown(flags, kKnown));
   if (!flags.Has("shard-ports")) {
@@ -281,6 +304,9 @@ Status ValidateClusterFlags(const Flags& flags) {
   }
   if (flags.GetString("shard-ports").empty()) {
     return Status::InvalidArgument("--shard-ports must list at least one port");
+  }
+  if (flags.Has("cut-dir") && flags.GetString("cut-dir").empty()) {
+    return Status::InvalidArgument("--cut-dir requires a directory path");
   }
   D2PR_RETURN_NOT_OK(CheckScheme(flags));
   D2PR_RETURN_NOT_OK(CheckTransitionFlags(flags));
@@ -329,6 +355,23 @@ Status ValidateClusterFlags(const Flags& flags) {
         "depend on sweep order)");
   }
   return Status::OK();
+}
+
+Status ValidatePartitionCutFlags(const Flags& flags) {
+  static const std::set<std::string> kKnown = {
+      "out-dir", "shards", "scheme",         "graph",    "directed",
+      "weighted", "nodes", "edges-per-node", "gen-seed",
+  };
+  D2PR_RETURN_NOT_OK(CheckKnown(flags, kKnown));
+  if (!flags.Has("out-dir") || flags.GetString("out-dir").empty()) {
+    return Status::InvalidArgument(
+        "--out-dir=DIR is required (where the cut files go)");
+  }
+  const auto shards = flags.GetInt("shards", 2);
+  if (!shards.ok()) return Status::InvalidArgument("bad numeric flag");
+  if (*shards < 1) return Status::InvalidArgument("--shards must be >= 1");
+  D2PR_RETURN_NOT_OK(CheckScheme(flags));
+  return CheckGraphFlags(flags);
 }
 
 }  // namespace d2pr

@@ -26,7 +26,10 @@ inline constexpr double kMaxZipfExponent = 8.0;
 /// \brief Validates the d2pr_server flag set. OK means well-formed; any
 /// error corresponds to exit code 2 in the binary. Covers both the
 /// front-door mode and --shard-role (which hosts one partition shard
-/// behind the v2 wire and excludes the serving-policy flags).
+/// behind the v2 wire and excludes the serving-policy flags), including
+/// the pre-cut path: --shard-file requires --shard-role and excludes
+/// every graph and topology flag (the cut's validated metadata supplies
+/// shard id, count, scheme, and graph identity).
 Status ValidateServerFlags(const Flags& flags);
 
 /// \brief Validates the d2pr_loadgen flag set (same contract).
@@ -34,8 +37,15 @@ Status ValidateLoadGenFlags(const Flags& flags);
 
 /// \brief Validates the d2pr_cluster flag set (same contract):
 /// --shard-ports is required, solver/transition knobs are range-checked,
-/// and the graph flags follow the server's rules.
+/// and the graph flags follow the server's rules. --cut-dir points the
+/// launcher at a directory of pre-cut shard files to cross-check
+/// against the graph before any server is contacted.
 Status ValidateClusterFlags(const Flags& flags);
+
+/// \brief Validates the d2pr_partition_cut flag set (same contract):
+/// --out-dir is required, --shards >= 1, scheme and graph flags follow
+/// the server's rules.
+Status ValidatePartitionCutFlags(const Flags& flags);
 
 }  // namespace d2pr
 

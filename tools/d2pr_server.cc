@@ -52,6 +52,10 @@ constexpr char kUsage[] =
     "shard role (hosts one partition shard for d2pr_cluster):\n"
     "  --shard-role         serve one shard of the distributed block\n"
     "                       solve instead of the rank front door\n"
+    "  --shard-file=PATH    host the shard in this pre-cut file\n"
+    "                       (d2pr_partition_cut output) WITHOUT loading\n"
+    "                       the whole graph; excludes the graph and\n"
+    "                       topology flags (the cut fixes them)\n"
     "  --shard-id=N         which shard this process hosts (default 0)\n"
     "  --shard-count=N      total shards of the partition (default 1)\n"
     "  --scheme=NAME        partition scheme: range (default) or hash\n"
@@ -79,8 +83,13 @@ int Run(const Flags& flags) {
   const int64_t max_queue = *flags.GetInt("max-queue", 256);
   const bool coalesce = *flags.GetBool("coalesce", true);
   const std::string route = flags.GetString("route");
+  const bool shard_role = *flags.GetBool("shard-role", false);
+  const bool from_cut = shard_role && flags.Has("shard-file");
 
   Result<CsrGraph> graph = [&]() -> Result<CsrGraph> {
+    // The pre-cut shard path is the one mode with NO whole graph in the
+    // process — that absence is its point.
+    if (from_cut) return CsrGraph();
     if (flags.Has("graph")) {
       return ReadEdgeListText(flags.GetString("graph"),
                               *flags.GetBool("directed", false)
@@ -97,31 +106,44 @@ int Run(const Flags& flags) {
     std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
     return 1;
   }
-  std::fprintf(stderr, "serving %d nodes, %lld arcs\n", graph->num_nodes(),
-               static_cast<long long>(graph->num_arcs()));
+  if (!from_cut) {
+    std::fprintf(stderr, "serving %d nodes, %lld arcs\n", graph->num_nodes(),
+                 static_cast<long long>(graph->num_arcs()));
+  }
 
-  if (*flags.GetBool("shard-role", false)) {
+  if (shard_role) {
     // Shard role: host one PartitionShard behind the v2 wire and wait
     // for a DistributedCoordinator (tools/d2pr_cluster.cc).
-    ShardWorkerOptions worker_options;
-    worker_options.shard_id =
-        static_cast<size_t>(*flags.GetInt("shard-id", 0));
-    worker_options.num_shards =
-        static_cast<size_t>(*flags.GetInt("shard-count", 1));
-    worker_options.scheme = flags.GetString("scheme") == "hash"
-                                ? PartitionScheme::kHash
-                                : PartitionScheme::kRange;
-    worker_options.config.p = *flags.GetDouble("p", 0.5);
-    worker_options.config.beta = *flags.GetDouble("beta", 0.0);
+    TransitionConfig config;
+    config.p = *flags.GetDouble("p", 0.5);
+    config.beta = *flags.GetDouble("beta", 0.0);
     Result<std::unique_ptr<ShardWorker>> worker =
-        ShardWorker::Create(std::move(graph).value(), worker_options);
+        [&]() -> Result<std::unique_ptr<ShardWorker>> {
+      if (from_cut) {
+        return ShardWorker::CreateFromCutFile(flags.GetString("shard-file"),
+                                              config);
+      }
+      ShardWorkerOptions worker_options;
+      worker_options.shard_id =
+          static_cast<size_t>(*flags.GetInt("shard-id", 0));
+      worker_options.num_shards =
+          static_cast<size_t>(*flags.GetInt("shard-count", 1));
+      worker_options.scheme = flags.GetString("scheme") == "hash"
+                                  ? PartitionScheme::kHash
+                                  : PartitionScheme::kRange;
+      worker_options.config = config;
+      return ShardWorker::Create(std::move(graph).value(), worker_options);
+    }();
     if (!worker.ok()) {
       std::fprintf(stderr, "%s\n", worker.status().ToString().c_str());
       return 1;
     }
-    std::fprintf(stderr, "hosting shard %zu of %zu (%zu owned nodes)\n",
-                 worker_options.shard_id, worker_options.num_shards,
-                 (*worker)->shard().num_owned());
+    std::fprintf(stderr,
+                 "hosting shard %zu (%zu owned nodes, %lld resident graph "
+                 "bytes%s)\n",
+                 (*worker)->shard_id(), (*worker)->shard().num_owned(),
+                 static_cast<long long>((*worker)->resident_graph_bytes()),
+                 from_cut ? ", pre-cut" : "");
 
     ShardServerOptions shard_server_options;
     shard_server_options.port = port;
